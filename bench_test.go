@@ -1,0 +1,205 @@
+package lotuseater
+
+// One benchmark per table and figure of the paper, plus the extension
+// experiments E1-E9 from DESIGN.md. Each bench regenerates its artifact at
+// reduced sweep quality (the full-fidelity versions live behind
+// cmd/figures -quality full) and reports a headline reproduction metric via
+// b.ReportMetric, so `go test -bench=.` doubles as a quick sanity pass over
+// the whole reproduction.
+
+import (
+	"testing"
+
+	"lotuseater/internal/gossip"
+)
+
+func benchQ() Quality { return Quality{Points: 4, Seeds: 1} }
+
+// BenchmarkTable1Defaults measures a single simulation at the paper's
+// Table 1 parameters — the cost of one data point in every figure.
+func BenchmarkTable1Defaults(b *testing.B) {
+	cfg := DefaultGossipConfig()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		eng, err := gossip.New(cfg, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.AllHonest.MeanDelivery
+	}
+	b.ReportMetric(last, "delivery")
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	var crossover float64
+	for i := 0; i < b.N; i++ {
+		series := Figure1(uint64(i), benchQ())
+		if x, ok := series[2].CrossoverBelow(0.93); ok {
+			crossover = x
+		}
+	}
+	b.ReportMetric(crossover, "trade-crossover")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	var crossover float64
+	for i := 0; i < b.N; i++ {
+		series := Figure2(uint64(i), benchQ())
+		if x, ok := series[1].CrossoverBelow(0.93); ok {
+			crossover = x
+		}
+	}
+	b.ReportMetric(crossover, "ideal-crossover")
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	var y float64
+	for i := 0; i < b.N; i++ {
+		series := Figure3(uint64(i), benchQ())
+		y = series[3].YAt(0.35) // push4+slack curve at 35% attackers
+	}
+	b.ReportMetric(y, "defended-delivery")
+}
+
+func BenchmarkTokenAltruism(b *testing.B) {
+	var y float64
+	for i := 0; i < b.N; i++ {
+		s := AltruismExperiment(uint64(i), benchQ())
+		y = s.Points[len(s.Points)-1].Y
+	}
+	b.ReportMetric(y, "completion-at-max-a")
+}
+
+func BenchmarkGridCut(b *testing.B) {
+	var coverage float64
+	for i := 0; i < b.N; i++ {
+		rows, err := GridCutExperiment(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Topology == "grid/column-cut" {
+				coverage = r.RareTokenCoverage
+			}
+		}
+	}
+	b.ReportMetric(coverage, "cut-coverage")
+}
+
+func BenchmarkRareToken(b *testing.B) {
+	var denied float64
+	for i := 0; i < b.N; i++ {
+		s := RareTokenExperiment(uint64(i), benchQ())
+		denied = s.Points[0].Y
+	}
+	b.ReportMetric(denied, "completion-at-a0")
+}
+
+func BenchmarkScripSatiation(b *testing.B) {
+	var y float64
+	for i := 0; i < b.N; i++ {
+		s := ScripMoneySupplyExperiment(uint64(i), benchQ())
+		y = s.Points[len(s.Points)-1].Y
+	}
+	b.ReportMetric(y, "satiated-at-max-f")
+}
+
+func BenchmarkScripRareProvider(b *testing.B) {
+	var y float64
+	for i := 0; i < b.N; i++ {
+		series := ScripRareProviderExperiment(uint64(i), benchQ())
+		y = series[0].Points[0].Y
+	}
+	b.ReportMetric(y, "attacked-availability")
+}
+
+func BenchmarkSwarmAttack(b *testing.B) {
+	var completed float64
+	for i := 0; i < b.N; i++ {
+		rows, err := SwarmExperiment(uint64(i), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scenario == "fragile/rare-attack/rarest-first" {
+				completed = r.CompletedFraction
+			}
+		}
+	}
+	b.ReportMetric(completed, "attacked-completion")
+}
+
+func BenchmarkCodingDefense(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		series := CodingExperiment(uint64(i), benchQ())
+		last := len(series[0].Points) - 1
+		gap = series[1].Points[last].Y - series[0].Points[last].Y
+	}
+	b.ReportMetric(gap, "coded-minus-plain")
+}
+
+func BenchmarkReportingDefense(b *testing.B) {
+	var evictions float64
+	for i := 0; i < b.N; i++ {
+		series := ReportingExperiment(uint64(i), benchQ())
+		evictions = series[1].Points[len(series[1].Points)-1].Y
+	}
+	b.ReportMetric(evictions, "evictions-at-full-obedience")
+}
+
+func BenchmarkRateLimit(b *testing.B) {
+	var recovered float64
+	for i := 0; i < b.N; i++ {
+		series := RateLimitExperiment(uint64(i), benchQ())
+		recovered = series[0].Points[1].Y - series[0].Points[0].Y
+	}
+	b.ReportMetric(recovered, "delivery-recovered-by-cap1")
+}
+
+func BenchmarkRotatingAttack(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		rows, err := RotatingExperiment(uint64(i), 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = rows[1].NodesWithOutage - rows[0].NodesWithOutage
+	}
+	b.ReportMetric(spread, "outage-spread")
+}
+
+func BenchmarkScripInflation(b *testing.B) {
+	var cliff float64
+	for i := 0; i < b.N; i++ {
+		s := ScripInflationExperiment(uint64(i), benchQ())
+		cliff = s.Points[len(s.Points)-1].Y
+	}
+	b.ReportMetric(cliff, "availability-past-cliff")
+}
+
+func BenchmarkScripHoarding(b *testing.B) {
+	var y float64
+	for i := 0; i < b.N; i++ {
+		s := ScripHoardingExperiment(uint64(i), benchQ())
+		y = s.Points[len(s.Points)-1].Y
+	}
+	b.ReportMetric(y, "availability-at-max-hoarders")
+}
+
+func BenchmarkSatiateAblation(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		series := SatiateFractionAblation(uint64(i), benchQ())
+		for _, p := range series[1].Points {
+			if p.Y > peak {
+				peak = p.Y
+			}
+		}
+	}
+	b.ReportMetric(peak, "peak-victims")
+}

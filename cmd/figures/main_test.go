@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+// TestEveryExperimentRuns drives each experiment id end to end at quick
+// quality — the figures binary is the harness that regenerates the paper,
+// so every path must execute.
+func TestEveryExperimentRuns(t *testing.T) {
+	ids := []string{
+		"table1", "gridcut", "swarm", "rotating",
+		"raretoken", "inflation",
+	}
+	for _, id := range ids {
+		if err := run([]string{"-exp", id, "-quality", "quick", "-seed", "2"}); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	if err := run([]string{"-exp", "raretoken", "-quality", "quick", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestUnknownQuality(t *testing.T) {
+	if err := run([]string{"-quality", "bogus"}); err == nil {
+		t.Fatal("unknown quality accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	args := []string{
+		"-attack", "trade", "-fraction", "0.2",
+		"-nodes", "80", "-rounds", "30", "-warmup", "8", "-v",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDefenses(t *testing.T) {
+	args := []string{
+		"-attack", "ideal", "-fraction", "0.1",
+		"-nodes", "80", "-rounds", "30", "-warmup", "8",
+		"-obedient", "1", "-ratelimit", "2", "-report", "1",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRotating(t *testing.T) {
+	args := []string{
+		"-attack", "trade", "-fraction", "0.2", "-rotate", "5",
+		"-nodes", "80", "-rounds", "30", "-warmup", "8",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadAttack(t *testing.T) {
+	if err := run([]string{"-attack", "nonsense"}); err == nil {
+		t.Fatal("bogus attack name accepted")
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	if err := run([]string{"-nodes", "1"}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	args := []string{"-agents", "60", "-rounds", "2000"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithAttack(t *testing.T) {
+	args := []string{
+		"-agents", "60", "-rounds", "2000",
+		"-targets", "10", "-budget", "5000", "-start", "100",
+		"-attackers", "0.05", "-special", "5", "-specialreq", "0.1",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	if err := run([]string{"-agents", "1"}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	args := []string{"-leechers", "30", "-pieces", "32", "-ticks", "200"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAttackVariants(t *testing.T) {
+	for _, attack := range []string{"top", "rare"} {
+		args := []string{
+			"-leechers", "30", "-pieces", "32", "-ticks", "200",
+			"-attack", attack, "-uplink", "16", "-targets", "2",
+			"-selection", "random", "-seeddepart", "40", "-stay=false",
+		}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", attack, err)
+		}
+	}
+}
+
+func TestRunBadSelection(t *testing.T) {
+	if err := run([]string{"-selection", "bogus"}); err == nil {
+		t.Fatal("bogus selection accepted")
+	}
+}
+
+func TestRunBadAttack(t *testing.T) {
+	if err := run([]string{"-attack", "bogus"}); err == nil {
+		t.Fatal("bogus attack accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunTopologies(t *testing.T) {
+	for _, g := range []string{"complete", "ring", "random", "smallworld"} {
+		args := []string{"-graph", g, "-n", "40", "-tokens", "8", "-rounds", "30"}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+	}
+}
+
+func TestRunGridCut(t *testing.T) {
+	args := []string{"-graph", "grid", "-rows", "8", "-cols", "8", "-tokens", "16", "-cut", "4", "-rounds", "40"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSatiateRandom(t *testing.T) {
+	args := []string{"-graph", "complete", "-n", "40", "-tokens", "8", "-satiate", "10", "-altruism", "0.1", "-rounds", "30"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCutRequiresGrid(t *testing.T) {
+	if err := run([]string{"-graph", "ring", "-cut", "2"}); err == nil {
+		t.Fatal("cut on non-grid accepted")
+	}
+}
+
+func TestRunBadGraph(t *testing.T) {
+	if err := run([]string{"-graph", "bogus"}); err == nil {
+		t.Fatal("bogus graph accepted")
+	}
+}

@@ -1,0 +1,76 @@
+// Observation 3.1, executable: "In a system where a satiation-compatible
+// protocol is used, an attacker that can provide a node with tokens
+// sufficiently rapidly can prevent it from ever providing service."
+//
+// This example drives the paper's informal theorem through the core
+// satiation framework: a token-collecting node under attackers of varying
+// speed, and the same node with a little altruism (which breaks
+// satiation-compatibility and with it the observation's premise).
+//
+//	go run ./examples/observation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lotuseater/internal/core"
+)
+
+func main() {
+	universe := core.NewTokenSet()
+	for t := core.Token(0); t < 20; t++ {
+		universe.Add(t)
+	}
+
+	protocol := &core.TokenCollector{
+		Sat:                core.CompleteSetSatiation(universe),
+		ServiceWhileHungry: 1,
+	}
+
+	// Sanity check: the protocol really is satiation-compatible.
+	samples := []core.NodeState{
+		{Time: 0, Held: core.NewTokenSet()},
+		{Time: 0, Held: universe.Clone()},
+	}
+	if err := core.CheckSatiationCompatible(protocol, samples); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("protocol is satiation-compatible (verified)")
+	fmt.Printf("target wants %d tokens; it serves 1 unit per round while hungry\n\n", universe.Len())
+
+	fmt.Println("attacker rate   service the target ever provides (50 rounds)")
+	for _, rate := range []int{0, 1, 5, 10, 20} {
+		res, err := core.RunObservation(core.ObservationConfig{
+			Protocol: protocol,
+			Attacker: core.AttackerModel{Rate: rate, Universe: universe},
+			Rounds:   50,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if res.ServiceProvided == 0 {
+			note = "   << silenced from round 0 (Observation 3.1)"
+		}
+		fmt.Printf("  %2d tokens/rd   %2d units%s\n", rate, res.ServiceProvided, note)
+	}
+
+	// The escape hatch: a protocol with altruism a > 0 is not
+	// satiation-compatible, and the observation's conclusion fails.
+	altruistic := &core.TokenCollector{
+		Sat:                core.CompleteSetSatiation(universe),
+		ServiceWhileHungry: 1,
+		AltruisticService:  1,
+	}
+	res, err := core.RunObservation(core.ObservationConfig{
+		Protocol: altruistic,
+		Attacker: core.AttackerModel{Rate: 20, Universe: universe},
+		Rounds:   50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith altruism (a > 0), the same instant attacker cannot silence the node:\n")
+	fmt.Printf("  20 tokens/rd   %d units of service over 50 rounds\n", res.ServiceProvided)
+}

@@ -1,0 +1,88 @@
+// Scrip economy: lotus-eater attacks on an indirect-reciprocity system.
+//
+// Rational agents in a scrip system play a threshold strategy — provide
+// service only while holding less than k units — so an attacker that keeps
+// an agent's balance at k silences it. This example demonstrates the two
+// sides of Section 4's "making satiation hard" analysis:
+//
+//  1. Satiating a few agents who control a rare resource is cheap and
+//     devastating for that resource's consumers.
+//
+//  2. Satiating a large fraction is throttled by the fixed money supply
+//     when the attacker must earn its scrip in-system.
+//
+//     go run ./examples/scripeconomy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lotuseater"
+)
+
+func main() {
+	// Part 1: deny a rare resource by satiating its few providers.
+	cfg := lotuseater.DefaultScripConfig()
+	cfg.SpecialProviders = 10
+	cfg.SpecialRequestFraction = 0.05
+
+	run := func(attacked bool) lotuseater.ScripResult {
+		sim, err := lotuseater.NewScrip(cfg, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if attacked {
+			targets := make([]int, cfg.SpecialProviders)
+			for i := range targets {
+				targets[i] = i
+			}
+			if err := sim.Attack(lotuseater.ScripAttackPlan{
+				Targets:    targets,
+				Budget:     1 << 20, // a deep-pocketed attacker
+				StartRound: 1000,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base, hit := run(false), run(true)
+	fmt.Println("part 1: satiate the 10 agents who control a rare resource")
+	fmt.Printf("  specialty availability, no attack: %.1f%%\n", 100*base.SpecialAvailability)
+	fmt.Printf("  specialty availability, attacked:  %.1f%%\n", 100*hit.SpecialAvailability)
+	fmt.Printf("  attacker spend: %d scrip (opening supply was %d)\n\n",
+		hit.AttackerSpent, cfg.Agents*cfg.MoneyPerCapita)
+
+	// Part 2: try to satiate 60% of the whole economy on earned scrip only.
+	cfg2 := lotuseater.DefaultScripConfig()
+	cfg2.AttackerFraction = 0.05
+	sim, err := lotuseater.NewScrip(cfg2, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var targets []int
+	want := int(0.6 * float64(cfg2.Agents))
+	for i := 0; i < cfg2.Agents && len(targets) < want; i++ {
+		if sim.Kind(i) != lotuseater.ScripAttackerAgent { // cannot target own agents
+			targets = append(targets, i)
+		}
+	}
+	if err := sim.Attack(lotuseater.ScripAttackPlan{Targets: targets, StartRound: 1000}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("part 2: satiate 60% of the economy with in-system earnings only")
+	fmt.Printf("  fraction of targets actually held satiated: %.1f%%\n", 100*res.SatiatedTargetFraction)
+	fmt.Printf("  rounds the attacker ran out of scrip:       %d\n", res.AttackerShortfall)
+	fmt.Println("  -> \"there may not even be enough money in the system to satiate")
+	fmt.Println("     a significant fraction of the nodes\" (Section 4)")
+}

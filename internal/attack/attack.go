@@ -1,0 +1,231 @@
+// Package attack implements the adversary of the paper: attacker placement
+// and satiation-target selection for the crash, ideal lotus-eater, and trade
+// lotus-eater attacks of Section 2, including the rotating-target variant
+// ("by changing who is satiated over time, the attacker could even make the
+// service intermittently unusable for all nodes").
+//
+// The package is deliberately substrate-agnostic: it decides *which* nodes
+// the attacker controls and *which* nodes it tries to satiate each round;
+// the mechanics of how satiation is delivered live in the protocol
+// simulators (internal/gossip, internal/tokenmodel, ...).
+package attack
+
+import (
+	"fmt"
+
+	"lotuseater/internal/simrng"
+)
+
+// Kind enumerates the attacks evaluated in the paper.
+type Kind int
+
+const (
+	// None disables the attacker; attacker nodes behave honestly.
+	None Kind = iota + 1
+	// Crash is the baseline of Figure 1: attacker nodes simply provide no
+	// service (crashed, or Byzantine nodes that initiate but never complete
+	// exchanges).
+	Crash
+	// Ideal is the ideal lotus-eater attack: attacker nodes instantly
+	// forward every update they receive from the broadcaster to all
+	// satiated nodes, outside the protocol, and never trade.
+	Ideal
+	// Trade is the trade lotus-eater attack: attacker nodes interact only
+	// through protocol-dictated exchanges, but give satiated partners every
+	// update they have while giving isolated partners nothing.
+	Trade
+)
+
+// String returns the attack name used in figures and CLI flags.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Crash:
+		return "crash"
+	case Ideal:
+		return "ideal"
+	case Trade:
+		return "trade"
+	default:
+		return fmt.Sprintf("attack.Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps a CLI name to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "none":
+		return None, nil
+	case "crash":
+		return Crash, nil
+	case "ideal":
+		return Ideal, nil
+	case "trade":
+		return Trade, nil
+	default:
+		return 0, fmt.Errorf("attack: unknown kind %q (want none|crash|ideal|trade)", s)
+	}
+}
+
+// PlaceAttackers selects round(fraction*n) attacker node ids uniformly at
+// random. The paper's x-axis, "fraction of nodes controlled by attacker",
+// sweeps this fraction.
+func PlaceAttackers(n int, fraction float64, rng *simrng.Source) []int {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	k := int(fraction*float64(n) + 0.5)
+	if k > n {
+		k = n
+	}
+	return rng.SampleInts(n, k)
+}
+
+// Targeter decides, per round, which nodes the attacker attempts to satiate.
+// The returned slice is indexed by node id; implementations must treat it as
+// immutable once returned for a round.
+type Targeter interface {
+	// Satiated returns the satiation targets for the given round. Attacker
+	// nodes themselves are always included: they are "satiated" by
+	// definition (they serve the attacker, not themselves).
+	Satiated(round int) []bool
+}
+
+// StaticTargeter satiates a fixed set: the attacker's own nodes plus enough
+// pseudorandomly chosen honest nodes to reach the target fraction. This is
+// the paper's primary configuration, with the target fraction fixed at 70%.
+type StaticTargeter struct {
+	targets []bool
+}
+
+var _ Targeter = (*StaticTargeter)(nil)
+
+// NewStaticTargeter builds the static satiation set: all attacker nodes plus
+// pseudorandom honest nodes up to round(fraction*n). If the attacker
+// controls more than fraction*n nodes already, only attacker nodes are
+// targeted.
+func NewStaticTargeter(n int, attackers []int, fraction float64, rng *simrng.Source) *StaticTargeter {
+	return &StaticTargeter{targets: selectTargets(n, attackers, fraction, rng)}
+}
+
+// Satiated implements Targeter.
+func (t *StaticTargeter) Satiated(int) []bool { return t.targets }
+
+// RotatingTargeter re-draws the satiated set every period rounds, always
+// keeping attacker nodes in it. Section 2 observes that rotating targets can
+// make the service intermittently unusable for every node.
+type RotatingTargeter struct {
+	n         int
+	attackers []int
+	fraction  float64
+	period    int
+	rng       *simrng.Source
+
+	epoch   int
+	targets []bool
+}
+
+var _ Targeter = (*RotatingTargeter)(nil)
+
+// NewRotatingTargeter returns a targeter that re-selects targets every
+// period rounds (period < 1 is treated as 1).
+func NewRotatingTargeter(n int, attackers []int, fraction float64, period int, rng *simrng.Source) *RotatingTargeter {
+	if period < 1 {
+		period = 1
+	}
+	att := make([]int, len(attackers))
+	copy(att, attackers)
+	return &RotatingTargeter{
+		n:         n,
+		attackers: att,
+		fraction:  fraction,
+		period:    period,
+		rng:       rng,
+		epoch:     -1,
+	}
+}
+
+// Satiated implements Targeter. Calls must be made with non-decreasing
+// rounds (the simulation drives time forward).
+func (t *RotatingTargeter) Satiated(round int) []bool {
+	epoch := round / t.period
+	if epoch != t.epoch || t.targets == nil {
+		t.epoch = epoch
+		t.targets = selectTargets(t.n, t.attackers, t.fraction, t.rng.ChildN("epoch", epoch))
+	}
+	return t.targets
+}
+
+// ListTargeter satiates an explicit node list; used for targeted attacks
+// such as satiating a grid cut or a rare-resource holder.
+type ListTargeter struct {
+	targets []bool
+}
+
+var _ Targeter = (*ListTargeter)(nil)
+
+// NewListTargeter marks exactly the given node ids as targets.
+func NewListTargeter(n int, nodes []int) *ListTargeter {
+	targets := make([]bool, n)
+	for _, v := range nodes {
+		if v >= 0 && v < n {
+			targets[v] = true
+		}
+	}
+	return &ListTargeter{targets: targets}
+}
+
+// Satiated implements Targeter.
+func (t *ListTargeter) Satiated(int) []bool { return t.targets }
+
+func selectTargets(n int, attackers []int, fraction float64, rng *simrng.Source) []bool {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	targets := make([]bool, n)
+	for _, a := range attackers {
+		if a >= 0 && a < n {
+			targets[a] = true
+		}
+	}
+	want := int(fraction*float64(n) + 0.5)
+	have := 0
+	for _, t := range targets {
+		if t {
+			have++
+		}
+	}
+	if want <= have {
+		return targets
+	}
+	// Pick the remaining targets among honest nodes, uniformly.
+	honest := make([]int, 0, n-have)
+	for v := 0; v < n; v++ {
+		if !targets[v] {
+			honest = append(honest, v)
+		}
+	}
+	for _, idx := range rng.SampleInts(len(honest), want-have) {
+		targets[honest[idx]] = true
+	}
+	return targets
+}
+
+// Count returns the number of true entries; a convenience for tests and
+// reporting.
+func Count(targets []bool) int {
+	n := 0
+	for _, t := range targets {
+		if t {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+// Package bitset provides a compact fixed-capacity bit set used by the
+// piece- and token-collecting simulators.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set over [0, Cap). The zero value is unusable;
+// create Sets with New.
+type Set struct {
+	words []uint64
+	n     int
+	count int
+}
+
+// New returns an empty set with capacity n. It panics if n < 0.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity the set was created with.
+func (s *Set) Cap() int { return s.n }
+
+// Len returns the number of set bits.
+func (s *Set) Len() int { return s.count }
+
+// Full reports whether every bit in [0, Cap) is set.
+func (s *Set) Full() bool { return s.count == s.n }
+
+// Has reports whether bit i is set. Out-of-range bits read as false.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/64]&(1<<(i%64)) != 0
+}
+
+// Add sets bit i and reports whether it was newly set. It panics for
+// out-of-range i.
+func (s *Set) Add(i int) bool {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	w, m := i/64, uint64(1)<<(i%64)
+	if s.words[w]&m != 0 {
+		return false
+	}
+	s.words[w] |= m
+	s.count++
+	return true
+}
+
+// Remove clears bit i and reports whether it was set. It panics for
+// out-of-range i.
+func (s *Set) Remove(i int) bool {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	w, m := i/64, uint64(1)<<(i%64)
+	if s.words[w]&m == 0 {
+		return false
+	}
+	s.words[w] &^= m
+	s.count--
+	return true
+}
+
+// UnionWith merges other into s and returns how many bits were newly set.
+// It panics if capacities differ.
+func (s *Set) UnionWith(other *Set) int {
+	if other.n != s.n {
+		panic("bitset: capacity mismatch")
+	}
+	added := 0
+	for i, w := range other.words {
+		nw := s.words[i] | w
+		added += bits.OnesCount64(nw) - bits.OnesCount64(s.words[i])
+		s.words[i] = nw
+	}
+	s.count += added
+	return added
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	out := &Set{words: make([]uint64, len(s.words)), n: s.n, count: s.count}
+	copy(out.words, s.words)
+	return out
+}
+
+// Fill sets every bit in [0, Cap).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if rem := s.n % 64; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (1 << rem) - 1
+	}
+	s.count = s.n
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Missing returns the clear bits in ascending order.
+func (s *Set) Missing() []int {
+	out := make([]int, 0, s.n-s.count)
+	for i := 0; i < s.n; i++ {
+		if !s.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Len() != 0 {
+		t.Fatalf("new set has Len %d", s.Len())
+	}
+	if s.Cap() != 100 {
+		t.Fatalf("Cap = %d, want 100", s.Cap())
+	}
+	if s.Full() {
+		t.Fatal("empty set reports Full")
+	}
+	for i := 0; i < 100; i++ {
+		if s.Has(i) {
+			t.Fatalf("empty set Has(%d)", i)
+		}
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	s := New(0)
+	if !s.Full() {
+		t.Fatal("zero-capacity set should be vacuously full")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddRemove(t *testing.T) {
+	s := New(130) // cross word boundaries
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if !s.Add(i) {
+			t.Fatalf("Add(%d) reported already present", i)
+		}
+		if s.Add(i) {
+			t.Fatalf("second Add(%d) reported newly added", i)
+		}
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) false after Add", i)
+		}
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	if !s.Remove(64) {
+		t.Fatal("Remove(64) reported absent")
+	}
+	if s.Remove(64) {
+		t.Fatal("second Remove(64) reported present")
+	}
+	if s.Len() != 7 {
+		t.Fatalf("Len = %d after remove, want 7", s.Len())
+	}
+}
+
+func TestHasOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Has(-1) || s.Has(10) || s.Has(1000) {
+		t.Fatal("out-of-range Has returned true")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(10) on cap-10 set did not panic")
+		}
+	}()
+	New(10).Add(10)
+}
+
+func TestFill(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 130} {
+		s := New(n)
+		s.Fill()
+		if !s.Full() {
+			t.Fatalf("cap %d: not Full after Fill", n)
+		}
+		if s.Len() != n {
+			t.Fatalf("cap %d: Len = %d after Fill", n, s.Len())
+		}
+		// The word padding must not leak phantom bits.
+		count := 0
+		s.ForEach(func(int) { count++ })
+		if count != n {
+			t.Fatalf("cap %d: ForEach visited %d bits", n, count)
+		}
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Add(1)
+	a.Add(70)
+	b.Add(70)
+	b.Add(99)
+	added := a.UnionWith(b)
+	if added != 1 {
+		t.Fatalf("UnionWith added %d, want 1", added)
+	}
+	for _, i := range []int{1, 70, 99} {
+		if !a.Has(i) {
+			t.Fatalf("union missing %d", i)
+		}
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+}
+
+func TestUnionWithMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity mismatch did not panic")
+		}
+	}()
+	New(10).UnionWith(New(11))
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(50)
+	a.Add(7)
+	b := a.Clone()
+	b.Add(8)
+	if a.Has(8) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !b.Has(7) {
+		t.Fatal("clone lost bit 7")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 150, 199}
+	for _, v := range want {
+		s.Add(v)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visited %v, want %v (ascending)", got, want)
+		}
+	}
+}
+
+func TestMissing(t *testing.T) {
+	s := New(5)
+	s.Add(1)
+	s.Add(3)
+	got := s.Missing()
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Missing = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Missing = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestLenMatchesCount is the core bookkeeping invariant: Len always equals
+// the number of set bits, through any sequence of operations.
+func TestLenMatchesCount(t *testing.T) {
+	err := quick.Check(func(ops []uint16) bool {
+		const n = 97
+		s := New(n)
+		ref := make(map[int]bool)
+		for _, op := range ops {
+			i := int(op) % n
+			switch (op / 97) % 3 {
+			case 0:
+				s.Add(i)
+				ref[i] = true
+			case 1:
+				s.Remove(i)
+				delete(ref, i)
+			case 2:
+				if s.Has(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		count := 0
+		s.ForEach(func(int) { count++ })
+		return count == len(ref)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnionIsIdempotentAndMonotone checks union properties on random sets.
+func TestUnionIsIdempotentAndMonotone(t *testing.T) {
+	err := quick.Check(func(aBits, bBits []uint16) bool {
+		const n = 120
+		a := New(n)
+		b := New(n)
+		for _, v := range aBits {
+			a.Add(int(v) % n)
+		}
+		for _, v := range bBits {
+			b.Add(int(v) % n)
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		// Monotone: u contains both.
+		ok := true
+		a.ForEach(func(i int) {
+			if !u.Has(i) {
+				ok = false
+			}
+		})
+		b.ForEach(func(i int) {
+			if !u.Has(i) {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+		// Idempotent: second union adds nothing.
+		return u.UnionWith(b) == 0
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

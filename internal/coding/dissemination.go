@@ -1,0 +1,310 @@
+package coding
+
+import (
+	"errors"
+	"fmt"
+
+	"lotuseater/internal/attack"
+	"lotuseater/internal/bitset"
+	"lotuseater/internal/graph"
+	"lotuseater/internal/simrng"
+)
+
+// DisseminationConfig parameterizes the coded-vs-plain gossip comparison of
+// experiment E6. The setting mirrors the token model's rare-token attack:
+// each node starts with one unit of information, nodes gossip with up to
+// Contacts random neighbors per round, satiated nodes stop serving, and the
+// attacker instantly satiates its targets each round. The only difference
+// between the two modes is what a "unit of information" is:
+//
+//   - plain (Coded=false): node v starts with source symbol Allocation[v];
+//     transfers move whole symbols; satiation = holding all K symbols.
+//   - coded (Coded=true): node v starts with one random linear combination
+//     of all K symbols; transfers move fresh recodings of the sender's
+//     span; satiation = rank K.
+type DisseminationConfig struct {
+	// Graph is the communication graph.
+	Graph *graph.Graph
+	// Symbols is K, the number of source symbols.
+	Symbols int
+	// PayloadSize is the symbol payload in bytes.
+	PayloadSize int
+	// Contacts is the per-round contact budget.
+	Contacts int
+	// Rounds is the horizon.
+	Rounds int
+	// Coded selects RLNC mode.
+	Coded bool
+	// Allocation maps node -> initial source symbol (plain mode only).
+	// Nil means node v starts with symbol v mod Symbols.
+	Allocation []int
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c DisseminationConfig) Validate() error {
+	switch {
+	case c.Graph == nil:
+		return errors.New("coding: nil graph")
+	case c.Symbols < 1:
+		return fmt.Errorf("coding: Symbols must be positive, got %d", c.Symbols)
+	case c.PayloadSize < 1:
+		return fmt.Errorf("coding: PayloadSize must be positive, got %d", c.PayloadSize)
+	case c.Contacts < 0:
+		return fmt.Errorf("coding: Contacts must be non-negative, got %d", c.Contacts)
+	case c.Rounds < 1:
+		return fmt.Errorf("coding: Rounds must be positive, got %d", c.Rounds)
+	case c.Allocation != nil && len(c.Allocation) != c.Graph.N():
+		return fmt.Errorf("coding: Allocation has %d entries for %d nodes", len(c.Allocation), c.Graph.N())
+	}
+	return nil
+}
+
+// DisseminationResult summarizes a run.
+type DisseminationResult struct {
+	// CompletedFraction is the fraction of nodes able to reconstruct all
+	// information at the horizon.
+	CompletedFraction float64
+	// MeanProgress is the average normalized progress (symbols held or
+	// rank, divided by K) at the horizon.
+	MeanProgress float64
+	// AllCompleteRound is the first round after which every node could
+	// reconstruct, or -1.
+	AllCompleteRound int
+	// DecodeVerified is true when, in coded mode, a completed node's
+	// decoded symbols were checked against the originals.
+	DecodeVerified bool
+}
+
+// Dissemination is the E6 simulator.
+type Dissemination struct {
+	cfg      DisseminationConfig
+	rng      *simrng.Source
+	targeter attack.Targeter
+
+	enc     *Encoder
+	decs    []*Decoder    // coded mode
+	plain   []*bitset.Set // plain mode
+	sources [][]byte
+
+	round int
+	res   DisseminationResult
+}
+
+// NewDissemination builds the simulator; deterministic in (cfg, seed).
+// The targeter, when non-nil, names the nodes the attacker satiates at the
+// start of every round.
+func NewDissemination(cfg DisseminationConfig, seed uint64, targeter attack.Targeter) (*Dissemination, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dissemination{
+		cfg:      cfg,
+		rng:      simrng.New(seed),
+		targeter: targeter,
+	}
+	// Source symbols with recognizable deterministic payloads.
+	d.sources = make([][]byte, cfg.Symbols)
+	srcRNG := d.rng.Child("sources")
+	for i := range d.sources {
+		buf := make([]byte, cfg.PayloadSize)
+		for j := range buf {
+			buf[j] = byte(srcRNG.IntN(256))
+		}
+		d.sources[i] = buf
+	}
+	enc, err := NewEncoder(d.sources)
+	if err != nil {
+		return nil, err
+	}
+	d.enc = enc
+
+	n := cfg.Graph.N()
+	if cfg.Coded {
+		d.decs = make([]*Decoder, n)
+		initRNG := d.rng.Child("init")
+		for v := 0; v < n; v++ {
+			dec, err := NewDecoder(cfg.Symbols, cfg.PayloadSize)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := dec.Add(enc.Encode(initRNG)); err != nil {
+				return nil, err
+			}
+			d.decs[v] = dec
+		}
+	} else {
+		d.plain = make([]*bitset.Set, n)
+		for v := 0; v < n; v++ {
+			d.plain[v] = bitset.New(cfg.Symbols)
+			tok := v % cfg.Symbols
+			if cfg.Allocation != nil {
+				tok = cfg.Allocation[v]
+			}
+			if tok < 0 || tok >= cfg.Symbols {
+				return nil, fmt.Errorf("coding: Allocation[%d] = %d out of range", v, tok)
+			}
+			d.plain[v].Add(tok)
+		}
+	}
+	return d, nil
+}
+
+func (d *Dissemination) progress(v int) int {
+	if d.cfg.Coded {
+		return d.decs[v].Rank()
+	}
+	return d.plain[v].Len()
+}
+
+func (d *Dissemination) satiated(v int) bool { return d.progress(v) >= d.cfg.Symbols }
+
+// Progress returns node v's normalized progress in [0, 1].
+func (d *Dissemination) Progress(v int) float64 {
+	return float64(d.progress(v)) / float64(d.cfg.Symbols)
+}
+
+// Run simulates the horizon.
+func (d *Dissemination) Run() (DisseminationResult, error) {
+	n := d.cfg.Graph.N()
+	d.res.AllCompleteRound = -1
+	for d.round = 0; d.round < d.cfg.Rounds; d.round++ {
+		if err := d.step(); err != nil {
+			return DisseminationResult{}, err
+		}
+		if d.res.AllCompleteRound == -1 {
+			all := true
+			for v := 0; v < n; v++ {
+				if !d.satiated(v) {
+					all = false
+					break
+				}
+			}
+			if all {
+				d.res.AllCompleteRound = d.round
+			}
+		}
+	}
+	return d.finish()
+}
+
+func (d *Dissemination) step() error {
+	n := d.cfg.Graph.N()
+	// 1. Attacker satiation: targets get the full information for free.
+	if d.targeter != nil {
+		targets := d.targeter.Satiated(d.round)
+		if len(targets) != n {
+			return fmt.Errorf("coding: targeter returned %d entries for %d nodes", len(targets), n)
+		}
+		for v := 0; v < n; v++ {
+			if !targets[v] || d.satiated(v) {
+				continue
+			}
+			if d.cfg.Coded {
+				for i := 0; i < d.cfg.Symbols; i++ {
+					if _, err := d.decs[v].Add(d.enc.Unit(i)); err != nil {
+						return err
+					}
+				}
+			} else {
+				d.plain[v].Fill()
+			}
+		}
+	}
+
+	// 2. Gossip: unsatiated nodes contact up to c random neighbors;
+	// satiated partners do not respond (a = 0 — the worst case the coding
+	// defense must survive). Transfers read start-of-round state.
+	rng := d.rng.ChildN("round", d.round)
+	sat := make([]bool, n)
+	for v := 0; v < n; v++ {
+		sat[v] = d.satiated(v)
+	}
+	type transfer struct {
+		to  int
+		pkt Packet // coded mode
+		sym int    // plain mode
+	}
+	var transfers []transfer
+	for v := 0; v < n; v++ {
+		if sat[v] {
+			continue
+		}
+		nb := d.cfg.Graph.Neighbors(v)
+		if len(nb) == 0 {
+			continue
+		}
+		c := min(d.cfg.Contacts, len(nb))
+		for _, idx := range rng.SampleInts(len(nb), c) {
+			p := nb[idx]
+			if sat[p] {
+				continue
+			}
+			// Bidirectional single-unit exchange.
+			for _, dir := range [2][2]int{{p, v}, {v, p}} {
+				src, dst := dir[0], dir[1]
+				if d.cfg.Coded {
+					if pkt, ok := d.decs[src].Recode(rng); ok {
+						transfers = append(transfers, transfer{to: dst, pkt: pkt})
+					}
+				} else {
+					// Send one symbol the receiver lacks, chosen at random.
+					var cands []int
+					d.plain[src].ForEach(func(s int) {
+						if !d.plain[dst].Has(s) {
+							cands = append(cands, s)
+						}
+					})
+					if len(cands) > 0 {
+						transfers = append(transfers, transfer{to: dst, sym: cands[rng.IntN(len(cands))]})
+					}
+				}
+			}
+		}
+	}
+	for _, t := range transfers {
+		if d.cfg.Coded {
+			if _, err := d.decs[t.to].Add(t.pkt); err != nil {
+				return err
+			}
+		} else {
+			d.plain[t.to].Add(t.sym)
+		}
+	}
+	return nil
+}
+
+func (d *Dissemination) finish() (DisseminationResult, error) {
+	n := d.cfg.Graph.N()
+	res := d.res
+	done := 0
+	sum := 0.0
+	firstDone := -1
+	for v := 0; v < n; v++ {
+		if d.satiated(v) {
+			done++
+			if firstDone == -1 {
+				firstDone = v
+			}
+		}
+		sum += d.Progress(v)
+	}
+	res.CompletedFraction = float64(done) / float64(n)
+	res.MeanProgress = sum / float64(n)
+
+	// In coded mode, verify an actual reconstruction against the sources.
+	if d.cfg.Coded && firstDone >= 0 {
+		decoded, err := d.decs[firstDone].Decode()
+		if err != nil {
+			return DisseminationResult{}, fmt.Errorf("coding: node %d claims completion but cannot decode: %w", firstDone, err)
+		}
+		for i := range decoded {
+			for j := range decoded[i] {
+				if decoded[i][j] != d.sources[i][j] {
+					return DisseminationResult{}, fmt.Errorf("coding: node %d decoded symbol %d incorrectly", firstDone, i)
+				}
+			}
+		}
+		res.DecodeVerified = true
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+// Package coding implements random linear network coding over GF(2^8), the
+// Avalanche-style defense of Section 4: "use ideas from network coding ...
+// to change the requirements so that nodes need to collect only enough
+// independent tokens to reconstruct the full information rather than the
+// complete set of tokens."
+//
+// With coding, no individual token can be rare — every coded packet carries
+// information about all source symbols — so the rare-token lotus-eater
+// attack (satiate the sole holder of a needed token) loses its leverage.
+package coding
+
+// gf256 arithmetic uses the conventional Reed-Solomon polynomial x^8 + x^4 +
+// x^3 + x^2 + 1 (0x11d) with log/antilog tables.
+const gfPoly = 0x11d
+
+type gfTables struct {
+	exp [512]byte // doubled to skip a mod in Mul
+	log [256]byte
+}
+
+// tables is package state, but immutable after construction: it is built by
+// a pure function at package initialization and only ever read afterwards.
+var tables = buildTables()
+
+func buildTables() *gfTables {
+	t := &gfTables{}
+	x := 1
+	for i := 0; i < 255; i++ {
+		t.exp[i] = byte(x)
+		t.log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		t.exp[i] = t.exp[i-255]
+	}
+	return t
+}
+
+// Add returns a + b in GF(2^8) (XOR; identical to subtraction).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return tables.exp[int(tables.log[a])+int(tables.log[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics on a = 0, which
+// has no inverse.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("coding: zero has no inverse in GF(2^8)")
+	}
+	return tables.exp[255-int(tables.log[a])]
+}
+
+// Div returns a / b. It panics on b = 0.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("coding: division by zero in GF(2^8)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return tables.exp[int(tables.log[a])+255-int(tables.log[b])]
+}
+
+// mulSlice computes dst[i] ^= c * src[i] for all i — the AXPY kernel of
+// Gaussian elimination and recoding.
+func mulSlice(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := range dst {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	logC := int(tables.log[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= tables.exp[logC+int(tables.log[s])]
+		}
+	}
+}
+
+// scaleSlice computes v[i] *= c in place.
+func scaleSlice(v []byte, c byte) {
+	if c == 1 {
+		return
+	}
+	if c == 0 {
+		for i := range v {
+			v[i] = 0
+		}
+		return
+	}
+	logC := int(tables.log[c])
+	for i, s := range v {
+		if s != 0 {
+			v[i] = tables.exp[logC+int(tables.log[s])]
+		}
+	}
+}

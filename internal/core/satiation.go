@@ -1,0 +1,135 @@
+// Package core makes the paper's conceptual contribution executable: the
+// definitions of satiation and satiation-compatibility (Section 3), the
+// lotus-eater attacker abstraction, and Observation 3.1 as a runnable
+// harness.
+//
+// The paper models a node's state as, in part, a set of labeled tokens, and
+// defines a monotone satiation function sat(i, t, T') that is true when node
+// i needs no more tokens at time t given that it holds T'. A protocol is
+// *satiation-compatible* when nodes in a satiated state provide no service.
+// Observation 3.1 then states: under a satiation-compatible protocol, an
+// attacker that provides tokens sufficiently rapidly prevents a node from
+// ever providing service.
+package core
+
+import (
+	"fmt"
+)
+
+// Token is a labeled token from the paper's token set T. Tokens are opaque
+// identifiers; subsystems map their own units (gossip updates, file pieces,
+// scrip satiation states, coded packets) onto them.
+type Token uint64
+
+// TokenSet is a set of tokens held by a node.
+type TokenSet map[Token]struct{}
+
+// NewTokenSet returns a set holding the given tokens.
+func NewTokenSet(tokens ...Token) TokenSet {
+	s := make(TokenSet, len(tokens))
+	for _, t := range tokens {
+		s[t] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s TokenSet) Has(t Token) bool {
+	_, ok := s[t]
+	return ok
+}
+
+// Add inserts t and reports whether it was newly added.
+func (s TokenSet) Add(t Token) bool {
+	if s.Has(t) {
+		return false
+	}
+	s[t] = struct{}{}
+	return true
+}
+
+// Union adds all tokens of other into s and returns the number added.
+func (s TokenSet) Union(other TokenSet) int {
+	added := 0
+	for t := range other {
+		if s.Add(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Clone returns an independent copy.
+func (s TokenSet) Clone() TokenSet {
+	out := make(TokenSet, len(s))
+	for t := range s {
+		out[t] = struct{}{}
+	}
+	return out
+}
+
+// Len returns the cardinality of the set.
+func (s TokenSet) Len() int { return len(s) }
+
+// ContainsAll reports whether s is a superset of other.
+func (s TokenSet) ContainsAll(other TokenSet) bool {
+	for t := range other {
+		if !s.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Satiation is the paper's sat function restricted to a single node: it maps
+// a time and a held token set to whether the node needs nothing more. A
+// Satiation must be monotone in the token set — gaining tokens can only move
+// a node toward satiation — and implementations should also be monotone in
+// time for fixed tokens only if the underlying need expires.
+type Satiation func(time int, held TokenSet) bool
+
+// CompleteSetSatiation returns the sat function of the paper's simple model:
+// a node is satiated iff it holds every token in universe (sat(i,t,T') ⇔
+// T' = T).
+func CompleteSetSatiation(universe TokenSet) Satiation {
+	target := universe.Clone()
+	return func(_ int, held TokenSet) bool {
+		return held.ContainsAll(target)
+	}
+}
+
+// ThresholdSatiation returns a sat function that is true once the node holds
+// at least k tokens. This models scrip-like systems where any k "units"
+// satiate (the set of relevant tokens is effectively changed, Section 4).
+func ThresholdSatiation(k int) Satiation {
+	return func(_ int, held TokenSet) bool {
+		return held.Len() >= k
+	}
+}
+
+// RankSatiation returns a sat function over coded tokens: the node is
+// satiated once rank(held) — as computed by rankFn — reaches k. Used by the
+// network-coding defense, where any k independent combinations suffice.
+func RankSatiation(k int, rankFn func(TokenSet) int) Satiation {
+	return func(_ int, held TokenSet) bool {
+		return rankFn(held) >= k
+	}
+}
+
+// CheckMonotone exercises sat on a chain of growing token sets and returns
+// an error if satiation ever flips from true back to false as tokens are
+// added — a violation of the paper's monotonicity requirement.
+func CheckMonotone(sat Satiation, time int, chain []TokenSet) error {
+	was := false
+	for i, held := range chain {
+		if i > 0 && !held.ContainsAll(chain[i-1]) {
+			return fmt.Errorf("core: chain element %d is not a superset of element %d", i, i-1)
+		}
+		is := sat(time, held)
+		if was && !is {
+			return fmt.Errorf("core: satiation not monotone: satiated with %d tokens, unsatiated with %d", chain[i-1].Len(), held.Len())
+		}
+		was = is
+	}
+	return nil
+}

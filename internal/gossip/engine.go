@@ -1,0 +1,516 @@
+package gossip
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lotuseater/internal/attack"
+	"lotuseater/internal/defense"
+	"lotuseater/internal/sign"
+	"lotuseater/internal/simrng"
+)
+
+// Engine runs one BAR Gossip simulation. Create it with New and drive it
+// with Run (whole horizon) or Step (one round). An Engine is not safe for
+// concurrent use; run one Engine per goroutine (see internal/sweep).
+type Engine struct {
+	cfg      Config
+	rng      *simrng.Source
+	pseed    sign.PartnerSeed
+	targeter attack.Targeter
+
+	keyring *sign.Keyring
+	board   *defense.Board
+	limiter *defense.RateLimiter
+
+	roles      []Role
+	attackers  []int
+	isAttacker []bool
+	evicted    []bool
+
+	round          int
+	live           []*liveUpdate
+	targetsByRound [][]bool
+
+	measStart, measEnd int // inclusive release-round measurement window
+
+	measuredUpdates  int
+	delivered, total []int // per node, over all measured updates
+	deliveredIso     []int // per node, over updates released while isolated
+	totalIso         []int
+	deliveredSat     []int
+	totalSat         []int
+	perRoundHonest   []float64
+	perRoundIsolated []float64
+	nodeRound        [][]int // [node][release round] delivered count
+
+	usefulSent   atomic.Int64
+	junkSent     atomic.Int64
+	attackerSent atomic.Int64
+
+	parallel bool
+}
+
+// Option customizes an Engine.
+type Option func(*Engine)
+
+// WithTargeter overrides the satiation targeter derived from the Config.
+// Use attack.ListTargeter for targeted attacks (grid cuts, rare resources).
+func WithTargeter(t attack.Targeter) Option {
+	return func(e *Engine) { e.targeter = t }
+}
+
+// WithParallel enables the batched concurrent exchange executor. Results
+// are bit-identical to the default sequential executor (the equivalence is
+// tested), but for Table 1-sized systems the sequential path is faster:
+// individual exchanges are microseconds of work and share update holder
+// arrays, so intra-round parallelism buys mostly cache-line contention.
+// Parallelism pays off at the sweep level instead (internal/sweep runs
+// whole simulations concurrently). The option remains for very large
+// configurations where per-round work dominates.
+func WithParallel() Option {
+	return func(e *Engine) { e.parallel = true }
+}
+
+// WithSequential forces single-threaded exchange execution; it is the
+// default and exists for explicit equivalence tests.
+func WithSequential() Option {
+	return func(e *Engine) { e.parallel = false }
+}
+
+// New builds an Engine for cfg, deterministic in (cfg, seed).
+func New(cfg Config, seed uint64, opts ...Option) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg: cfg,
+		rng: simrng.New(seed),
+	}
+	n := cfg.Nodes
+	e.pseed = sign.PartnerSeed(e.rng.Child("partner-seed").Uint64())
+
+	// Roles: place attackers, then obedient nodes among the rest.
+	e.roles = make([]Role, n)
+	for i := range e.roles {
+		e.roles[i] = RoleHonest
+	}
+	e.isAttacker = make([]bool, n)
+	if cfg.Attack != attack.None && cfg.AttackerFraction > 0 {
+		e.attackers = attack.PlaceAttackers(n, cfg.AttackerFraction, e.rng.Child("placement"))
+		for _, a := range e.attackers {
+			e.roles[a] = RoleAttacker
+			e.isAttacker[a] = true
+		}
+	}
+	if cfg.ObedientFraction > 0 {
+		honest := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			if !e.isAttacker[v] {
+				honest = append(honest, v)
+			}
+		}
+		k := int(cfg.ObedientFraction*float64(len(honest)) + 0.5)
+		for _, idx := range e.rng.Child("obedient").SampleInts(len(honest), k) {
+			e.roles[honest[idx]] = RoleObedient
+		}
+	}
+
+	e.evicted = make([]bool, n)
+	e.delivered = make([]int, n)
+	e.total = make([]int, n)
+	e.deliveredIso = make([]int, n)
+	e.totalIso = make([]int, n)
+	e.deliveredSat = make([]int, n)
+	e.totalSat = make([]int, n)
+	e.perRoundHonest = make([]float64, cfg.Rounds)
+	e.perRoundIsolated = make([]float64, cfg.Rounds)
+	for i := range e.perRoundHonest {
+		e.perRoundHonest[i] = -1
+		e.perRoundIsolated[i] = -1
+	}
+	e.targetsByRound = make([][]bool, cfg.Rounds)
+	if cfg.TrackPerNode {
+		e.nodeRound = make([][]int, n)
+		for v := range e.nodeRound {
+			e.nodeRound[v] = make([]int, cfg.Rounds)
+		}
+	}
+
+	e.measStart = cfg.Warmup
+	e.measEnd = cfg.Rounds - cfg.Lifetime
+	if e.measEnd < e.measStart {
+		return nil, fmt.Errorf("gossip: horizon too short: no update both released after warmup (%d) and expiring before round %d", cfg.Warmup, cfg.Rounds)
+	}
+
+	// Defenses.
+	if cfg.RateLimitPerPeer > 0 {
+		e.limiter = defense.NewRateLimiter(cfg.RateLimitPerPeer)
+	}
+	if cfg.ReportThreshold > 0 {
+		kr, err := sign.NewKeyring(n, e.rng.Child("keys"))
+		if err != nil {
+			return nil, fmt.Errorf("gossip: keyring: %w", err)
+		}
+		e.keyring = kr
+		board, err := defense.NewBoard(kr, cfg.ReportThreshold, cfg.EvictAfterReports)
+		if err != nil {
+			return nil, fmt.Errorf("gossip: board: %w", err)
+		}
+		e.board = board
+	}
+
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.targeter == nil {
+		e.targeter = defaultTargeter(cfg, e.attackers, e.rng.Child("targets"))
+	}
+	return e, nil
+}
+
+func defaultTargeter(cfg Config, attackers []int, rng *simrng.Source) attack.Targeter {
+	switch cfg.Attack {
+	case attack.Ideal, attack.Trade:
+		if cfg.RotatePeriod > 0 {
+			return attack.NewRotatingTargeter(cfg.Nodes, attackers, cfg.SatiateFraction, cfg.RotatePeriod, rng)
+		}
+		return attack.NewStaticTargeter(cfg.Nodes, attackers, cfg.SatiateFraction, rng)
+	default:
+		// Crash attackers and the no-attack baseline satiate nobody; the
+		// target set is just the attacker nodes themselves so every honest
+		// node counts as isolated.
+		return attack.NewListTargeter(cfg.Nodes, attackers)
+	}
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Round returns the next round to be simulated.
+func (e *Engine) Round() int { return e.round }
+
+// Roles returns a copy of the per-node roles.
+func (e *Engine) Roles() []Role {
+	out := make([]Role, len(e.roles))
+	copy(out, e.roles)
+	return out
+}
+
+// Run simulates the full horizon and returns the result.
+func (e *Engine) Run() (Result, error) {
+	for e.round < e.cfg.Rounds {
+		if err := e.Step(); err != nil {
+			return Result{}, err
+		}
+	}
+	return e.result(), nil
+}
+
+// Step simulates one round: broadcast seeding, the ideal attacker's instant
+// forwarding, the balanced-exchange phase, the optimistic-push phase,
+// defense bookkeeping, and expiry accounting.
+func (e *Engine) Step() error {
+	if e.round >= e.cfg.Rounds {
+		return fmt.Errorf("gossip: horizon of %d rounds exhausted", e.cfg.Rounds)
+	}
+	targets := e.targeter.Satiated(e.round)
+	if len(targets) != e.cfg.Nodes {
+		return fmt.Errorf("gossip: targeter returned %d entries for %d nodes", len(targets), e.cfg.Nodes)
+	}
+	e.targetsByRound[e.round] = targets
+
+	e.seedUpdates()
+	if e.cfg.Attack == attack.Ideal {
+		e.idealDeliver()
+	}
+
+	e.runPhase("balanced", e.planBalanced(), e.execBalanced)
+	if e.cfg.PushSize > 0 {
+		e.runPhase("push", e.planPush(), e.execPush)
+	}
+
+	e.applyEvictions()
+	e.retireExpired()
+	e.round++
+	return nil
+}
+
+// seedUpdates releases this round's updates to random nodes, per Table 1.
+func (e *Engine) seedUpdates() {
+	rng := e.rng.ChildN("seed", e.round)
+	for k := 0; k < e.cfg.UpdatesPerRound; k++ {
+		u := &liveUpdate{
+			id:       UpdateID{Round: e.round, Index: k},
+			release:  e.round,
+			deadline: e.round + e.cfg.Lifetime - 1,
+			holders:  make([]bool, e.cfg.Nodes),
+			measured: e.round >= e.measStart && e.round <= e.measEnd,
+		}
+		for _, v := range rng.SampleInts(e.cfg.Nodes, e.cfg.CopiesSeeded) {
+			u.holders[v] = true
+			if e.isAttacker[v] && !e.evicted[v] {
+				u.pool = true
+			}
+		}
+		e.live = append(e.live, u)
+	}
+}
+
+// idealDeliver implements the ideal lotus-eater attack: every update seeded
+// to at least one attacker node this round is forwarded instantly to all
+// satiated targets, outside any exchange.
+func (e *Engine) idealDeliver() {
+	targets := e.targetsByRound[e.round]
+	sender := -1
+	if len(e.attackers) > 0 {
+		sender = e.attackers[0]
+	}
+	for _, u := range e.live {
+		if u.release != e.round || !u.pool {
+			continue
+		}
+		for v := 0; v < e.cfg.Nodes; v++ {
+			if !targets[v] || e.isAttacker[v] || u.holders[v] {
+				continue
+			}
+			if e.roles[v] == RoleObedient && e.limiter != nil {
+				if e.limiter.Allow(e.round, sender, v, 1) == 0 {
+					continue
+				}
+			}
+			u.holders[v] = true
+			e.attackerSent.Add(1)
+		}
+	}
+}
+
+// pairing is one planned interaction: initiator contacts partner.
+type pairing struct {
+	initiator int
+	partner   int
+}
+
+// planBalanced decides who initiates a balanced exchange this round and
+// with whom. Rational nodes initiate only when unsatiated; trade attackers
+// always initiate; crash and ideal attackers never do.
+func (e *Engine) planBalanced() []pairing {
+	return e.plan("balanced", func(v int) bool {
+		if e.isAttacker[v] {
+			return e.cfg.Attack == attack.Trade
+		}
+		return e.lacksAnyLive(v, e.round)
+	})
+}
+
+// planPush decides who initiates an optimistic push: rational nodes that
+// are missing old, soon-to-expire updates; trade attackers always.
+func (e *Engine) planPush() []pairing {
+	oldCutoff := e.round - e.cfg.RecentWindow
+	return e.plan("push", func(v int) bool {
+		if e.isAttacker[v] {
+			return e.cfg.Attack == attack.Trade
+		}
+		return e.lacksAnyLive(v, oldCutoff)
+	})
+}
+
+func (e *Engine) plan(label string, initiates func(v int) bool) []pairing {
+	order := e.rng.ChildN("order-"+label, e.round).Perm(e.cfg.Nodes)
+	pairs := make([]pairing, 0, len(order))
+	for _, v := range order {
+		if e.evicted[v] || !initiates(v) {
+			continue
+		}
+		p := sign.Partner(e.pseed, label, e.round, v, e.cfg.Nodes)
+		if e.evicted[p] {
+			continue // the slot is wasted, like contacting a crashed node
+		}
+		pairs = append(pairs, pairing{initiator: v, partner: p})
+	}
+	return pairs
+}
+
+// lacksAnyLive reports whether v is missing any live update released no
+// later than maxRelease. Pass the current round to ask "is v unsatiated?".
+func (e *Engine) lacksAnyLive(v, maxRelease int) bool {
+	for _, u := range e.live {
+		if u.release <= maxRelease && u.deadline >= e.round && !u.holders[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// runPhase executes the planned pairings, preserving plan-order semantics
+// while running node-disjoint exchanges concurrently. Two pairings conflict
+// exactly when they share a node: each exchange reads and writes only its
+// two parties' holder bits. Conflicting pairings run in plan order;
+// node-disjoint pairings commute, so batching is exact, not approximate.
+func (e *Engine) runPhase(_ string, pairs []pairing, exec func(pairing)) {
+	if !e.parallel {
+		for _, p := range pairs {
+			exec(p)
+		}
+		return
+	}
+	remaining := pairs
+	used := make([]bool, e.cfg.Nodes)
+	for len(remaining) > 0 {
+		clear(used)
+		batch := remaining[:0:0]
+		var deferred []pairing
+		for _, p := range remaining {
+			conflict := used[p.initiator] || used[p.partner]
+			// Once a node is blocked, later pairings touching it must also
+			// wait, or plan order among conflicting pairs would invert.
+			used[p.initiator] = true
+			used[p.partner] = true
+			if conflict {
+				deferred = append(deferred, p)
+				continue
+			}
+			batch = append(batch, p)
+		}
+		// Execute the batch across a few worker goroutines. Individual
+		// exchanges are microseconds of work, so chunking matters: one
+		// goroutine per pair would cost more in scheduling than it saves.
+		const pairsPerWorker = 16
+		workers := len(batch) / pairsPerWorker
+		if max := runtime.GOMAXPROCS(0); workers > max {
+			workers = max
+		}
+		if workers <= 1 {
+			for _, p := range batch {
+				exec(p)
+			}
+		} else {
+			var wg sync.WaitGroup
+			chunk := (len(batch) + workers - 1) / workers
+			for start := 0; start < len(batch); start += chunk {
+				end := min(start+chunk, len(batch))
+				wg.Add(1)
+				go func(pairs []pairing) {
+					defer wg.Done()
+					for _, p := range pairs {
+						exec(p)
+					}
+				}(batch[start:end])
+			}
+			wg.Wait()
+		}
+		remaining = deferred
+	}
+}
+
+// applyEvictions makes report-board evictions effective at round end, so
+// eviction timing does not depend on intra-round execution order.
+func (e *Engine) applyEvictions() {
+	if e.board == nil {
+		return
+	}
+	for v := 0; v < e.cfg.Nodes; v++ {
+		if !e.evicted[v] && e.board.Evicted(v) {
+			e.evicted[v] = true
+		}
+	}
+}
+
+// retireExpired removes updates whose deadline has passed and accumulates
+// delivery statistics for measured ones.
+func (e *Engine) retireExpired() {
+	keep := e.live[:0]
+	var (
+		roundDelivered, roundTotal       int
+		roundIsoDelivered, roundIsoTotal int
+	)
+	for _, u := range e.live {
+		if u.deadline > e.round {
+			keep = append(keep, u)
+			continue
+		}
+		if !u.measured {
+			continue
+		}
+		e.measuredUpdates++
+		relTargets := e.targetsByRound[u.release]
+		for v := 0; v < e.cfg.Nodes; v++ {
+			if e.isAttacker[v] {
+				continue
+			}
+			got := u.holders[v]
+			e.total[v]++
+			if got {
+				e.delivered[v]++
+				if e.nodeRound != nil {
+					e.nodeRound[v][u.release]++
+				}
+			}
+			roundTotal++
+			if got {
+				roundDelivered++
+			}
+			if relTargets[v] {
+				e.totalSat[v]++
+				if got {
+					e.deliveredSat[v]++
+				}
+			} else {
+				e.totalIso[v]++
+				roundIsoTotal++
+				if got {
+					e.deliveredIso[v]++
+					roundIsoDelivered++
+				}
+			}
+		}
+		if roundTotal > 0 {
+			e.perRoundHonest[u.release] = float64(roundDelivered) / float64(roundTotal)
+		}
+		if roundIsoTotal > 0 {
+			e.perRoundIsolated[u.release] = float64(roundIsoDelivered) / float64(roundIsoTotal)
+		}
+	}
+	// Drop references so retired updates can be collected.
+	for i := len(keep); i < len(e.live); i++ {
+		e.live[i] = nil
+	}
+	e.live = keep
+}
+
+func (e *Engine) result() Result {
+	res := Result{
+		Cfg:              e.cfg,
+		MeasuredUpdates:  e.measuredUpdates,
+		Isolated:         groupStats(e.deliveredIso, e.totalIso, e.cfg.UsableThreshold),
+		Satiated:         groupStats(e.deliveredSat, e.totalSat, e.cfg.UsableThreshold),
+		AllHonest:        groupStats(e.delivered, e.total, e.cfg.UsableThreshold),
+		PerRoundHonest:   append([]float64(nil), e.perRoundHonest...),
+		PerRoundIsolated: append([]float64(nil), e.perRoundIsolated...),
+		Bandwidth: Bandwidth{
+			UsefulSent:   e.usefulSent.Load(),
+			JunkSent:     e.junkSent.Load(),
+			AttackerSent: e.attackerSent.Load(),
+		},
+	}
+	if e.board != nil {
+		res.Evictions = e.board.EvictedCount()
+	}
+	if e.nodeRound != nil {
+		res.NodeRoundDelivery = make([][]float64, e.cfg.Nodes)
+		for v := range res.NodeRoundDelivery {
+			fractions := make([]float64, e.cfg.Rounds)
+			for r := range fractions {
+				if e.isAttacker[v] || r < e.measStart || r > e.measEnd {
+					fractions[r] = -1
+					continue
+				}
+				fractions[r] = float64(e.nodeRound[v][r]) / float64(e.cfg.UpdatesPerRound)
+			}
+			res.NodeRoundDelivery[v] = fractions
+		}
+	}
+	return res
+}

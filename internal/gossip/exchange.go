@@ -1,0 +1,254 @@
+package gossip
+
+import (
+	"lotuseater/internal/attack"
+	"lotuseater/internal/defense"
+)
+
+// execBalanced performs one balanced exchange between the planned pair.
+//
+// Honest semantics: each side offers what the other lacks; the exchange size
+// is the one-for-one minimum k of the two need counts, plus up to
+// BalanceSlack extra from the side with more to give (Figure 3's obedient
+// variant), provided k >= 1. Updates closest to expiry transfer first.
+//
+// A trade attacker gives a satiated target every update it holds that the
+// target lacks — "more updates than a normal node would" — and keeps the
+// target's one-for-one reciprocation as inventory. It gives isolated nodes
+// nothing.
+func (e *Engine) execBalanced(p pairing) {
+	i, j := p.initiator, p.partner
+	if e.evicted[i] || e.evicted[j] {
+		return
+	}
+	ai, aj := e.isAttacker[i], e.isAttacker[j]
+	switch {
+	case ai && aj:
+		return // attacker nodes have nothing to gain from each other
+	case ai || aj:
+		if e.cfg.Attack != attack.Trade {
+			return // crash and ideal attackers never trade
+		}
+		att, peer := i, j
+		if aj {
+			att, peer = j, i
+		}
+		e.attackerBalanced(att, peer)
+	default:
+		e.honestBalanced(i, j)
+	}
+}
+
+func (e *Engine) honestBalanced(i, j int) {
+	needI := e.needsFrom(i, holdsOffer(j))
+	needJ := e.needsFrom(j, holdsOffer(i))
+	k := min(len(needI), len(needJ))
+	if k == 0 {
+		e.maybeAltruistic(i, j, needI, needJ)
+		return
+	}
+	giveToI := min(len(needI), k+e.cfg.BalanceSlack)
+	giveToJ := min(len(needJ), k+e.cfg.BalanceSlack)
+	e.deliver(j, i, needI[:giveToI], giveToJ, false)
+	e.deliver(i, j, needJ[:giveToJ], giveToI, false)
+}
+
+// maybeAltruistic implements the paper's parameter a in the gossip
+// substrate: when a one-for-one exchange is impossible (k = 0) but one side
+// still needs updates, the other side gives up to AltruisticGive updates for
+// nothing with probability Altruism.
+func (e *Engine) maybeAltruistic(i, j int, needI, needJ []int) {
+	if e.cfg.Altruism <= 0 || e.cfg.AltruisticGive <= 0 {
+		return
+	}
+	rng := e.rng.ChildN("altruism", e.round*e.cfg.Nodes+i)
+	if len(needI) > 0 && len(needJ) == 0 && rng.Bool(e.cfg.Altruism) {
+		e.deliver(j, i, needI[:min(len(needI), e.cfg.AltruisticGive)], 0, false)
+	}
+	if len(needJ) > 0 && len(needI) == 0 && rng.Bool(e.cfg.Altruism) {
+		e.deliver(i, j, needJ[:min(len(needJ), e.cfg.AltruisticGive)], 0, false)
+	}
+}
+
+// attackerBalanced is a trade attacker's balanced exchange. The attacker
+// stays within the protocol: it can only move updates it actually holds,
+// but it violates the one-for-one rule upward, giving a satiated target
+// every update it holds that the target lacks. The target reciprocates the
+// ordinary one-for-one count, which the attacker keeps (it needs inventory
+// to keep satiating). Isolated nodes get nothing.
+func (e *Engine) attackerBalanced(att, peer int) {
+	targets := e.targetsByRound[e.round]
+	if !targets[peer] {
+		return // isolated nodes get nothing from the attacker
+	}
+	needPeer := e.needsFrom(peer, holdsOffer(att))
+	if len(needPeer) == 0 {
+		return // nothing to give this target
+	}
+	needAtt := e.needsFrom(att, holdsOffer(peer))
+	recip := min(len(needAtt), len(needPeer))
+	e.deliver(att, peer, needPeer, recip, true)
+	e.give(needAtt[:recip], att)
+	e.usefulSent.Add(int64(recip))
+}
+
+// deliver transfers the updates at the given live indices from node `from`
+// to node `to`. reciprocated is how many units the receiver returns in the
+// same interaction (junk included — nonproductive work is still payment);
+// the difference offered − reciprocated is the *excess* service that the
+// receiver-side defenses act on. One-for-one exchanges have zero excess no
+// matter their size, so obedient receivers never report or throttle honest
+// trades; lotus-eater gifts are almost pure excess. attacker marks the
+// upload as attacker bandwidth.
+func (e *Engine) deliver(from, to int, indices []int, reciprocated int, attacker bool) {
+	if len(indices) == 0 {
+		return
+	}
+	offered := len(indices)
+	excess := offered - reciprocated
+	if excess < 0 {
+		excess = 0
+	}
+	obedient := e.roles[to] == RoleObedient
+
+	if obedient && excess > 0 && e.board != nil && e.board.Excessive(excess) {
+		e.fileReport(from, to, indices)
+	}
+	granted := offered
+	if obedient && excess > 0 && e.limiter != nil {
+		allowed := e.limiter.Allow(e.round, from, to, excess)
+		granted = offered - (excess - allowed)
+	}
+	got := e.give(indices[:granted], to)
+	if attacker {
+		e.attackerSent.Add(int64(got))
+	} else {
+		e.usefulSent.Add(int64(got))
+	}
+}
+
+func (e *Engine) fileReport(from, to int, indices []int) {
+	receipt, err := e.keyring.SignReceipt(e.round, from, to, e.updateKeys(indices))
+	if err != nil {
+		return // out-of-range ids cannot occur for planned pairs
+	}
+	// Filing errors mean the evidence did not hold up; the board already
+	// rejected it, nothing further to do.
+	_ = e.board.File(e.round, defense.Report{
+		Reporter: to,
+		Accused:  from,
+		Evidence: receipt,
+	})
+}
+
+// execPush performs one optimistic push. The initiator offers recently
+// released updates it holds; the responder takes up to PushSize of those it
+// lacks and returns an equal count drawn from the old, soon-to-expire
+// updates the initiator is missing, padded with junk when it has none.
+func (e *Engine) execPush(p pairing) {
+	i, j := p.initiator, p.partner
+	if e.evicted[i] || e.evicted[j] {
+		return
+	}
+	ai, aj := e.isAttacker[i], e.isAttacker[j]
+	switch {
+	case ai && aj:
+		return
+	case ai:
+		if e.cfg.Attack != attack.Trade {
+			return
+		}
+		e.attackerPushInit(i, j)
+	case aj:
+		if e.cfg.Attack != attack.Trade {
+			return
+		}
+		e.attackerPushRespond(i, j)
+	default:
+		e.honestPush(i, j)
+	}
+}
+
+// recentOffer lists live indices of recently released updates that `from`
+// can offer and `to` lacks.
+func (e *Engine) recentOffer(to int, offers func(*liveUpdate) bool) []int {
+	cutoff := e.round - e.cfg.RecentWindow
+	var out []int
+	for idx, u := range e.live {
+		if u.release > cutoff && u.deadline >= e.round && !u.holders[to] && offers(u) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// oldNeeds lists live indices of old updates `who` lacks that offers can
+// provide.
+func (e *Engine) oldNeeds(who int, offers func(*liveUpdate) bool) []int {
+	cutoff := e.round - e.cfg.RecentWindow
+	var out []int
+	for idx, u := range e.live {
+		if u.release <= cutoff && u.deadline >= e.round && !u.holders[who] && offers(u) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+func (e *Engine) honestPush(i, j int) {
+	wants := e.recentOffer(j, holdsOffer(i))
+	k := min(len(wants), e.cfg.PushSize)
+	if k == 0 {
+		return
+	}
+	// Responder takes k recent updates...
+	e.deliver(i, j, wants[:k], k, false)
+	// ...and returns k units: old updates the initiator needs when it has
+	// them, junk otherwise.
+	back := e.oldNeeds(i, holdsOffer(j))
+	r := min(len(back), k)
+	e.deliver(j, i, back[:r], k, false)
+	e.junkSent.Add(int64(k - r))
+}
+
+// attackerPushInit is a trade attacker initiating a push: it offers the
+// recent updates it holds to a satiated target; the target takes up to
+// PushSize and reciprocates per protocol, growing the attacker's inventory.
+func (e *Engine) attackerPushInit(att, peer int) {
+	targets := e.targetsByRound[e.round]
+	if !targets[peer] {
+		return
+	}
+	wants := e.recentOffer(peer, holdsOffer(att))
+	k := min(len(wants), e.cfg.PushSize)
+	if k == 0 {
+		return
+	}
+	e.deliver(att, peer, wants[:k], k, true)
+	back := e.oldNeeds(att, holdsOffer(peer))
+	r := min(len(back), k)
+	e.give(back[:r], att)
+	e.usefulSent.Add(int64(r))
+	e.junkSent.Add(int64(k - r))
+}
+
+// attackerPushRespond is a trade attacker answering an honest push: it takes
+// the offered recent updates it lacks (inventory for later satiation), then
+// returns every old update a satiated target needs — excessive service — or
+// pure junk to an isolated initiator.
+func (e *Engine) attackerPushRespond(i, att int) {
+	fresh := e.recentOffer(att, holdsOffer(i))
+	k := min(len(fresh), e.cfg.PushSize)
+	e.give(fresh[:k], att)
+
+	targets := e.targetsByRound[e.round]
+	if targets[i] {
+		back := e.oldNeeds(i, holdsOffer(att))
+		e.deliver(att, i, back, k, true)
+		if k > len(back) {
+			e.junkSent.Add(int64(k - len(back)))
+		}
+		return
+	}
+	e.junkSent.Add(int64(k))
+}

@@ -1,0 +1,357 @@
+// Package graph provides the communication-graph substrate for the
+// token-collecting model of Section 3 of the paper.
+//
+// A system in the paper's model is characterized in part by an undirected
+// graph G = (V, E) whose nodes are users and whose edges are the pairs of
+// nodes that can potentially communicate. The package offers generators for
+// the topologies the paper discusses (complete graphs for gossip-style
+// systems, grids for sensor networks, Erdős–Rényi random graphs,
+// rings and small-world rewirings) and the structural queries an attacker or
+// analyst needs (connectivity, components, cuts, BFS distance).
+package graph
+
+import (
+	"fmt"
+
+	"lotuseater/internal/simrng"
+)
+
+// Graph is an undirected graph on nodes 0..N-1 stored as adjacency lists.
+// Adjacency lists are kept sorted and deduplicated by the constructors.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// New returns an empty graph on n nodes. It panics if n < 0.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, nb := range g.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// AddEdge inserts the undirected edge (u, v). Self-loops and duplicate edges
+// are ignored. It returns an error if either endpoint is out of range.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v || g.HasEdge(u, v) {
+		return nil
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	return nil
+}
+
+func insertSorted(s []int, v int) []int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, 0)
+	copy(s[lo+1:], s[lo:])
+	s[lo] = v
+	return s
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	nb := g.adj[u]
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case nb[mid] < v:
+			lo = mid + 1
+		case nb[mid] > v:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the sorted neighbor list of u. The returned slice is a
+// copy; callers may mutate it freely.
+func (g *Graph) Neighbors(u int) []int {
+	if u < 0 || u >= g.n {
+		return nil
+	}
+	out := make([]int, len(g.adj[u]))
+	copy(out, g.adj[u])
+	return out
+}
+
+// Degree returns the degree of u, or 0 for out-of-range u.
+func (g *Graph) Degree(u int) int {
+	if u < 0 || u >= g.n {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			// AddEdge cannot fail for in-range endpoints.
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Grid returns a rows x cols 4-connected grid. Node (r, c) has index
+// r*cols + c.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := r*cols + c
+			if c+1 < cols {
+				_ = g.AddEdge(u, u+1)
+			}
+			if r+1 < rows {
+				_ = g.AddEdge(u, u+cols)
+			}
+		}
+	}
+	return g
+}
+
+// Ring returns the cycle C_n (for n >= 3); for n < 3 it returns a path.
+func Ring(n int) *Graph {
+	g := New(n)
+	for u := 0; u+1 < n; u++ {
+		_ = g.AddEdge(u, u+1)
+	}
+	if n >= 3 {
+		_ = g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Random returns an Erdős–Rényi G(n, p) graph drawn from rng.
+func Random(n int, p float64, rng *simrng.Source) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Bool(p) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// SmallWorld returns a Watts–Strogatz small-world graph: a ring lattice where
+// each node connects to its k nearest neighbors on each side, with each edge
+// rewired to a uniform endpoint with probability beta.
+func SmallWorld(n, k int, beta float64, rng *simrng.Source) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	for u := 0; u < n; u++ {
+		for d := 1; d <= k; d++ {
+			v := (u + d) % n
+			if rng.Bool(beta) && n > 2 {
+				w := rng.PickOther(n, u)
+				_ = g.AddEdge(u, w)
+			} else {
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegularish returns a graph where each node receives deg random
+// distinct neighbors (the realized degree may exceed deg because edges are
+// undirected). It approximates a random regular graph cheaply and is
+// connected with high probability for deg >= 3.
+func RandomRegularish(n, deg int, rng *simrng.Source) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	if deg > n-1 {
+		deg = n - 1
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range rng.SampleInts(n-1, deg) {
+			if v >= u {
+				v++
+			}
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// BFS returns the hop distance from src to every node; unreachable nodes get
+// distance -1.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected. The empty graph and the
+// single-node graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as slices of node indices,
+// each sorted ascending, ordered by smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		comps = append(comps, sortedCopy(comp))
+	}
+	return comps
+}
+
+func sortedCopy(s []int) []int {
+	out := make([]int, len(s))
+	copy(out, s)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// RemoveNodes returns a copy of g with the given nodes' edges removed (the
+// nodes remain as isolated vertices, matching the paper's satiated nodes
+// which stay in the system but stop exchanging).
+func (g *Graph) RemoveNodes(nodes []int) *Graph {
+	gone := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		gone[v] = true
+	}
+	out := New(g.n)
+	for u := 0; u < g.n; u++ {
+		if gone[u] {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if v > u && !gone[v] {
+				_ = out.AddEdge(u, v)
+			}
+		}
+	}
+	return out
+}
+
+// IsCut reports whether removing the given nodes disconnects the remaining
+// graph (i.e. leaves at least two nonempty components among survivors).
+func (g *Graph) IsCut(nodes []int) bool {
+	h := g.RemoveNodes(nodes)
+	gone := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		gone[v] = true
+	}
+	survivors := 0
+	first := -1
+	for u := 0; u < g.n; u++ {
+		if !gone[u] {
+			survivors++
+			if first == -1 {
+				first = u
+			}
+		}
+	}
+	if survivors <= 1 {
+		return false
+	}
+	dist := h.BFS(first)
+	reached := 0
+	for u := 0; u < g.n; u++ {
+		if !gone[u] && dist[u] >= 0 {
+			reached++
+		}
+	}
+	return reached < survivors
+}
+
+// GridColumnCut returns the node indices of column col in a rows x cols grid
+// built by Grid. Satiating (or removing) a full column partitions the grid —
+// the paper's canonical cheap cut on structured topologies.
+func GridColumnCut(rows, cols, col int) []int {
+	out := make([]int, 0, rows)
+	for r := 0; r < rows; r++ {
+		out = append(out, r*cols+col)
+	}
+	return out
+}

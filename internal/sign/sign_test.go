@@ -1,0 +1,201 @@
+package sign
+
+import (
+	"testing"
+
+	"lotuseater/internal/simrng"
+)
+
+func newKeyring(t *testing.T, n int) *Keyring {
+	t.Helper()
+	k, err := NewKeyring(n, simrng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestKeyringDeterministic(t *testing.T) {
+	a, err := NewKeyring(3, simrng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKeyring(3, simrng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pa, _ := a.Public(i)
+		pb, _ := b.Public(i)
+		if string(pa) != string(pb) {
+			t.Fatalf("identity %d differs across same-seed keyrings", i)
+		}
+	}
+}
+
+func TestKeyringNegative(t *testing.T) {
+	if _, err := NewKeyring(-1, simrng.New(1)); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestPublicOutOfRange(t *testing.T) {
+	k := newKeyring(t, 2)
+	if _, err := k.Public(2); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if _, err := k.Public(-1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}
+
+func TestSignVerifyRoundtrip(t *testing.T) {
+	k := newKeyring(t, 4)
+	r, err := k.SignReceipt(7, 1, 2, []uint64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.VerifyReceipt(r) {
+		t.Fatal("valid receipt failed verification")
+	}
+	if r.Round != 7 || r.From != 1 || r.To != 2 || len(r.Updates) != 3 {
+		t.Fatalf("receipt fields corrupted: %+v", r)
+	}
+}
+
+func TestSignReceiptCopiesUpdates(t *testing.T) {
+	k := newKeyring(t, 2)
+	ups := []uint64{1, 2}
+	r, err := k.SignReceipt(0, 0, 1, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups[0] = 99 // caller mutation must not affect the receipt
+	if !k.VerifyReceipt(r) {
+		t.Fatal("receipt invalidated by caller mutation")
+	}
+}
+
+func TestTamperedReceiptRejected(t *testing.T) {
+	k := newKeyring(t, 4)
+	base, err := k.SignReceipt(7, 1, 2, []uint64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(Receipt) Receipt{
+		func(r Receipt) Receipt { r.Round = 8; return r },
+		func(r Receipt) Receipt { r.To = 3; return r },
+		func(r Receipt) Receipt { r.Updates = []uint64{10, 21}; return r },
+		func(r Receipt) Receipt { r.Updates = []uint64{10}; return r },
+		func(r Receipt) Receipt { r.Updates = []uint64{10, 20, 30}; return r },
+		func(r Receipt) Receipt {
+			sig := append([]byte(nil), r.Sig...)
+			sig[0] ^= 1
+			r.Sig = sig
+			return r
+		},
+	}
+	for i, mutate := range mutations {
+		if k.VerifyReceipt(mutate(base)) {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestForgedSenderRejected(t *testing.T) {
+	k := newKeyring(t, 4)
+	r, err := k.SignReceipt(1, 1, 2, []uint64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.From = 3 // claim node 3 signed it
+	if k.VerifyReceipt(r) {
+		t.Fatal("receipt with forged sender accepted")
+	}
+}
+
+func TestSignUnknownIdentity(t *testing.T) {
+	k := newKeyring(t, 2)
+	if _, err := k.SignReceipt(0, 5, 1, nil); err == nil {
+		t.Fatal("signing with unknown identity accepted")
+	}
+}
+
+func TestPartnerDeterministicAndInRange(t *testing.T) {
+	const n = 50
+	for round := 0; round < 20; round++ {
+		for init := 0; init < n; init++ {
+			p1 := Partner(PartnerSeed(9), "balanced", round, init, n)
+			p2 := Partner(PartnerSeed(9), "balanced", round, init, n)
+			if p1 != p2 {
+				t.Fatal("partner selection not deterministic")
+			}
+			if p1 == init {
+				t.Fatalf("round %d: node %d partnered with itself", round, init)
+			}
+			if p1 < 0 || p1 >= n {
+				t.Fatalf("partner %d out of range", p1)
+			}
+		}
+	}
+}
+
+func TestPartnerVariesWithInputs(t *testing.T) {
+	base := Partner(PartnerSeed(9), "balanced", 0, 0, 100)
+	diffs := 0
+	if Partner(PartnerSeed(10), "balanced", 0, 0, 100) != base {
+		diffs++
+	}
+	if Partner(PartnerSeed(9), "push", 0, 0, 100) != base {
+		diffs++
+	}
+	if Partner(PartnerSeed(9), "balanced", 1, 0, 100) != base {
+		diffs++
+	}
+	if diffs == 0 {
+		t.Fatal("partner ignores seed, label, and round")
+	}
+}
+
+func TestPartnerRoughlyUniform(t *testing.T) {
+	const n = 10
+	counts := make([]int, n)
+	for round := 0; round < 5000; round++ {
+		counts[Partner(PartnerSeed(3), "balanced", round, 0, n)]++
+	}
+	if counts[0] != 0 {
+		t.Fatal("initiator chosen as own partner")
+	}
+	for v := 1; v < n; v++ {
+		if counts[v] < 350 || counts[v] > 800 {
+			t.Fatalf("partner %d chosen %d/5000 times; want ~555", v, counts[v])
+		}
+	}
+}
+
+func TestPartnerPanicsSmallN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Partner with n=1 did not panic")
+		}
+	}()
+	Partner(PartnerSeed(1), "x", 0, 0, 1)
+}
+
+func TestKeyringN(t *testing.T) {
+	if got := newKeyring(t, 4).N(); got != 4 {
+		t.Fatalf("N = %d, want 4", got)
+	}
+}
+
+func TestVerifyReceiptUnknownSender(t *testing.T) {
+	k := newKeyring(t, 2)
+	r, err := k.SignReceipt(0, 0, 1, []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.From = 7 // no such identity
+	if k.VerifyReceipt(r) {
+		t.Fatal("receipt from unknown identity accepted")
+	}
+}

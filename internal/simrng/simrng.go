@@ -1,0 +1,147 @@
+// Package simrng provides deterministic, splittable random number streams
+// for simulations.
+//
+// Every experiment in this repository is a pure function of a configuration
+// and a 64-bit seed. To keep subsystems (broadcaster seeding, partner
+// selection, attacker choices, ...) statistically independent while remaining
+// reproducible, simrng derives child streams from a parent seed using a
+// SplitMix64 finalizer over the parent seed and a label hash. Child streams
+// are backed by the PCG generator from math/rand/v2.
+package simrng
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+)
+
+// splitMix64 is the SplitMix64 finalizer. It is used to decorrelate derived
+// seeds; see Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+// Generators" (OOPSLA 2014).
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// labelHash maps a textual label to a 64-bit value with FNV-1a.
+func labelHash(label string) uint64 {
+	h := fnv.New64a()
+	// fnv.Write never returns an error.
+	_, _ = h.Write([]byte(label))
+	return h.Sum64()
+}
+
+// Source is a deterministic random stream. It wraps *rand.Rand and adds
+// derivation of independent child streams. A Source must not be shared
+// between goroutines without external synchronization; derive one child per
+// goroutine instead.
+type Source struct {
+	seed uint64
+	rng  *rand.Rand
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{
+		seed: seed,
+		rng:  rand.New(rand.NewPCG(splitMix64(seed), splitMix64(seed^0xda3e39cb94b95bdb))),
+	}
+}
+
+// Seed returns the seed this Source was created with.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Child derives an independent stream identified by label. Calling Child
+// with the same label always yields a stream with the same seed, regardless
+// of how much randomness has been consumed from s.
+func (s *Source) Child(label string) *Source {
+	return New(splitMix64(s.seed ^ labelHash(label)))
+}
+
+// ChildN derives an independent stream identified by label and an index,
+// e.g. one stream per node or per sweep point.
+func (s *Source) ChildN(label string, n int) *Source {
+	return New(splitMix64(s.seed^labelHash(label)) ^ splitMix64(uint64(n)+0x632be59bd9b4e019))
+}
+
+// IntN returns a uniform int in [0, n). It panics if n <= 0, matching
+// math/rand/v2 semantics.
+func (s *Source) IntN(n int) int { return s.rng.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (s *Source) Uint64() uint64 { return s.rng.Uint64() }
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.rng.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// SampleInts returns k distinct integers drawn uniformly from [0, n).
+// It panics if k > n or k < 0. The result is in random order.
+func (s *Source) SampleInts(n, k int) []int {
+	if k < 0 || k > n {
+		panic("simrng: sample size out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	// For small k relative to n use rejection sampling; otherwise use a
+	// partial Fisher-Yates over the index range.
+	if k*4 <= n {
+		seen := make(map[int]struct{}, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			v := s.rng.IntN(n)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.rng.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k:k]
+}
+
+// PickOther returns a uniform element of [0, n) that is not self.
+// It panics if n < 2.
+func (s *Source) PickOther(n, self int) int {
+	if n < 2 {
+		panic("simrng: PickOther needs n >= 2")
+	}
+	v := s.rng.IntN(n - 1)
+	if v >= self {
+		v++
+	}
+	return v
+}
+
+// NormFloat64 returns a standard normal variate.
+func (s *Source) NormFloat64() float64 { return s.rng.NormFloat64() }
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (s *Source) ExpFloat64() float64 { return s.rng.ExpFloat64() }

@@ -1,0 +1,636 @@
+// Package swarm implements a BitTorrent-like file-sharing swarm, the third
+// satiable system the paper analyzes. It exists to reproduce two of the
+// paper's qualitative claims:
+//
+//   - "Despite the attack being possible in BitTorrent, it seems likely to
+//     do significantly less damage" — satiating leechers turns them into
+//     seeds (or removes net downloaders), which is "often actually a net
+//     benefit to the torrent".
+//
+//   - "The attacker could try and target leechers who have rare pieces to
+//     artificially create a 'last pieces problem,' but BitTorrent's rarest
+//     first policy does a good job of resolving this problem."
+//
+// The model is tick-based. Leechers maintain a bounded peer set, unchoke
+// their top reciprocators plus one optimistic unchoke, and transfer one
+// piece per unchoked interested peer per tick. Receivers choose pieces by a
+// pluggable selection policy (random, random-first + rarest-first). A
+// simplified endgame mode lets nearly finished leechers pull their last
+// pieces from any peer-set member holding them.
+package swarm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lotuseater/internal/bitset"
+	"lotuseater/internal/graph"
+	"lotuseater/internal/simrng"
+)
+
+// Selection is a piece-selection policy.
+type Selection int
+
+const (
+	// SelectRandom picks a uniformly random needed piece — the strawman
+	// policy with no rarity awareness.
+	SelectRandom Selection = iota + 1
+	// SelectRarestFirst picks the needed piece with the fewest holders in
+	// the receiver's peer set, after a short random-first bootstrap.
+	SelectRarestFirst
+)
+
+// String returns the policy name.
+func (s Selection) String() string {
+	switch s {
+	case SelectRandom:
+		return "random"
+	case SelectRarestFirst:
+		return "rarest-first"
+	default:
+		return fmt.Sprintf("swarm.Selection(%d)", int(s))
+	}
+}
+
+// AttackKind selects the adversary's targeting rule.
+type AttackKind int
+
+const (
+	// AttackOff disables the attacker.
+	AttackOff AttackKind = iota + 1
+	// AttackTopUploaders satiates the leechers currently uploading the
+	// most — the paper's "targeting users that are uploading more than
+	// they download".
+	AttackTopUploaders
+	// AttackRarePieceHolders satiates leechers holding the swarm's rarest
+	// pieces, to remove those pieces' carriers (the artificial "last
+	// pieces problem").
+	AttackRarePieceHolders
+)
+
+// String returns the attack name.
+func (k AttackKind) String() string {
+	switch k {
+	case AttackOff:
+		return "off"
+	case AttackTopUploaders:
+		return "top-uploaders"
+	case AttackRarePieceHolders:
+		return "rare-piece-holders"
+	default:
+		return fmt.Sprintf("swarm.AttackKind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a swarm run.
+type Config struct {
+	// Leechers join at tick 0 with no pieces.
+	Leechers int
+	// Pieces is the file size in pieces.
+	Pieces int
+	// UploadSlots is the number of concurrent unchokes per node (BitTorrent
+	// default 4), including the optimistic slot.
+	UploadSlots int
+	// RotateInterval is how many ticks between unchoke recomputations.
+	RotateInterval int
+	// PeerSetSize is each node's approximate neighbor count.
+	PeerSetSize int
+	// Ticks is the horizon.
+	Ticks int
+	// Selection is the receivers' piece-selection policy.
+	Selection Selection
+	// RandomFirstCount pieces are picked at random before rarest-first
+	// engages (BitTorrent's bootstrap behavior).
+	RandomFirstCount int
+	// Endgame, when true, lets leechers missing at most EndgameThreshold
+	// pieces pull one piece per tick from any peer-set member.
+	Endgame bool
+	// EndgameThreshold is the missing-piece count that triggers endgame.
+	EndgameThreshold int
+	// SeedDepartTick is when the original seed leaves (0 = never). A
+	// departing initial seed is what makes rare pieces possible.
+	SeedDepartTick int
+	// SeedAfterComplete keeps finished leechers seeding; when false they
+	// depart immediately (the pessimistic population the rare-piece attack
+	// needs).
+	SeedAfterComplete bool
+
+	// Attack selects the adversary.
+	Attack AttackKind
+	// AttackerUplink is the attacker's total upload capacity in pieces per
+	// tick (it holds the whole file).
+	AttackerUplink int
+	// AttackTargets is how many leechers the attacker satiates at a time.
+	AttackTargets int
+	// AttackStartTick delays the attack.
+	AttackStartTick int
+	// AttackStopTick ends the attack (0 = never). A bounded campaign is
+	// what the rare-piece attack needs: satiate carriers while pieces are
+	// still scarce, then stop before the attacker's uploads have seeded
+	// the whole swarm.
+	AttackStopTick int
+}
+
+// DefaultConfig returns a modest healthy swarm.
+func DefaultConfig() Config {
+	return Config{
+		Leechers:          120,
+		Pieces:            128,
+		UploadSlots:       4,
+		RotateInterval:    3,
+		PeerSetSize:       24,
+		Ticks:             400,
+		Selection:         SelectRarestFirst,
+		RandomFirstCount:  4,
+		Endgame:           true,
+		EndgameThreshold:  3,
+		SeedDepartTick:    0,
+		SeedAfterComplete: true,
+		Attack:            AttackOff,
+	}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Leechers < 2:
+		return fmt.Errorf("swarm: need at least 2 leechers, got %d", c.Leechers)
+	case c.Pieces < 1:
+		return fmt.Errorf("swarm: Pieces must be positive, got %d", c.Pieces)
+	case c.UploadSlots < 1:
+		return fmt.Errorf("swarm: UploadSlots must be positive, got %d", c.UploadSlots)
+	case c.RotateInterval < 1:
+		return fmt.Errorf("swarm: RotateInterval must be positive, got %d", c.RotateInterval)
+	case c.PeerSetSize < 2:
+		return fmt.Errorf("swarm: PeerSetSize must be at least 2, got %d", c.PeerSetSize)
+	case c.Ticks < 1:
+		return fmt.Errorf("swarm: Ticks must be positive, got %d", c.Ticks)
+	case c.Selection != SelectRandom && c.Selection != SelectRarestFirst:
+		return fmt.Errorf("swarm: unknown selection policy %d", c.Selection)
+	case c.RandomFirstCount < 0:
+		return fmt.Errorf("swarm: RandomFirstCount must be non-negative, got %d", c.RandomFirstCount)
+	case c.Endgame && c.EndgameThreshold < 1:
+		return fmt.Errorf("swarm: EndgameThreshold must be positive with Endgame on, got %d", c.EndgameThreshold)
+	case c.SeedDepartTick < 0:
+		return fmt.Errorf("swarm: SeedDepartTick must be non-negative, got %d", c.SeedDepartTick)
+	case c.Attack < AttackOff || c.Attack > AttackRarePieceHolders:
+		return fmt.Errorf("swarm: unknown attack kind %d", c.Attack)
+	case c.Attack != AttackOff && c.AttackerUplink < 1:
+		return fmt.Errorf("swarm: AttackerUplink must be positive when attacking, got %d", c.AttackerUplink)
+	case c.Attack != AttackOff && c.AttackTargets < 1:
+		return fmt.Errorf("swarm: AttackTargets must be positive when attacking, got %d", c.AttackTargets)
+	case c.AttackStartTick < 0:
+		return fmt.Errorf("swarm: AttackStartTick must be non-negative, got %d", c.AttackStartTick)
+	case c.AttackStopTick < 0:
+		return fmt.Errorf("swarm: AttackStopTick must be non-negative, got %d", c.AttackStopTick)
+	case c.AttackStopTick > 0 && c.AttackStopTick <= c.AttackStartTick:
+		return fmt.Errorf("swarm: AttackStopTick %d must exceed AttackStartTick %d", c.AttackStopTick, c.AttackStartTick)
+	}
+	return nil
+}
+
+// state is a node's lifecycle phase.
+type state int
+
+const (
+	stateLeeching state = iota + 1
+	stateSeeding
+	stateDeparted
+)
+
+// Result summarizes a swarm run.
+type Result struct {
+	// CompletedFraction is the fraction of leechers that finished within
+	// the horizon.
+	CompletedFraction float64
+	// MeanCompletionTick averages finish ticks, counting unfinished
+	// leechers as the horizon (so stalls are visible, not hidden).
+	MeanCompletionTick float64
+	// MedianCompletionTick is the median finish tick with the same
+	// convention.
+	MedianCompletionTick float64
+	// LostPieces counts pieces that no present node holds while at least
+	// one leecher still needs pieces — the signature of a successful
+	// rare-piece attack. Zero when every leecher finished (nothing was
+	// denied to anyone).
+	LostPieces int
+	// AttackerUploaded is the attacker's total upload in pieces.
+	AttackerUploaded int
+	// SatiatedByAttacker is how many leechers finished with more than half
+	// their pieces coming from the attacker.
+	SatiatedByAttacker int
+}
+
+// Sim is one swarm instance.
+type Sim struct {
+	cfg   Config
+	rng   *simrng.Source
+	peers *graph.Graph
+
+	n         int // leechers + 1 initial seed (node n-1)
+	seedID    int
+	pieces    []*bitset.Set
+	nodeState []state
+	finished  []int   // tick completed, -1 otherwise
+	recvFrom  [][]int // receiver -> sender -> pieces this window
+	uploaded  []int   // total pieces uploaded, per node
+	fromAtk   []int   // pieces received from the attacker, per node
+	unchoked  [][]int // sender -> receivers
+
+	tick int
+	res  Result
+}
+
+// New builds a Sim, deterministic in (cfg, seed). Node ids 0..Leechers-1
+// are leechers; node Leechers is the initial seed.
+func New(cfg Config, seed uint64) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Leechers + 1
+	s := &Sim{
+		cfg:       cfg,
+		rng:       simrng.New(seed),
+		n:         n,
+		seedID:    n - 1,
+		pieces:    make([]*bitset.Set, n),
+		nodeState: make([]state, n),
+		finished:  make([]int, n),
+		recvFrom:  make([][]int, n),
+		uploaded:  make([]int, n),
+		fromAtk:   make([]int, n),
+		unchoked:  make([][]int, n),
+	}
+	deg := cfg.PeerSetSize / 2
+	if deg < 1 {
+		deg = 1
+	}
+	s.peers = graph.RandomRegularish(n, deg, s.rng.Child("peers"))
+	for v := 0; v < n; v++ {
+		s.pieces[v] = bitset.New(cfg.Pieces)
+		s.nodeState[v] = stateLeeching
+		s.finished[v] = -1
+		s.recvFrom[v] = make([]int, n)
+	}
+	s.pieces[s.seedID].Fill()
+	s.nodeState[s.seedID] = stateSeeding
+	s.finished[s.seedID] = 0
+	return s, nil
+}
+
+// Tick returns the next tick to simulate.
+func (s *Sim) Tick() int { return s.tick }
+
+// Run simulates the full horizon.
+func (s *Sim) Run() (Result, error) {
+	for s.tick < s.cfg.Ticks {
+		if err := s.Step(); err != nil {
+			return Result{}, err
+		}
+		if s.allDone() {
+			break
+		}
+	}
+	return s.finish(), nil
+}
+
+func (s *Sim) allDone() bool {
+	for v := 0; v < s.cfg.Leechers; v++ {
+		if s.nodeState[v] == stateLeeching {
+			return false
+		}
+	}
+	return true
+}
+
+// Step simulates one tick.
+func (s *Sim) Step() error {
+	if s.tick >= s.cfg.Ticks {
+		return errors.New("swarm: horizon exhausted")
+	}
+	if s.cfg.Attack != AttackOff && s.tick >= s.cfg.AttackStartTick &&
+		(s.cfg.AttackStopTick == 0 || s.tick < s.cfg.AttackStopTick) {
+		s.attackStep()
+	}
+	if s.tick%s.cfg.RotateInterval == 0 {
+		s.recomputeUnchokes()
+	}
+	s.transferStep()
+	if s.cfg.Endgame {
+		s.endgameStep()
+	}
+	s.lifecycleStep()
+	s.tick++
+	return nil
+}
+
+// attackStep satiates the attacker's current targets: it uploads missing
+// pieces to them directly, up to its uplink budget for the tick.
+func (s *Sim) attackStep() {
+	targets := s.pickTargets()
+	budget := s.cfg.AttackerUplink
+	for _, t := range targets {
+		if budget == 0 {
+			break
+		}
+		missing := s.pieces[t].Missing()
+		for _, p := range missing {
+			if budget == 0 {
+				break
+			}
+			s.pieces[t].Add(p)
+			s.fromAtk[t]++
+			s.res.AttackerUploaded++
+			budget--
+		}
+	}
+}
+
+// pickTargets returns the AttackTargets leechers the adversary focuses on.
+func (s *Sim) pickTargets() []int {
+	var cands []int
+	for v := 0; v < s.cfg.Leechers; v++ {
+		if s.nodeState[v] == stateLeeching {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	switch s.cfg.Attack {
+	case AttackTopUploaders:
+		sort.Slice(cands, func(a, b int) bool {
+			if s.uploaded[cands[a]] != s.uploaded[cands[b]] {
+				return s.uploaded[cands[a]] > s.uploaded[cands[b]]
+			}
+			return cands[a] < cands[b]
+		})
+	case AttackRarePieceHolders:
+		rarity := s.pieceHolderCounts()
+		score := func(v int) int {
+			// Lower is rarer: the node's rarest held piece.
+			best := s.n + 1
+			s.pieces[v].ForEach(func(p int) {
+				if rarity[p] < best {
+					best = rarity[p]
+				}
+			})
+			return best
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			sa, sb := score(cands[a]), score(cands[b])
+			if sa != sb {
+				return sa < sb
+			}
+			return cands[a] < cands[b]
+		})
+	default:
+		return nil
+	}
+	if len(cands) > s.cfg.AttackTargets {
+		cands = cands[:s.cfg.AttackTargets]
+	}
+	return cands
+}
+
+// pieceHolderCounts returns, per piece, the number of present nodes holding
+// it.
+func (s *Sim) pieceHolderCounts() []int {
+	counts := make([]int, s.cfg.Pieces)
+	for v := 0; v < s.n; v++ {
+		if s.nodeState[v] == stateDeparted {
+			continue
+		}
+		s.pieces[v].ForEach(func(p int) { counts[p]++ })
+	}
+	return counts
+}
+
+// recomputeUnchokes rebuilds every node's unchoke set: top reciprocators by
+// pieces received in the last window plus one optimistic unchoke; seeds
+// unchoke random interested peers. Reciprocation counters reset afterwards.
+func (s *Sim) recomputeUnchokes() {
+	rng := s.rng.ChildN("unchoke", s.tick)
+	for v := 0; v < s.n; v++ {
+		s.unchoked[v] = nil
+		if s.nodeState[v] == stateDeparted {
+			continue
+		}
+		var interested []int
+		for _, p := range s.peers.Neighbors(v) {
+			if s.nodeState[p] != stateLeeching {
+				continue
+			}
+			if s.hasPieceFor(v, p) {
+				interested = append(interested, p)
+			}
+		}
+		if len(interested) == 0 {
+			continue
+		}
+		slots := s.cfg.UploadSlots
+		if s.nodeState[v] == stateSeeding {
+			// Seeds have no reciprocation signal; rotate randomly.
+			rng.Shuffle(len(interested), func(a, b int) {
+				interested[a], interested[b] = interested[b], interested[a]
+			})
+			if len(interested) > slots {
+				interested = interested[:slots]
+			}
+			s.unchoked[v] = interested
+			continue
+		}
+		// Leechers: rank by pieces received from the peer in the window.
+		sort.Slice(interested, func(a, b int) bool {
+			ra, rb := s.recvFrom[v][interested[a]], s.recvFrom[v][interested[b]]
+			if ra != rb {
+				return ra > rb
+			}
+			return interested[a] < interested[b]
+		})
+		regular := slots - 1
+		if regular > len(interested) {
+			regular = len(interested)
+		}
+		chosen := append([]int(nil), interested[:regular]...)
+		if rest := interested[regular:]; len(rest) > 0 {
+			chosen = append(chosen, rest[rng.IntN(len(rest))]) // optimistic
+		}
+		s.unchoked[v] = chosen
+	}
+	for v := 0; v < s.n; v++ {
+		clear(s.recvFrom[v])
+	}
+}
+
+// hasPieceFor reports whether v holds any piece that p lacks.
+func (s *Sim) hasPieceFor(v, p int) bool {
+	has := false
+	s.pieces[v].ForEach(func(i int) {
+		if !has && !s.pieces[p].Has(i) {
+			has = true
+		}
+	})
+	return has
+}
+
+// transferStep moves one piece along every unchoked, interested link.
+func (s *Sim) transferStep() {
+	rng := s.rng.ChildN("transfer", s.tick)
+	order := rng.Perm(s.n)
+	// Rarity is judged from each receiver's local peer-set view, as in
+	// BitTorrent. A global rarity snapshot would make every receiver chase
+	// the same piece each tick (herding), destroying the diversity the
+	// policy exists to create.
+	localCounts := make(map[int][]int, s.n)
+	countsFor := func(receiver int) []int {
+		if c, ok := localCounts[receiver]; ok {
+			return c
+		}
+		counts := make([]int, s.cfg.Pieces)
+		for _, nb := range s.peers.Neighbors(receiver) {
+			if s.nodeState[nb] == stateDeparted {
+				continue
+			}
+			s.pieces[nb].ForEach(func(p int) { counts[p]++ })
+		}
+		localCounts[receiver] = counts
+		return counts
+	}
+	for _, v := range order {
+		if s.nodeState[v] == stateDeparted {
+			continue
+		}
+		for _, p := range s.unchoked[v] {
+			if s.nodeState[p] != stateLeeching {
+				continue
+			}
+			piece, ok := s.selectPiece(v, p, countsFor(p), rng)
+			if !ok {
+				continue
+			}
+			s.pieces[p].Add(piece)
+			s.recvFrom[p][v]++
+			s.uploaded[v]++
+		}
+	}
+}
+
+// selectPiece applies the receiver's selection policy to the sender's
+// holdings.
+func (s *Sim) selectPiece(sender, receiver int, holderCounts []int, rng *simrng.Source) (int, bool) {
+	var candidates []int
+	s.pieces[sender].ForEach(func(p int) {
+		if !s.pieces[receiver].Has(p) {
+			candidates = append(candidates, p)
+		}
+	})
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	useRandom := s.cfg.Selection == SelectRandom ||
+		s.pieces[receiver].Len() < s.cfg.RandomFirstCount
+	if useRandom {
+		return candidates[rng.IntN(len(candidates))], true
+	}
+	// Rarest first, breaking ties uniformly at random: deterministic
+	// tie-breaking would make every receiver chase the same piece and
+	// destroy diversity — the opposite of the policy's purpose.
+	best := holderCounts[candidates[0]]
+	for _, p := range candidates[1:] {
+		if holderCounts[p] < best {
+			best = holderCounts[p]
+		}
+	}
+	ties := candidates[:0]
+	for _, p := range candidates {
+		if holderCounts[p] == best {
+			ties = append(ties, p)
+		}
+	}
+	return ties[rng.IntN(len(ties))], true
+}
+
+// endgameStep lets nearly finished leechers pull one missing piece from any
+// peer-set member that holds it.
+func (s *Sim) endgameStep() {
+	rng := s.rng.ChildN("endgame", s.tick)
+	for v := 0; v < s.cfg.Leechers; v++ {
+		if s.nodeState[v] != stateLeeching {
+			continue
+		}
+		missing := s.pieces[v].Missing()
+		if len(missing) == 0 || len(missing) > s.cfg.EndgameThreshold {
+			continue
+		}
+		p := missing[rng.IntN(len(missing))]
+		for _, nb := range s.peers.Neighbors(v) {
+			if s.nodeState[nb] != stateDeparted && s.pieces[nb].Has(p) {
+				s.pieces[v].Add(p)
+				s.uploaded[nb]++
+				break
+			}
+		}
+	}
+}
+
+// lifecycleStep handles completions and departures.
+func (s *Sim) lifecycleStep() {
+	for v := 0; v < s.cfg.Leechers; v++ {
+		if s.nodeState[v] != stateLeeching || !s.pieces[v].Full() {
+			continue
+		}
+		s.finished[v] = s.tick
+		if s.fromAtk[v]*2 > s.cfg.Pieces {
+			s.res.SatiatedByAttacker++
+		}
+		if s.cfg.SeedAfterComplete {
+			s.nodeState[v] = stateSeeding
+		} else {
+			s.nodeState[v] = stateDeparted
+		}
+	}
+	if s.cfg.SeedDepartTick > 0 && s.tick >= s.cfg.SeedDepartTick && s.nodeState[s.seedID] == stateSeeding {
+		s.nodeState[s.seedID] = stateDeparted
+	}
+}
+
+func (s *Sim) finish() Result {
+	res := s.res
+	var ticks []float64
+	done := 0
+	for v := 0; v < s.cfg.Leechers; v++ {
+		t := float64(s.cfg.Ticks)
+		if s.finished[v] >= 0 {
+			done++
+			t = float64(s.finished[v])
+		}
+		ticks = append(ticks, t)
+	}
+	res.CompletedFraction = float64(done) / float64(s.cfg.Leechers)
+	sum := 0.0
+	for _, t := range ticks {
+		sum += t
+	}
+	res.MeanCompletionTick = sum / float64(len(ticks))
+	sort.Float64s(ticks)
+	res.MedianCompletionTick = ticks[len(ticks)/2]
+
+	stuck := false
+	for v := 0; v < s.cfg.Leechers; v++ {
+		if s.nodeState[v] == stateLeeching {
+			stuck = true
+			break
+		}
+	}
+	if stuck {
+		counts := s.pieceHolderCounts()
+		for _, c := range counts {
+			if c == 0 {
+				res.LostPieces++
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,258 @@
+package swarm
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Leechers = 40
+	cfg.Pieces = 48
+	cfg.Ticks = 300
+	return cfg
+}
+
+func mustRun(t *testing.T, cfg Config, seed uint64) Result {
+	t.Helper()
+	sim, err := New(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"too few leechers", func(c *Config) { c.Leechers = 1 }},
+		{"zero pieces", func(c *Config) { c.Pieces = 0 }},
+		{"zero slots", func(c *Config) { c.UploadSlots = 0 }},
+		{"zero rotate", func(c *Config) { c.RotateInterval = 0 }},
+		{"tiny peer set", func(c *Config) { c.PeerSetSize = 1 }},
+		{"zero ticks", func(c *Config) { c.Ticks = 0 }},
+		{"bad selection", func(c *Config) { c.Selection = Selection(9) }},
+		{"negative random-first", func(c *Config) { c.RandomFirstCount = -1 }},
+		{"endgame threshold", func(c *Config) { c.Endgame = true; c.EndgameThreshold = 0 }},
+		{"negative seed depart", func(c *Config) { c.SeedDepartTick = -1 }},
+		{"bad attack", func(c *Config) { c.Attack = AttackKind(9) }},
+		{"attack without uplink", func(c *Config) { c.Attack = AttackTopUploaders; c.AttackTargets = 1 }},
+		{"attack without targets", func(c *Config) { c.Attack = AttackTopUploaders; c.AttackerUplink = 1 }},
+		{"stop before start", func(c *Config) {
+			c.Attack = AttackTopUploaders
+			c.AttackerUplink = 1
+			c.AttackTargets = 1
+			c.AttackStartTick = 5
+			c.AttackStopTick = 5
+		}},
+	}
+	for _, c := range cases {
+		cfg := quickCfg()
+		c.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if SelectRandom.String() != "random" || SelectRarestFirst.String() != "rarest-first" {
+		t.Fatal("selection names")
+	}
+	if AttackOff.String() != "off" || AttackTopUploaders.String() != "top-uploaders" ||
+		AttackRarePieceHolders.String() != "rare-piece-holders" {
+		t.Fatal("attack names")
+	}
+	if !strings.Contains(Selection(7).String(), "7") || !strings.Contains(AttackKind(7).String(), "7") {
+		t.Fatal("unknown enum strings")
+	}
+}
+
+func TestHealthySwarmCompletes(t *testing.T) {
+	res := mustRun(t, quickCfg(), 1)
+	if res.CompletedFraction != 1 {
+		t.Fatalf("healthy swarm completed %.3f", res.CompletedFraction)
+	}
+	if res.LostPieces != 0 {
+		t.Fatalf("healthy swarm lost %d pieces", res.LostPieces)
+	}
+	if res.MeanCompletionTick <= 0 || res.MeanCompletionTick >= float64(quickCfg().Ticks) {
+		t.Fatalf("mean completion tick %.1f", res.MeanCompletionTick)
+	}
+}
+
+func TestRandomSelectionAlsoCompletes(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Selection = SelectRandom
+	res := mustRun(t, cfg, 1)
+	if res.CompletedFraction < 0.95 {
+		t.Fatalf("random selection completed %.3f", res.CompletedFraction)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Attack = AttackTopUploaders
+	cfg.AttackerUplink = 16
+	cfg.AttackTargets = 4
+	a := mustRun(t, cfg, 42)
+	b := mustRun(t, cfg, 42)
+	if a != b {
+		t.Fatalf("same seed differs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestTopUploaderAttackIsNetBenefit reproduces the paper's claim: satiating
+// leechers (who then seed) does not hurt the torrent and generally helps.
+func TestTopUploaderAttackIsNetBenefit(t *testing.T) {
+	base := quickCfg()
+	attacked := base
+	attacked.Attack = AttackTopUploaders
+	attacked.AttackerUplink = 16
+	attacked.AttackTargets = 4
+	var meanBase, meanAtk float64
+	const seeds = 3
+	for s := uint64(0); s < seeds; s++ {
+		meanBase += mustRun(t, base, 10+s).MeanCompletionTick
+		meanAtk += mustRun(t, attacked, 10+s).MeanCompletionTick
+	}
+	if meanAtk > meanBase {
+		t.Fatalf("top-uploader attack slowed the swarm: %.1f > %.1f", meanAtk/seeds, meanBase/seeds)
+	}
+}
+
+func TestSeedDeparture(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SeedDepartTick = 5 // before much has spread
+	cfg.SeedAfterComplete = false
+	cfg.Ticks = 200
+	res := mustRun(t, cfg, 2)
+	// With the seed gone after ~20 uploads, most pieces never entered the
+	// swarm: completion must collapse and pieces must be lost.
+	if res.CompletedFraction > 0.5 {
+		t.Fatalf("swarm completed %.3f without a seed", res.CompletedFraction)
+	}
+	if res.LostPieces == 0 {
+		t.Fatal("no pieces lost despite early seed departure")
+	}
+}
+
+func TestAttackerUploadAccounting(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Attack = AttackRarePieceHolders
+	cfg.AttackerUplink = 8
+	cfg.AttackTargets = 2
+	res := mustRun(t, cfg, 3)
+	if res.AttackerUploaded == 0 {
+		t.Fatal("attacker uploaded nothing")
+	}
+	if res.SatiatedByAttacker == 0 {
+		t.Fatal("attacker satiated nobody despite dedicated uplink")
+	}
+}
+
+func TestAttackWindowRespected(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Attack = AttackRarePieceHolders
+	cfg.AttackerUplink = 1000
+	cfg.AttackTargets = 40
+	cfg.AttackStartTick = 10
+	cfg.AttackStopTick = 11 // a single tick of attack
+	res := mustRun(t, cfg, 4)
+	// One tick at uplink 1000 moves at most 1000 pieces.
+	if res.AttackerUploaded > 1000 {
+		t.Fatalf("attacker uploaded %d in a 1-tick window", res.AttackerUploaded)
+	}
+}
+
+func TestEndgameHelpsTail(t *testing.T) {
+	withEndgame := quickCfg()
+	withoutEndgame := quickCfg()
+	withoutEndgame.Endgame = false
+	var on, off float64
+	const seeds = 3
+	for s := uint64(0); s < seeds; s++ {
+		on += mustRun(t, withEndgame, 20+s).MeanCompletionTick
+		off += mustRun(t, withoutEndgame, 20+s).MeanCompletionTick
+	}
+	if on > off {
+		t.Fatalf("endgame slowed completion: %.1f > %.1f", on/seeds, off/seeds)
+	}
+}
+
+func TestTickAccessor(t *testing.T) {
+	sim, err := New(quickCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Tick() != 0 {
+		t.Fatal("initial tick")
+	}
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Tick() != 1 {
+		t.Fatal("tick after step")
+	}
+}
+
+func TestStepPastHorizon(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Ticks = 1
+	sim, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step(); err == nil {
+		t.Fatal("stepped past horizon")
+	}
+}
+
+// TestRunStopsEarlyWhenDone: Run exits once every leecher resolves, not at
+// the full horizon, keeping sweeps cheap.
+func TestRunStopsEarly(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Ticks = 10000
+	sim, err := New(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Tick() >= 10000 {
+		t.Fatal("Run did not stop early after completion")
+	}
+}
+
+// TestPieceConservation: pieces only appear via the seed, transfers, or the
+// attacker; a leecher can never hold more pieces than exist.
+func TestPieceBoundsDuringRun(t *testing.T) {
+	cfg := quickCfg()
+	sim, err := New(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 50; tick++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < cfg.Leechers; v++ {
+			if n := sim.pieces[v].Len(); n > cfg.Pieces {
+				t.Fatalf("node %d holds %d of %d pieces", v, n, cfg.Pieces)
+			}
+		}
+	}
+}

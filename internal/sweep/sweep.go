@@ -1,0 +1,98 @@
+// Package sweep runs parameter sweeps concurrently and deterministically.
+//
+// Every figure in the paper is a sweep: "for each attacker fraction x in
+// [0, 1], run the simulation and record the fraction of updates delivered to
+// isolated nodes". Points are independent, so they run on a bounded worker
+// pool; determinism is preserved by deriving each point's seed from the
+// sweep seed and the point index, and by collecting results into a slice
+// keyed by index rather than by completion order.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"lotuseater/internal/metrics"
+	"lotuseater/internal/simrng"
+)
+
+// PointFunc runs one sweep point. x is the swept parameter value, rng is a
+// stream derived deterministically from the sweep seed and the point index,
+// and the return value is the measured y.
+type PointFunc func(x float64, rng *simrng.Source) float64
+
+// Config controls a sweep.
+type Config struct {
+	// Name labels the resulting series.
+	Name string
+	// Xs are the parameter values to evaluate, in output order.
+	Xs []float64
+	// Seeds is the number of independent replications averaged per point.
+	// Zero means 1.
+	Seeds int
+	// Workers bounds concurrency. Zero means GOMAXPROCS.
+	Workers int
+}
+
+// Run evaluates fn at every (x, seed replicate) pair concurrently and
+// returns the per-x means as a series. The result is deterministic for a
+// fixed (cfg, seed, fn): replicate r of point i always sees the stream
+// derived with ChildN("sweep", i*Seeds+r).
+func Run(cfg Config, seed uint64, fn PointFunc) *metrics.Series {
+	seeds := cfg.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct{ pt, rep int }
+	jobs := make(chan job)
+	results := make([][]float64, len(cfg.Xs))
+	for i := range results {
+		results[i] = make([]float64, seeds)
+	}
+
+	root := simrng.New(seed)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				rng := root.ChildN("sweep", j.pt*seeds+j.rep)
+				results[j.pt][j.rep] = fn(cfg.Xs[j.pt], rng)
+			}
+		}()
+	}
+	for pt := range cfg.Xs {
+		for rep := 0; rep < seeds; rep++ {
+			jobs <- job{pt: pt, rep: rep}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := &metrics.Series{Name: cfg.Name}
+	for i, x := range cfg.Xs {
+		out.Add(x, metrics.Mean(results[i]))
+	}
+	return out
+}
+
+// Range returns count evenly spaced values from lo to hi inclusive.
+// count < 2 returns []float64{lo}.
+func Range(lo, hi float64, count int) []float64 {
+	if count < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, count)
+	step := (hi - lo) / float64(count-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[count-1] = hi
+	return out
+}

@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"lotuseater/internal/simrng"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Name: "det", Xs: Range(0, 1, 7), Seeds: 3, Workers: 4}
+	fn := func(x float64, rng *simrng.Source) float64 {
+		return x + float64(rng.Uint64()%1000)/1000
+	}
+	a := Run(cfg, 42, fn)
+	b := Run(cfg, 42, fn)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(x float64, rng *simrng.Source) float64 {
+		return x*1000 + float64(rng.IntN(100))
+	}
+	one := Run(Config{Xs: Range(0, 1, 5), Seeds: 4, Workers: 1}, 7, fn)
+	many := Run(Config{Xs: Range(0, 1, 5), Seeds: 4, Workers: 8}, 7, fn)
+	for i := range one.Points {
+		if one.Points[i] != many.Points[i] {
+			t.Fatalf("worker count changed results at point %d", i)
+		}
+	}
+}
+
+func TestRunAveragesSeeds(t *testing.T) {
+	// fn returns the replicate index via a counter; the mean of 0..3 is 1.5
+	// only if all four replicates ran.
+	var calls atomic.Int64
+	s := Run(Config{Xs: []float64{1}, Seeds: 4}, 1, func(x float64, _ *simrng.Source) float64 {
+		calls.Add(1)
+		return x
+	})
+	if calls.Load() != 4 {
+		t.Fatalf("ran %d replicates, want 4", calls.Load())
+	}
+	if s.Points[0].Y != 1 {
+		t.Fatalf("mean = %g, want 1", s.Points[0].Y)
+	}
+}
+
+func TestRunZeroSeedsMeansOne(t *testing.T) {
+	var calls atomic.Int64
+	Run(Config{Xs: []float64{1, 2}}, 1, func(float64, *simrng.Source) float64 {
+		calls.Add(1)
+		return 0
+	})
+	if calls.Load() != 2 {
+		t.Fatalf("ran %d calls, want 2", calls.Load())
+	}
+}
+
+func TestRunPreservesXOrder(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	s := Run(Config{Xs: xs}, 1, func(x float64, _ *simrng.Source) float64 { return x })
+	for i, x := range xs {
+		if s.Points[i].X != x || s.Points[i].Y != x {
+			t.Fatalf("point %d = %v", i, s.Points[i])
+		}
+	}
+}
+
+func TestRangeEndpoints(t *testing.T) {
+	xs := Range(0, 1, 11)
+	if len(xs) != 11 {
+		t.Fatalf("len = %d", len(xs))
+	}
+	if xs[0] != 0 || xs[10] != 1 {
+		t.Fatalf("endpoints %g, %g", xs[0], xs[10])
+	}
+	if math.Abs(xs[5]-0.5) > 1e-12 {
+		t.Fatalf("midpoint %g", xs[5])
+	}
+}
+
+func TestRangeDegenerate(t *testing.T) {
+	xs := Range(3, 9, 1)
+	if len(xs) != 1 || xs[0] != 3 {
+		t.Fatalf("Range(3,9,1) = %v", xs)
+	}
+	xs = Range(2, 2, 3)
+	for _, x := range xs {
+		if x != 2 {
+			t.Fatalf("constant range produced %v", xs)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package tokenmodel implements the simple token-collecting model of
+// Section 3 of the paper, used there to understand when a lotus-eater
+// attack harms a system.
+//
+// A system is a tuple (G, T, sat, f, c, a):
+//
+//   - G is the underlying connected communication graph;
+//   - T is a finite set of tokens;
+//   - sat(i, t, T') = true iff T' = T — every node wants every token;
+//   - f is an initial allocation of tokens to nodes;
+//   - c bounds the number of nodes each node can contact per round;
+//   - a is the probability a node responds to requests even when satiated
+//     (the amount of altruism in the system).
+//
+// Each round, the attacker first gives every node in a chosen subset all
+// the tokens (instant satiation — deliberately overestimating the attacker,
+// as the paper does). Then every unsatiated node selects up to c random
+// neighbors; each contact copies token sets both ways. Satiated nodes do
+// not initiate and respond only with probability a. All exchanges in a
+// round read start-of-round state ("assume all of these events happen
+// simultaneously").
+package tokenmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"lotuseater/internal/attack"
+	"lotuseater/internal/bitset"
+	"lotuseater/internal/graph"
+	"lotuseater/internal/simrng"
+)
+
+// Config parameterizes a run of the model.
+type Config struct {
+	// Graph is G; it must be non-nil. The paper assumes G connected, but
+	// the simulator does not require it (cut experiments rely on satiation
+	// disconnecting flows, not the graph).
+	Graph *graph.Graph
+	// Tokens is |T|.
+	Tokens int
+	// Contacts is c, the per-round contact budget per node.
+	Contacts int
+	// Altruism is a, the probability a satiated node responds anyway.
+	Altruism float64
+	// Rounds is the simulation horizon.
+	Rounds int
+	// Allocation maps node -> initially held token (the paper's f: V -> T).
+	// Nil means node v starts with token v mod Tokens.
+	Allocation []int
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Graph == nil:
+		return errors.New("tokenmodel: nil graph")
+	case c.Tokens < 1:
+		return fmt.Errorf("tokenmodel: Tokens must be positive, got %d", c.Tokens)
+	case c.Contacts < 0:
+		return fmt.Errorf("tokenmodel: Contacts must be non-negative, got %d", c.Contacts)
+	case c.Altruism < 0 || c.Altruism > 1:
+		return fmt.Errorf("tokenmodel: Altruism must be in [0,1], got %g", c.Altruism)
+	case c.Rounds < 1:
+		return fmt.Errorf("tokenmodel: Rounds must be positive, got %d", c.Rounds)
+	case c.Allocation != nil && len(c.Allocation) != c.Graph.N():
+		return fmt.Errorf("tokenmodel: Allocation has %d entries for %d nodes", len(c.Allocation), c.Graph.N())
+	}
+	if c.Allocation != nil {
+		for v, t := range c.Allocation {
+			if t < 0 || t >= c.Tokens {
+				return fmt.Errorf("tokenmodel: Allocation[%d] = %d out of range [0,%d)", v, t, c.Tokens)
+			}
+		}
+	}
+	return nil
+}
+
+// Result summarizes a run.
+type Result struct {
+	// SatiatedByRound[r] is the number of satiated nodes after round r.
+	SatiatedByRound []int
+	// CompletedFraction is the fraction of nodes satiated at the horizon.
+	CompletedFraction float64
+	// AllSatiatedRound is the first round after which every node was
+	// satiated, or -1 if that never happened.
+	AllSatiatedRound int
+	// TokenCoverage[t] is the fraction of nodes holding token t at the
+	// horizon (diagnoses rare-token denial).
+	TokenCoverage []float64
+	// MeanCompletionRound is the average round at which nodes became
+	// satiated, counting unfinished nodes as the horizon.
+	MeanCompletionRound float64
+}
+
+// Sim is one instance of the model. Create with New, drive with Run or Step.
+type Sim struct {
+	cfg      Config
+	rng      *simrng.Source
+	targeter attack.Targeter // nil = no attacker
+
+	round     int
+	held      []*bitset.Set
+	completed []int // round node became satiated, -1 if not yet
+	result    Result
+}
+
+// Option customizes a Sim.
+type Option func(*Sim)
+
+// WithTargeter installs an attacker that satiates the targeter's chosen
+// nodes at the start of every round.
+func WithTargeter(t attack.Targeter) Option {
+	return func(s *Sim) { s.targeter = t }
+}
+
+// New builds a Sim, deterministic in (cfg, seed).
+func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Graph.N()
+	s := &Sim{
+		cfg:       cfg,
+		rng:       simrng.New(seed),
+		held:      make([]*bitset.Set, n),
+		completed: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		s.held[v] = bitset.New(cfg.Tokens)
+		tok := v % cfg.Tokens
+		if cfg.Allocation != nil {
+			tok = cfg.Allocation[v]
+		}
+		s.held[v].Add(tok)
+		s.completed[v] = -1
+		if s.satiated(v) {
+			s.completed[v] = 0
+		}
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+func (s *Sim) satiated(v int) bool { return s.held[v].Full() }
+
+// Round returns the next round to simulate.
+func (s *Sim) Round() int { return s.round }
+
+// Satiated reports whether node v currently holds all tokens.
+func (s *Sim) Satiated(v int) bool { return s.satiated(v) }
+
+// HeldCount returns how many distinct tokens v holds.
+func (s *Sim) HeldCount(v int) int { return s.held[v].Len() }
+
+// Has reports whether v holds token t.
+func (s *Sim) Has(v, t int) bool { return s.held[v].Has(t) }
+
+// CompletionRound returns the round at which v became satiated, or -1 if it
+// has not. Nodes satiated by the attacker count as completed; callers that
+// care about organic completion should restrict to non-target nodes.
+func (s *Sim) CompletionRound(v int) int { return s.completed[v] }
+
+// Step simulates one round.
+func (s *Sim) Step() error {
+	if s.round >= s.cfg.Rounds {
+		return fmt.Errorf("tokenmodel: horizon of %d rounds exhausted", s.cfg.Rounds)
+	}
+	n := s.cfg.Graph.N()
+
+	// 1. The attacker satiates its targets.
+	if s.targeter != nil {
+		targets := s.targeter.Satiated(s.round)
+		if len(targets) != n {
+			return fmt.Errorf("tokenmodel: targeter returned %d entries for %d nodes", len(targets), n)
+		}
+		for v := 0; v < n; v++ {
+			if targets[v] && !s.satiated(v) {
+				s.held[v].Fill()
+			}
+		}
+	}
+
+	// 2. Simultaneous contacts: all exchanges read the start-of-round
+	// snapshot; gains land after every contact has been resolved.
+	snapshot := make([]*bitset.Set, n)
+	for v := 0; v < n; v++ {
+		snapshot[v] = s.held[v].Clone()
+	}
+	gains := make([]*bitset.Set, n)
+	for v := 0; v < n; v++ {
+		gains[v] = bitset.New(s.cfg.Tokens)
+	}
+	sat := make([]bool, n)
+	for v := 0; v < n; v++ {
+		sat[v] = snapshot[v].Full()
+	}
+	rng := s.rng.ChildN("round", s.round)
+	for v := 0; v < n; v++ {
+		if sat[v] {
+			continue // satiated nodes stop communicating
+		}
+		nb := s.cfg.Graph.Neighbors(v)
+		if len(nb) == 0 {
+			continue
+		}
+		c := s.cfg.Contacts
+		if c > len(nb) {
+			c = len(nb)
+		}
+		for _, idx := range rng.SampleInts(len(nb), c) {
+			p := nb[idx]
+			if sat[p] && !rng.Bool(s.cfg.Altruism) {
+				continue // satiated partner declines to respond
+			}
+			gains[v].UnionWith(snapshot[p])
+			gains[p].UnionWith(snapshot[v])
+		}
+	}
+	for v := 0; v < n; v++ {
+		s.held[v].UnionWith(gains[v])
+		if s.completed[v] == -1 && s.satiated(v) {
+			s.completed[v] = s.round
+		}
+	}
+
+	count := 0
+	for v := 0; v < n; v++ {
+		if s.satiated(v) {
+			count++
+		}
+	}
+	s.result.SatiatedByRound = append(s.result.SatiatedByRound, count)
+	s.round++
+	return nil
+}
+
+// Run simulates the full horizon and returns the result.
+func (s *Sim) Run() (Result, error) {
+	for s.round < s.cfg.Rounds {
+		if err := s.Step(); err != nil {
+			return Result{}, err
+		}
+	}
+	return s.finish(), nil
+}
+
+func (s *Sim) finish() Result {
+	n := s.cfg.Graph.N()
+	res := s.result
+	res.AllSatiatedRound = -1
+	for r, c := range res.SatiatedByRound {
+		if c == n {
+			res.AllSatiatedRound = r
+			break
+		}
+	}
+	done := 0
+	sum := 0.0
+	for v := 0; v < n; v++ {
+		if s.completed[v] >= 0 {
+			done++
+			sum += float64(s.completed[v])
+		} else {
+			sum += float64(s.cfg.Rounds)
+		}
+	}
+	if n > 0 {
+		res.CompletedFraction = float64(done) / float64(n)
+		res.MeanCompletionRound = sum / float64(n)
+	}
+	res.TokenCoverage = make([]float64, s.cfg.Tokens)
+	for t := 0; t < s.cfg.Tokens; t++ {
+		holders := 0
+		for v := 0; v < n; v++ {
+			if s.held[v].Has(t) {
+				holders++
+			}
+		}
+		if n > 0 {
+			res.TokenCoverage[t] = float64(holders) / float64(n)
+		}
+	}
+	return res
+}
