@@ -1,0 +1,32 @@
+# Developer loops for the lotuseater reproduction.
+#
+#   make            # build + vet + test (the tier-1 gate)
+#   make bench      # registry-driven benchmarks, one per simulator
+#   make figures    # regenerate every table/figure at quick fidelity
+
+GO ?= go
+
+.PHONY: all build test vet bench figures list clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRegistry' -benchmem ./
+
+figures:
+	$(GO) run ./cmd/lotus-sim figures -exp all -quality quick
+
+list:
+	$(GO) run ./cmd/lotus-sim list
+
+clean:
+	$(GO) clean ./...

@@ -203,3 +203,25 @@ func BenchmarkSatiateAblation(b *testing.B) {
 	}
 	b.ReportMetric(peak, "peak-victims")
 }
+
+// Registry-driven benchmarks: one per simulator, each running its
+// representative experiment through the registry exactly as `lotus-sim run`
+// would. They baseline the full named-experiment path (registry lookup,
+// kernel worker pool, artifact assembly) so future perf PRs have a
+// like-for-like number to beat per backend.
+
+func benchRegistry(b *testing.B, name string) {
+	b.Helper()
+	q := Quality{Points: 4, Seeds: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment(name, uint64(i), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistryGossip(b *testing.B)     { benchRegistry(b, "figure1") }
+func BenchmarkRegistryTokenModel(b *testing.B) { benchRegistry(b, "raretoken") }
+func BenchmarkRegistryScrip(b *testing.B)      { benchRegistry(b, "scrip-money-supply") }
+func BenchmarkRegistrySwarm(b *testing.B)      { benchRegistry(b, "swarm") }
+func BenchmarkRegistryCoding(b *testing.B)     { benchRegistry(b, "coding") }

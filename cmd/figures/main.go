@@ -1,21 +1,21 @@
 // Command figures regenerates every table and figure of the paper, plus the
-// extension experiments, as aligned text tables (or CSV with -csv).
+// extension experiments, as aligned text tables (or CSV with -csv). It is a
+// thin wrapper over the experiment registry — `lotus-sim figures` is the
+// same command, and `lotus-sim run <name>` runs any single entry.
 //
 //	figures -exp all          # everything (takes a few minutes at -quality full)
 //	figures -exp fig1         # just Figure 1
 //	figures -exp fig1 -csv    # machine-readable
 //
 // Experiments: table1 fig1 fig2 fig3 altruism gridcut raretoken scrip swarm
-// coding reporting ratelimit rotating all.
+// coding reporting ratelimit rotating inflation hoarding satiate-ablation all.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
-	"lotuseater"
-	"lotuseater/internal/metrics"
+	"lotuseater/internal/cli"
 )
 
 func main() {
@@ -26,173 +26,5 @@ func main() {
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (table1|fig1|fig2|fig3|altruism|gridcut|raretoken|scrip|swarm|coding|reporting|ratelimit|rotating|inflation|hoarding|satiate-ablation|all)")
-	quality := fs.String("quality", "full", "sweep quality: full|quick")
-	seed := fs.Uint64("seed", 1, "random seed")
-	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	var q lotuseater.Quality
-	switch *quality {
-	case "full":
-		q = lotuseater.FullQuality()
-	case "quick":
-		q = lotuseater.QuickQuality()
-	default:
-		return fmt.Errorf("unknown quality %q (want full|quick)", *quality)
-	}
-
-	ids := []string{*exp}
-	if *exp == "all" {
-		ids = []string{"table1", "fig1", "fig2", "fig3", "altruism", "gridcut", "raretoken", "scrip", "swarm", "coding", "reporting", "ratelimit", "rotating", "inflation", "hoarding", "satiate-ablation"}
-	}
-	for _, id := range ids {
-		if err := runOne(id, *seed, q, *csv); err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-	}
-	return nil
-}
-
-func emitSeries(title, xLabel string, csv, crossover bool, series ...*lotuseater.Series) {
-	fmt.Printf("## %s\n\n", title)
-	if csv {
-		fmt.Print(metrics.CSV(xLabel, series...))
-	} else {
-		fmt.Print(metrics.Table(xLabel, series...))
-	}
-	if crossover {
-		for _, s := range series {
-			if x, ok := s.CrossoverBelow(0.93); ok {
-				fmt.Printf("# %s drops below the 0.93 usability threshold at x = %.3f\n", s.Name, x)
-			}
-		}
-	}
-	fmt.Println()
-}
-
-func runOne(id string, seed uint64, q lotuseater.Quality, csv bool) error {
-	switch id {
-	case "table1":
-		fmt.Println("## Table 1: Simulation Parameters")
-		fmt.Println()
-		fmt.Print(metrics.RenderRows(lotuseater.Table1()))
-		fmt.Println()
-
-	case "fig1":
-		emitSeries("Figure 1: three attacks on BAR Gossip (isolated-node delivery)",
-			"attacker-fraction", csv, true, lotuseater.Figure1(seed, q)...)
-
-	case "fig2":
-		emitSeries("Figure 2: push size 10 reduces attack effectiveness",
-			"attacker-fraction", csv, true, lotuseater.Figure2(seed, q)...)
-
-	case "fig3":
-		emitSeries("Figure 3: obedient (unbalanced) exchanges reduce effectiveness",
-			"attacker-fraction", csv, true, lotuseater.Figure3(seed, q)...)
-
-	case "altruism":
-		emitSeries("E1: altruism a vs completion under rotating satiation (token model)",
-			"altruism-a", csv, false, lotuseater.AltruismExperiment(seed, q))
-
-	case "gridcut":
-		rows, err := lotuseater.GridCutExperiment(seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println("## E2: satiating a grid cut vs a random graph (token model)")
-		fmt.Println()
-		table := [][]string{{"topology/attack", "satiated", "rare-token-coverage", "completed-fraction"}}
-		for _, r := range rows {
-			table = append(table, []string{
-				r.Topology,
-				fmt.Sprintf("%d", r.SatiatedNodes),
-				fmt.Sprintf("%.4f", r.RareTokenCoverage),
-				fmt.Sprintf("%.4f", r.CompletedFraction),
-			})
-		}
-		fmt.Print(metrics.RenderRows(table))
-		fmt.Println()
-
-	case "raretoken":
-		emitSeries("E3: rare-token denial vs altruism (token model)",
-			"altruism-a", csv, false, lotuseater.RareTokenExperiment(seed, q))
-
-	case "scrip":
-		emitSeries("E4a: scrip-system satiation is bounded by the money supply",
-			"targeted-fraction", csv, false, lotuseater.ScripMoneySupplyExperiment(seed, q))
-		emitSeries("E4b: satiating rare providers denies specialty service; altruists restore it",
-			"attack-budget", csv, false, lotuseater.ScripRareProviderExperiment(seed, q)...)
-
-	case "swarm":
-		rows, err := lotuseater.SwarmExperiment(seed, q.Seeds)
-		if err != nil {
-			return err
-		}
-		fmt.Println("## E5: lotus-eater attacks on a BitTorrent-like swarm")
-		fmt.Println()
-		table := [][]string{{"scenario", "completed", "mean-tick", "median-tick", "lost-pieces"}}
-		for _, r := range rows {
-			table = append(table, []string{
-				r.Scenario,
-				fmt.Sprintf("%.3f", r.CompletedFraction),
-				fmt.Sprintf("%.1f", r.MeanCompletionTick),
-				fmt.Sprintf("%.1f", r.MedianCompletionTick),
-				fmt.Sprintf("%d", r.LostPieces),
-			})
-		}
-		fmt.Print(metrics.RenderRows(table))
-		fmt.Println()
-
-	case "coding":
-		emitSeries("E6: network coding neutralizes rare-token satiation",
-			"satiated-unique-holders", csv, false, lotuseater.CodingExperiment(seed, q)...)
-
-	case "reporting":
-		emitSeries("E7: obedient reporting evicts over-providers (trade attack, 30%)",
-			"obedient-fraction", csv, false, lotuseater.ReportingExperiment(seed, q)...)
-
-	case "ratelimit":
-		emitSeries("E8: per-peer rate limiting vs the ideal attack (cap=0 means off)",
-			"rate-cap", csv, false, lotuseater.RateLimitExperiment(seed, q)...)
-
-	case "satiate-ablation":
-		emitSeries("A1: why satiate 70%? (trade attack, 25% attackers)",
-			"satiate-fraction", csv, false, lotuseater.SatiateFractionAblation(seed, q)...)
-
-	case "inflation":
-		emitSeries("E10: satiation by monetary inflation (untargeted scrip gifts)",
-			"injected-scrip-per-capita", csv, false, lotuseater.ScripInflationExperiment(seed, q))
-
-	case "hoarding":
-		emitSeries("E11: service hoarders drain the money supply and centralize the system",
-			"hoarder-fraction", csv, false, lotuseater.ScripHoardingExperiment(seed, q))
-
-	case "rotating":
-		rows, err := lotuseater.RotatingExperiment(seed, 20)
-		if err != nil {
-			return err
-		}
-		fmt.Println("## E9: rotating the satiated set makes service intermittently unusable for all")
-		fmt.Println()
-		table := [][]string{{"arm", "mean-delivery", "nodes-with-outage", "mean-outage-epochs", "epochs"}}
-		for _, r := range rows {
-			table = append(table, []string{
-				r.Name,
-				fmt.Sprintf("%.4f", r.MeanDelivery),
-				fmt.Sprintf("%.3f", r.NodesWithOutage),
-				fmt.Sprintf("%.2f", r.MeanOutageEpochs),
-				fmt.Sprintf("%d", r.Epochs),
-			})
-		}
-		fmt.Print(metrics.RenderRows(table))
-		fmt.Println()
-
-	default:
-		return fmt.Errorf("unknown experiment %q", id)
-	}
-	return nil
+	return cli.Figures(os.Stdout, args)
 }

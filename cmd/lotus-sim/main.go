@@ -1,19 +1,26 @@
-// Command lotus-sim runs a single BAR Gossip simulation under a configurable
-// lotus-eater (or crash) attack and prints the delivery summary.
+// Command lotus-sim is the single entry point to the whole reproduction.
 //
-// Example, the paper's trade lotus-eater attack with the attacker
-// controlling 22% of the nodes:
+// Subcommands:
+//
+//	lotus-sim list                                  # the experiment catalogue
+//	lotus-sim run figure1 -quality quick            # run a registered experiment
+//	lotus-sim run gridcut -format json              # ... as JSON (or csv)
+//	lotus-sim figures -exp all -quality full        # regenerate every table and figure
+//	lotus-sim gossip -attack trade -fraction 0.22   # one BAR Gossip simulation
+//	lotus-sim scrip|swarm|token [flags]             # the other single-run simulators
+//
+// Invoking lotus-sim with plain flags (no subcommand) keeps the original
+// behavior of a single gossip run:
 //
 //	lotus-sim -attack trade -fraction 0.22
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"lotuseater/internal/attack"
-	"lotuseater/internal/gossip"
+	"lotuseater/internal/cli"
 )
 
 func main() {
@@ -23,58 +30,49 @@ func main() {
 	}
 }
 
+func usage() string {
+	return strings.TrimSpace(`
+usage: lotus-sim <command> [flags]
+
+commands:
+  list      show every registered experiment
+  run       run one experiment by name (-quality, -seed, -format)
+  figures   regenerate the paper's tables and figures (-exp, -quality, -csv)
+  gossip    run a single BAR Gossip simulation (default when given bare flags)
+  scrip     run the scrip-economy simulator
+  swarm     run the BitTorrent-like swarm simulator
+  token     run the Section 3 token-collecting model
+`)
+}
+
 func run(args []string) error {
-	fs := flag.NewFlagSet("lotus-sim", flag.ContinueOnError)
-	cfg := gossip.DefaultConfig()
-
-	attackName := fs.String("attack", "none", "attack kind: none|crash|ideal|trade")
-	fs.IntVar(&cfg.Nodes, "nodes", cfg.Nodes, "number of nodes")
-	fs.IntVar(&cfg.UpdatesPerRound, "updates", cfg.UpdatesPerRound, "updates released per round")
-	fs.IntVar(&cfg.Lifetime, "lifetime", cfg.Lifetime, "update lifetime in rounds")
-	fs.IntVar(&cfg.CopiesSeeded, "seeded", cfg.CopiesSeeded, "copies seeded per update")
-	fs.IntVar(&cfg.PushSize, "push", cfg.PushSize, "optimistic push size")
-	fs.IntVar(&cfg.BalanceSlack, "slack", cfg.BalanceSlack, "extra updates given in balanced exchanges (obedient variant)")
-	fs.IntVar(&cfg.Rounds, "rounds", cfg.Rounds, "simulation horizon")
-	fs.IntVar(&cfg.Warmup, "warmup", cfg.Warmup, "warmup rounds excluded from measurement")
-	fs.Float64Var(&cfg.AttackerFraction, "fraction", 0, "fraction of nodes the attacker controls")
-	fs.Float64Var(&cfg.SatiateFraction, "satiate", cfg.SatiateFraction, "fraction of the system targeted for satiation")
-	fs.IntVar(&cfg.RotatePeriod, "rotate", 0, "re-draw the satiated set every N rounds (0 = static)")
-	fs.Float64Var(&cfg.Altruism, "altruism", 0, "probability a satiated node serves anyway")
-	fs.Float64Var(&cfg.ObedientFraction, "obedient", 0, "fraction of honest nodes that are obedient")
-	fs.IntVar(&cfg.RateLimitPerPeer, "ratelimit", 0, "per-peer per-round acceptance cap enforced by obedient nodes")
-	fs.IntVar(&cfg.ReportThreshold, "report", 0, "report deliveries larger than this (0 = off)")
-	seed := fs.Uint64("seed", 1, "random seed")
-	verbose := fs.Bool("v", false, "print per-round delivery for honest nodes")
-
-	if err := fs.Parse(args); err != nil {
-		return err
+	w := os.Stdout
+	if len(args) == 0 {
+		return cli.Gossip(w, args)
 	}
-	kind, err := attack.ParseKind(*attackName)
-	if err != nil {
-		return err
-	}
-	cfg.Attack = kind
-
-	eng, err := gossip.New(cfg, *seed)
-	if err != nil {
-		return err
-	}
-	res, err := eng.Run()
-	if err != nil {
-		return err
-	}
-	fmt.Println(res)
-	if res.Usable() {
-		fmt.Printf("stream USABLE for isolated nodes (>= %.0f%% delivered)\n", cfg.UsableThreshold*100)
-	} else {
-		fmt.Printf("stream UNUSABLE for isolated nodes (< %.0f%% delivered)\n", cfg.UsableThreshold*100)
-	}
-	if *verbose {
-		for r, v := range res.PerRoundHonest {
-			if v >= 0 {
-				fmt.Printf("round %3d: honest=%.4f isolated=%.4f\n", r, v, res.PerRoundIsolated[r])
-			}
+	switch args[0] {
+	case "list":
+		return cli.List(w)
+	case "run":
+		return cli.RunExperiment(w, args[1:])
+	case "figures":
+		return cli.Figures(w, args[1:])
+	case "gossip":
+		return cli.Gossip(w, args[1:])
+	case "scrip":
+		return cli.Scrip(w, args[1:])
+	case "swarm":
+		return cli.Swarm(w, args[1:])
+	case "token":
+		return cli.Token(w, args[1:])
+	case "help", "-h", "-help", "--help":
+		fmt.Fprintln(w, usage())
+		return nil
+	default:
+		if strings.HasPrefix(args[0], "-") {
+			// Original single-run mode: lotus-sim -attack trade -fraction 0.22
+			return cli.Gossip(w, args)
 		}
+		return fmt.Errorf("unknown command %q\n%s", args[0], usage())
 	}
-	return nil
 }

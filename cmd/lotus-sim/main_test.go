@@ -50,3 +50,62 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+func TestListCommand(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCommandText(t *testing.T) {
+	if err := run([]string{"run", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCommandFormats(t *testing.T) {
+	for _, format := range []string{"text", "csv", "json"} {
+		args := []string{"run", "raretoken", "-quality", "quick", "-seed", "2", "-format", format}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+	}
+}
+
+func TestRunCommandUnknownExperiment(t *testing.T) {
+	if err := run([]string{"run", "bogus"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCommandMissingName(t *testing.T) {
+	if err := run([]string{"run"}); err == nil {
+		t.Fatal("missing experiment name accepted")
+	}
+}
+
+func TestGossipSubcommand(t *testing.T) {
+	args := []string{"gossip", "-attack", "crash", "-fraction", "0.1",
+		"-nodes", "80", "-rounds", "30", "-warmup", "8"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiguresSubcommand(t *testing.T) {
+	if err := run([]string{"figures", "-exp", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestHelp(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal(err)
+	}
+}

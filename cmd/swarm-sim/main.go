@@ -1,15 +1,15 @@
 // Command swarm-sim runs the BitTorrent-like swarm simulator with optional
-// lotus-eater attacks.
+// lotus-eater attacks. It is a thin wrapper over the shared CLI plumbing —
+// `lotus-sim swarm` is the same command.
 //
 //	swarm-sim -leechers 120 -pieces 128 -attack rare -uplink 64 -targets 2
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
-	"lotuseater/internal/swarm"
+	"lotuseater/internal/cli"
 )
 
 func main() {
@@ -20,66 +20,5 @@ func main() {
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("swarm-sim", flag.ContinueOnError)
-	cfg := swarm.DefaultConfig()
-	fs.IntVar(&cfg.Leechers, "leechers", cfg.Leechers, "number of leechers")
-	fs.IntVar(&cfg.Pieces, "pieces", cfg.Pieces, "file size in pieces")
-	fs.IntVar(&cfg.UploadSlots, "slots", cfg.UploadSlots, "unchoke slots per node")
-	fs.IntVar(&cfg.PeerSetSize, "peers", cfg.PeerSetSize, "peer-set size")
-	fs.IntVar(&cfg.Ticks, "ticks", cfg.Ticks, "horizon in ticks")
-	selection := fs.String("selection", "rarest", "piece selection: rarest|random")
-	endgame := fs.Bool("endgame", cfg.Endgame, "enable endgame mode")
-	fs.IntVar(&cfg.SeedDepartTick, "seeddepart", cfg.SeedDepartTick, "tick the initial seed leaves (0 = never)")
-	stay := fs.Bool("stay", cfg.SeedAfterComplete, "finished leechers keep seeding")
-
-	attackName := fs.String("attack", "off", "attack: off|top|rare")
-	fs.IntVar(&cfg.AttackerUplink, "uplink", 0, "attacker upload capacity (pieces/tick)")
-	fs.IntVar(&cfg.AttackTargets, "targets", 0, "concurrent satiation targets")
-	fs.IntVar(&cfg.AttackStartTick, "astart", 0, "attack start tick")
-	fs.IntVar(&cfg.AttackStopTick, "astop", 0, "attack stop tick (0 = never)")
-	seed := fs.Uint64("seed", 1, "random seed")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	switch *selection {
-	case "rarest":
-		cfg.Selection = swarm.SelectRarestFirst
-	case "random":
-		cfg.Selection = swarm.SelectRandom
-	default:
-		return fmt.Errorf("unknown selection %q (want rarest|random)", *selection)
-	}
-	switch *attackName {
-	case "off":
-		cfg.Attack = swarm.AttackOff
-	case "top":
-		cfg.Attack = swarm.AttackTopUploaders
-	case "rare":
-		cfg.Attack = swarm.AttackRarePieceHolders
-	default:
-		return fmt.Errorf("unknown attack %q (want off|top|rare)", *attackName)
-	}
-	cfg.Endgame = *endgame
-	cfg.SeedAfterComplete = *stay
-
-	sim, err := swarm.New(cfg, *seed)
-	if err != nil {
-		return err
-	}
-	res, err := sim.Run()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("swarm: %d leechers, %d pieces, %s selection, attack=%s\n",
-		cfg.Leechers, cfg.Pieces, cfg.Selection, cfg.Attack)
-	fmt.Printf("  completed fraction:  %.3f\n", res.CompletedFraction)
-	fmt.Printf("  mean completion:     %.1f ticks\n", res.MeanCompletionTick)
-	fmt.Printf("  median completion:   %.1f ticks\n", res.MedianCompletionTick)
-	fmt.Printf("  lost pieces:         %d\n", res.LostPieces)
-	if cfg.Attack != swarm.AttackOff {
-		fmt.Printf("  attacker uploaded:   %d pieces\n", res.AttackerUploaded)
-		fmt.Printf("  satiated by attacker: %d leechers\n", res.SatiatedByAttacker)
-	}
-	return nil
+	return cli.Swarm(os.Stdout, args)
 }

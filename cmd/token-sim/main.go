@@ -1,20 +1,18 @@
 // Command token-sim explores the abstract token-collecting model of
 // Section 3 of the paper: a system (G, T, sat, f, c, a) with an attacker
-// that instantly satiates a chosen set of nodes each round.
+// that instantly satiates a chosen set of nodes each round. It is a thin
+// wrapper over the shared CLI plumbing — `lotus-sim token` is the same
+// command.
 //
 //	token-sim -graph grid -rows 16 -cols 16 -tokens 50 -cut 8
 //	token-sim -graph random -n 200 -tokens 50 -satiate 100 -altruism 0.1
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
-	"lotuseater/internal/attack"
-	"lotuseater/internal/graph"
-	"lotuseater/internal/simrng"
-	"lotuseater/internal/tokenmodel"
+	"lotuseater/internal/cli"
 )
 
 func main() {
@@ -25,83 +23,5 @@ func main() {
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("token-sim", flag.ContinueOnError)
-	graphKind := fs.String("graph", "complete", "topology: complete|grid|ring|random|smallworld")
-	n := fs.Int("n", 100, "nodes (complete/ring/random/smallworld)")
-	rows := fs.Int("rows", 16, "grid rows")
-	cols := fs.Int("cols", 16, "grid cols")
-	p := fs.Float64("p", 0.05, "edge probability for random graphs")
-	tokens := fs.Int("tokens", 20, "token universe size |T|")
-	contacts := fs.Int("contacts", 2, "contact budget c per round")
-	altruism := fs.Float64("altruism", 0, "probability a satiated node responds (a)")
-	rounds := fs.Int("rounds", 100, "horizon")
-	satiate := fs.Int("satiate", 0, "random nodes the attacker satiates each round")
-	cut := fs.Int("cut", -1, "satiate this grid column instead (grid only)")
-	seed := fs.Uint64("seed", 1, "random seed")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	rng := simrng.New(*seed)
-	var g *graph.Graph
-	switch *graphKind {
-	case "complete":
-		g = graph.Complete(*n)
-	case "grid":
-		g = graph.Grid(*rows, *cols)
-	case "ring":
-		g = graph.Ring(*n)
-	case "random":
-		g = graph.Random(*n, *p, rng.Child("graph"))
-	case "smallworld":
-		g = graph.SmallWorld(*n, 2, 0.1, rng.Child("graph"))
-	default:
-		return fmt.Errorf("unknown graph %q", *graphKind)
-	}
-
-	cfg := tokenmodel.Config{
-		Graph:    g,
-		Tokens:   *tokens,
-		Contacts: *contacts,
-		Altruism: *altruism,
-		Rounds:   *rounds,
-	}
-
-	var opts []tokenmodel.Option
-	switch {
-	case *cut >= 0:
-		if *graphKind != "grid" {
-			return fmt.Errorf("-cut requires -graph grid")
-		}
-		targets := graph.GridColumnCut(*rows, *cols, *cut)
-		opts = append(opts, tokenmodel.WithTargeter(attack.NewListTargeter(g.N(), targets)))
-		fmt.Printf("attack: satiating grid column %d (%d nodes)\n", *cut, len(targets))
-	case *satiate > 0:
-		targets := rng.Child("targets").SampleInts(g.N(), min(*satiate, g.N()))
-		opts = append(opts, tokenmodel.WithTargeter(attack.NewListTargeter(g.N(), targets)))
-		fmt.Printf("attack: satiating %d random nodes\n", len(targets))
-	}
-
-	sim, err := tokenmodel.New(cfg, rng.Child("run").Uint64(), opts...)
-	if err != nil {
-		return err
-	}
-	res, err := sim.Run()
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("token model: %s graph, %d nodes, %d tokens, c=%d, a=%.2f\n",
-		*graphKind, g.N(), *tokens, *contacts, *altruism)
-	fmt.Printf("  completed fraction:    %.4f\n", res.CompletedFraction)
-	fmt.Printf("  all satiated at round: %d\n", res.AllSatiatedRound)
-	fmt.Printf("  mean completion round: %.1f\n", res.MeanCompletionRound)
-	minCov, minTok := 2.0, -1
-	for tok, cov := range res.TokenCoverage {
-		if cov < minCov {
-			minCov, minTok = cov, tok
-		}
-	}
-	fmt.Printf("  worst token coverage:  token %d at %.4f\n", minTok, minCov)
-	return nil
+	return cli.Token(os.Stdout, args)
 }

@@ -1,835 +1,143 @@
 package lotuseater
 
 import (
-	"fmt"
-
-	"lotuseater/internal/attack"
-	"lotuseater/internal/coding"
-	"lotuseater/internal/gossip"
-	"lotuseater/internal/graph"
+	"lotuseater/internal/experiment"
 	"lotuseater/internal/metrics"
-	"lotuseater/internal/scrip"
-	"lotuseater/internal/simrng"
-	"lotuseater/internal/swarm"
-	"lotuseater/internal/sweep"
-	"lotuseater/internal/tokenmodel"
 )
+
+// The experiment drivers live in internal/experiment, where each one is
+// also a named entry in the experiment registry (run `lotus-sim list` for
+// the catalogue, or call Experiments / RunExperiment from Go). This file
+// keeps the original top-level API as thin shims over that package.
 
 // Series re-exports the metrics series type used by all experiment drivers.
 type Series = metrics.Series
 
+// Artifact is a named experiment output (series or table) with text, CSV,
+// and JSON encoders.
+type Artifact = metrics.Artifact
+
 // Quality controls the fidelity/runtime trade-off of an experiment sweep.
-type Quality struct {
-	// Points is the number of x-axis samples.
-	Points int
-	// Seeds is the number of replications averaged per point.
-	Seeds int
-}
+type Quality = experiment.Quality
+
+// ExperimentEntry is a named, self-describing experiment in the registry.
+type ExperimentEntry = experiment.Experiment
+
+// GridCutResult is one row of the grid-cut experiment (E2).
+type GridCutResult = experiment.GridCutResult
+
+// SwarmRow is one scenario of the swarm experiment (E5).
+type SwarmRow = experiment.SwarmRow
+
+// RotatingResult summarizes one arm of the rotating-target experiment (E9).
+type RotatingResult = experiment.RotatingResult
 
 // FullQuality reproduces the figures at paper fidelity.
-func FullQuality() Quality { return Quality{Points: 26, Seeds: 5} }
+func FullQuality() Quality { return experiment.FullQuality() }
 
 // QuickQuality is for tests and smoke runs.
-func QuickQuality() Quality { return Quality{Points: 6, Seeds: 1} }
+func QuickQuality() Quality { return experiment.QuickQuality() }
 
-func (q Quality) normalize() Quality {
-	if q.Points < 2 {
-		q.Points = 2
-	}
-	if q.Seeds < 1 {
-		q.Seeds = 1
-	}
-	return q
-}
+// Experiments returns every registered experiment sorted by name.
+func Experiments() []ExperimentEntry { return experiment.All() }
 
-// gossipDeliverySweep sweeps attacker fraction for one attack/config
-// variant and returns the isolated-node delivery series.
-func gossipDeliverySweep(name string, base GossipConfig, kind AttackKind, xs []float64, seeds int, seed uint64) *Series {
-	return sweep.Run(sweep.Config{Name: name, Xs: xs, Seeds: seeds}, seed, func(x float64, rng *simrng.Source) float64 {
-		cfg := base
-		cfg.Attack = kind
-		cfg.AttackerFraction = x
-		if x == 0 {
-			cfg.Attack = attack.None
-		}
-		eng, err := gossip.New(cfg, rng.Uint64())
-		if err != nil {
-			return 0
-		}
-		res, err := eng.Run()
-		if err != nil {
-			return 0
-		}
-		return res.Isolated.MeanDelivery
-	})
+// RunExperiment executes a registered experiment by name, e.g. "figure1".
+func RunExperiment(name string, seed uint64, q Quality) (*Artifact, error) {
+	return experiment.Run(name, seed, q)
 }
 
 // Figure1 regenerates Figure 1 of the paper: fraction of updates received
 // by isolated nodes versus the fraction of nodes controlled by the
 // attacker, for the crash, ideal lotus-eater, and trade lotus-eater
 // attacks, at Table 1 parameters (push size 2).
-func Figure1(seed uint64, q Quality) []*Series {
-	q = q.normalize()
-	base := gossip.DefaultConfig()
-	xs := sweep.Range(0, 0.9, q.Points)
-	return []*Series{
-		gossipDeliverySweep("crash", base, attack.Crash, xs, q.Seeds, seed),
-		gossipDeliverySweep("ideal-lotus-eater", base, attack.Ideal, xs, q.Seeds, seed),
-		gossipDeliverySweep("trade-lotus-eater", base, attack.Trade, xs, q.Seeds, seed),
-	}
-}
+func Figure1(seed uint64, q Quality) []*Series { return experiment.Figure1(seed, q) }
 
 // Figure2 regenerates Figure 2: the same three attacks with the optimistic
 // push size raised to 10, which makes partial satiation far less effective.
-func Figure2(seed uint64, q Quality) []*Series {
-	q = q.normalize()
-	base := gossip.DefaultConfig()
-	base.PushSize = 10
-	xs := sweep.Range(0, 0.9, q.Points)
-	return []*Series{
-		gossipDeliverySweep("crash", base, attack.Crash, xs, q.Seeds, seed),
-		gossipDeliverySweep("ideal-lotus-eater", base, attack.Ideal, xs, q.Seeds, seed),
-		gossipDeliverySweep("trade-lotus-eater", base, attack.Trade, xs, q.Seeds, seed),
-	}
-}
+func Figure2(seed uint64, q Quality) []*Series { return experiment.Figure2(seed, q) }
 
 // Figure3 regenerates Figure 3: the trade lotus-eater attack against the
 // obedient "slightly unbalanced exchange" variant (give one more update
 // than received), alone and combined with a push size of 4.
-func Figure3(seed uint64, q Quality) []*Series {
-	q = q.normalize()
-	xs := sweep.Range(0, 0.7, q.Points)
-	variant := func(name string, pushSize, slack int) *Series {
-		base := gossip.DefaultConfig()
-		base.PushSize = pushSize
-		base.BalanceSlack = slack
-		return gossipDeliverySweep(name, base, attack.Trade, xs, q.Seeds, seed)
-	}
-	return []*Series{
-		variant("push2-balanced", 2, 0),
-		variant("push2-unbalanced", 2, 1),
-		variant("push4-balanced", 4, 0),
-		variant("push4-unbalanced", 4, 1),
-	}
-}
+func Figure3(seed uint64, q Quality) []*Series { return experiment.Figure3(seed, q) }
 
 // AltruismExperiment (E1) sweeps the token model's altruism parameter a
-// under a static satiation attack on half the system. Satiated nodes are
-// dead weight at a = 0 (the isolated half gossips on a diluted graph and
-// stalls); as a grows, satiated nodes keep responding and the isolated half
-// completes. The y value is the completed fraction among non-targets.
+// under a static satiation attack on half the system.
 func AltruismExperiment(seed uint64, q Quality) *Series {
-	q = q.normalize()
-	// The transition happens at very small a: even a few-percent chance of
-	// a satiated node responding restores the isolated half. Sweep the
-	// interesting region.
-	xs := sweep.Range(0, 0.1, q.Points)
-	return sweep.Run(sweep.Config{Name: "isolated-completed-fraction", Xs: xs, Seeds: q.Seeds}, seed, func(a float64, rng *simrng.Source) float64 {
-		const n = 200
-		g := graph.RandomRegularish(n, 4, rng.Child("graph"))
-		cfg := tokenmodel.Config{
-			Graph:    g,
-			Tokens:   50,
-			Contacts: 2,
-			Altruism: a,
-			Rounds:   80,
-		}
-		targets := rng.Child("targets").SampleInts(n, n/2)
-		sim, err := tokenmodel.New(cfg, rng.Uint64(), tokenmodel.WithTargeter(attack.NewListTargeter(n, targets)))
-		if err != nil {
-			return 0
-		}
-		if _, err := sim.Run(); err != nil {
-			return 0
-		}
-		isTarget := make([]bool, n)
-		for _, t := range targets {
-			isTarget[t] = true
-		}
-		done, total := 0, 0
-		for v := 0; v < n; v++ {
-			if isTarget[v] {
-				continue
-			}
-			total++
-			if sim.Satiated(v) {
-				done++
-			}
-		}
-		if total == 0 {
-			return 0
-		}
-		return float64(done) / float64(total)
-	})
-}
-
-// GridCutResult is one row of the grid-cut experiment (E2).
-type GridCutResult struct {
-	Topology string
-	// SatiatedNodes is the attack cost (16 of 256 nodes for the cut).
-	SatiatedNodes int
-	// RareTokenCoverage is the fraction of nodes ever holding the rare
-	// token — the denial metric.
-	RareTokenCoverage float64
-	// CompletedFraction is the fraction of nodes that collected everything.
-	CompletedFraction float64
+	return experiment.AltruismExperiment(seed, q)
 }
 
 // GridCutExperiment (E2) satiates a column of a 16x16 grid — a cheap cut —
-// versus the same number of random nodes in a degree-matched random graph,
-// with altruism a = 0 so satiated nodes are true barriers. A rare token
-// lives only on the grid's left edge; with the column satiated, "nodes on
-// that side of the cut will never be able to collect all the tokens": the
-// rare token's coverage pins to the left side exactly. The random graph has
-// no cheap cut, so the same-sized attack leaves coverage at 1.
-//
-// Note the pure a = 0 model is absorbing — nodes that complete naturally
-// stop serving too, so CompletedFraction stalls near zero even without an
-// attack (a dynamic the paper itself points out). Coverage of the rare
-// token is the meaningful denial metric.
+// versus the same number of random nodes in a degree-matched random graph.
 func GridCutExperiment(seed uint64) ([]GridCutResult, error) {
-	const (
-		rows, cols = 16, 16
-		cutCol     = 8
-		tokens     = 50
-		rareCopies = 16
-	)
-	rng := simrng.New(seed)
-	n := rows * cols
-
-	// Tokens 1..49 are spread uniformly at random; token 0's five holders
-	// sit on the left edge (grid) or anywhere (random graph — placement is
-	// irrelevant without a cut).
-	alloc := make([]int, n)
-	allocRNG := rng.Child("alloc")
-	for v := range alloc {
-		alloc[v] = 1 + allocRNG.IntN(tokens-1)
-	}
-	for i := 0; i < rareCopies; i++ {
-		alloc[(rows/rareCopies*i)*cols+0] = 0
-	}
-	cut := graph.GridColumnCut(rows, cols, cutCol)
-
-	run := func(name string, g *graph.Graph, targets []int, runSeed uint64) (GridCutResult, error) {
-		cfg := tokenmodel.Config{
-			Graph:      g,
-			Tokens:     tokens,
-			Contacts:   2,
-			Altruism:   0,
-			Rounds:     120,
-			Allocation: alloc,
-		}
-		sim, err := tokenmodel.New(cfg, runSeed, tokenmodel.WithTargeter(attack.NewListTargeter(n, targets)))
-		if err != nil {
-			return GridCutResult{}, err
-		}
-		res, err := sim.Run()
-		if err != nil {
-			return GridCutResult{}, err
-		}
-		return GridCutResult{
-			Topology:          name,
-			SatiatedNodes:     len(targets),
-			RareTokenCoverage: res.TokenCoverage[0],
-			CompletedFraction: res.CompletedFraction,
-		}, nil
-	}
-
-	grid := graph.Grid(rows, cols)
-	random := graph.RandomRegularish(n, 4, rng.Child("random-graph"))
-	randomTargets := rng.Child("random-targets").SampleInts(n, len(cut))
-
-	var out []GridCutResult
-	for _, spec := range []struct {
-		name    string
-		g       *graph.Graph
-		targets []int
-	}{
-		{"grid/no-attack", grid, nil},
-		{"grid/column-cut", grid, cut},
-		{"random/no-attack", random, nil},
-		{"random/same-size-target", random, randomTargets},
-	} {
-		row, err := run(spec.name, spec.g, spec.targets, rng.Child("run-"+spec.name).Uint64())
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, row)
-	}
-	return out, nil
+	return experiment.GridCutExperiment(seed)
 }
 
 // RareTokenExperiment (E3) satiates the single initial holder of a rare
-// token and sweeps altruism a: with a = 0 the whole system is denied that
-// token for the cost of satiating one node; any a > 0 eventually leaks it.
+// token and sweeps altruism a.
 func RareTokenExperiment(seed uint64, q Quality) *Series {
-	q = q.normalize()
-	xs := sweep.Range(0, 0.3, q.Points)
-	return sweep.Run(sweep.Config{Name: "completed-fraction", Xs: xs, Seeds: q.Seeds}, seed, func(a float64, rng *simrng.Source) float64 {
-		const n, tokens = 100, 10
-		alloc := make([]int, n)
-		alloc[0] = 0 // node 0 is the sole holder of token 0
-		for v := 1; v < n; v++ {
-			alloc[v] = 1 + (v-1)%(tokens-1)
-		}
-		cfg := tokenmodel.Config{
-			Graph:      graph.Complete(n),
-			Tokens:     tokens,
-			Contacts:   1,
-			Altruism:   a,
-			Rounds:     60,
-			Allocation: alloc,
-		}
-		sim, err := tokenmodel.New(cfg, rng.Uint64(), tokenmodel.WithTargeter(attack.NewListTargeter(n, []int{0})))
-		if err != nil {
-			return 0
-		}
-		res, err := sim.Run()
-		if err != nil {
-			return 0
-		}
-		return res.CompletedFraction
-	})
+	return experiment.RareTokenExperiment(seed, q)
 }
 
 // ScripMoneySupplyExperiment (E4a) sweeps the fraction of agents the
-// attacker tries to keep satiated when it must finance the attack from
-// in-system earnings (5% attacker agents, no exogenous budget). The y value
-// is the time-average fraction of targets actually held at threshold: it
-// collapses as the targeted fraction grows, reproducing "it is easy for an
-// attacker to accumulate enough money to satiate a few nodes, [but] there
-// may not even be enough money in the system to satiate a significant
-// fraction". At x = 0 there are no targets and the value is vacuously 1.
+// attacker tries to keep satiated from in-system earnings alone.
 func ScripMoneySupplyExperiment(seed uint64, q Quality) *Series {
-	q = q.normalize()
-	xs := sweep.Range(0, 0.8, q.Points)
-	return sweep.Run(sweep.Config{Name: "satiated-fraction(earned-budget)", Xs: xs, Seeds: q.Seeds}, seed, func(x float64, rng *simrng.Source) float64 {
-		cfg := scrip.DefaultConfig()
-		cfg.AttackerFraction = 0.05
-		sim, err := scrip.New(cfg, rng.Uint64())
-		if err != nil {
-			return 0
-		}
-		var targets []int
-		want := int(x * float64(cfg.Agents))
-		for i := 0; i < cfg.Agents && len(targets) < want; i++ {
-			if sim.Kind(i) != scrip.AttackerAgent {
-				targets = append(targets, i)
-			}
-		}
-		if len(targets) > 0 {
-			if err := sim.Attack(scrip.AttackPlan{Targets: targets, Budget: 0, StartRound: 1000}); err != nil {
-				return 0
-			}
-		}
-		res, err := sim.Run()
-		if err != nil {
-			return 0
-		}
-		if x == 0 {
-			return 1 // vacuously satiated: no targets
-		}
-		return res.SatiatedTargetFraction
-	})
+	return experiment.ScripMoneySupplyExperiment(seed, q)
 }
 
 // ScripRareProviderExperiment (E4b) reproduces the paper's rare-resource
-// harm: only ten agents can serve "specialty" requests ("users who control
-// important or rare resources"), and the attacker keeps exactly those
-// agents satiated for as long as its scrip budget lasts. Specialty
-// availability collapses in proportion to the budget — the attack's
-// cost/harm curve. A second arm makes two of the ten providers altruists
-// (the "encouraging altruism" defense): they serve regardless of balance,
-// and availability stays high at every budget.
+// harm and the altruist-provider defense.
 func ScripRareProviderExperiment(seed uint64, q Quality) []*Series {
-	q = q.normalize()
-	xs := []float64{0, 50, 100, 200, 400, 800, 1600, 3200}
-	run := func(altruistProviders int) func(x float64, rng *simrng.Source) float64 {
-		return func(x float64, rng *simrng.Source) float64 {
-			cfg := scrip.DefaultConfig()
-			cfg.AltruistProviders = altruistProviders
-			// Specialty demand is tuned so providers' earn rate roughly
-			// matches their spend rate; otherwise rare providers satiate
-			// organically (earning much faster than they spend) and the
-			// attack has nothing left to deny.
-			cfg.SpecialProviders = 10
-			cfg.SpecialRequestFraction = 0.05
-			sim, err := scrip.New(cfg, rng.Uint64())
-			if err != nil {
-				return 0
-			}
-			if x > 0 {
-				targets := make([]int, cfg.SpecialProviders)
-				for i := range targets {
-					targets[i] = i
-				}
-				if err := sim.Attack(scrip.AttackPlan{Targets: targets, Budget: int(x), StartRound: 1000}); err != nil {
-					return 0
-				}
-			}
-			res, err := sim.Run()
-			if err != nil {
-				return 0
-			}
-			return res.SpecialAvailability
-		}
-	}
-	attacked := sweep.Run(sweep.Config{Name: "specialty-availability", Xs: xs, Seeds: q.Seeds}, seed, run(0))
-	defended := sweep.Run(sweep.Config{Name: "specialty-availability(2-altruist-providers)", Xs: xs, Seeds: q.Seeds}, seed+1, run(2))
-	return []*Series{attacked, defended}
+	return experiment.ScripRareProviderExperiment(seed, q)
 }
 
 // SatiateFractionAblation (A1) reproduces the paper's reasoning for
-// targeting 70% of the system: "it strikes a balance between the need to
-// satiate enough nodes to limit trade opportunities for isolated nodes and
-// a desire to isolate as many as possible." At a fixed attacker fraction,
-// sweep the satiation target and report isolated-node delivery — the
-// attacker wants to starve as many nodes as possible. Satiating more nodes
-// starves each isolated node harder (fewer trading partners) but shrinks
-// the isolated population — so per-victim damage rises monotonically while
-// the *victim count* (isolated nodes with unusable service) peaks in
-// between, which is what makes ~70% the attacker's sweet spot. Returns both
-// series: "isolated-delivery" and "unusable-victims".
+// targeting 70% of the system.
 func SatiateFractionAblation(seed uint64, q Quality) []*Series {
-	q = q.normalize()
-	xs := sweep.Range(0.3, 0.95, q.Points)
-	run := func(x float64, rng *simrng.Source) (gossip.Result, error) {
-		cfg := gossip.DefaultConfig()
-		cfg.Attack = attack.Trade
-		cfg.AttackerFraction = 0.25
-		cfg.SatiateFraction = x
-		eng, err := gossip.New(cfg, rng.Uint64())
-		if err != nil {
-			return gossip.Result{}, err
-		}
-		return eng.Run()
-	}
-	delivery := sweep.Run(sweep.Config{Name: "isolated-delivery", Xs: xs, Seeds: q.Seeds}, seed, func(x float64, rng *simrng.Source) float64 {
-		res, err := run(x, rng)
-		if err != nil {
-			return 0
-		}
-		return res.Isolated.MeanDelivery
-	})
-	victims := sweep.Run(sweep.Config{Name: "unusable-victims", Xs: xs, Seeds: q.Seeds}, seed, func(x float64, rng *simrng.Source) float64 {
-		res, err := run(x, rng)
-		if err != nil {
-			return 0
-		}
-		return float64(res.Isolated.Nodes) * (1 - res.Isolated.UsableFraction)
-	})
-	return []*Series{delivery, victims}
+	return experiment.SatiateFractionAblation(seed, q)
 }
 
-// ScripInflationExperiment (E10, an extension beyond the paper) exposes an
-// emergent system-wide variant of the lotus-eater attack that the money
-// model makes possible: the attacker does not target anyone in particular —
-// it simply gifts scrip to arbitrary agents. The money circulates, every
-// balance drifts above the threshold, and the whole economy satiates: no
-// one needs to earn, so no one volunteers. This is the monetary-inflation
-// analogue of the altruist-driven crash in the paper's reference [14].
-// Returns overall availability versus scrip injected (per capita).
-//
-// The dose-response is dramatic: small injections *help* (paying customers
-// stop going broke), but once the gift lifts every balance to the
-// threshold, the economy freezes permanently — with no volunteers there is
-// no service, hence no spending, hence no one ever dips back below the
-// threshold. A fixed-supply scrip system has a finite, computable budget
-// that kills it outright.
+// ScripInflationExperiment (E10, extension) satiates the whole economy by
+// untargeted scrip gifts.
 func ScripInflationExperiment(seed uint64, q Quality) *Series {
-	q = q.normalize()
-	xs := []float64{0, 1, 2, 2.25, 2.5, 2.75, 3, 4}
-	return sweep.Run(sweep.Config{Name: "availability", Xs: xs, Seeds: q.Seeds}, seed, func(x float64, rng *simrng.Source) float64 {
-		cfg := scrip.DefaultConfig()
-		sim, err := scrip.New(cfg, rng.Uint64())
-		if err != nil {
-			return 0
-		}
-		// Mint x scrip per capita as unconditional gifts — no targeting at
-		// all; the inflation itself is the attack. Fractional per-capita
-		// amounts distribute the remainder one unit at a time.
-		total := int(x * float64(cfg.Agents))
-		each := total / cfg.Agents
-		rem := total % cfg.Agents
-		for i := 0; i < cfg.Agents; i++ {
-			amount := each
-			if i < rem {
-				amount++
-			}
-			if err := sim.Mint(i, amount); err != nil {
-				return 0
-			}
-		}
-		res, err := sim.Run()
-		if err != nil {
-			return 0
-		}
-		return res.Availability
-	})
+	return experiment.ScripInflationExperiment(seed, q)
 }
 
-// ScripHoardingExperiment (E11, an extension beyond the paper) quantifies
-// the paper's closing remark that "nodes that provide a disproportionate
-// amount of service can become a point of centralization": attacker agents
-// here do nothing malicious except volunteer constantly and never spend.
-// Their hoarded earnings drain the fixed money supply until requesters
-// cannot pay. Returns availability for ordinary agents versus the hoarder
-// fraction.
+// ScripHoardingExperiment (E11, extension) shows service hoarders draining
+// the money supply.
 func ScripHoardingExperiment(seed uint64, q Quality) *Series {
-	q = q.normalize()
-	xs := sweep.Range(0, 0.25, q.Points)
-	return sweep.Run(sweep.Config{Name: "availability", Xs: xs, Seeds: q.Seeds}, seed, func(x float64, rng *simrng.Source) float64 {
-		cfg := scrip.DefaultConfig()
-		cfg.AttackerFraction = x
-		sim, err := scrip.New(cfg, rng.Uint64())
-		if err != nil {
-			return 0
-		}
-		res, err := sim.Run()
-		if err != nil {
-			return 0
-		}
-		return res.Availability
-	})
+	return experiment.ScripHoardingExperiment(seed, q)
 }
 
-// SwarmRow is one scenario of the swarm experiment (E5).
-type SwarmRow struct {
-	Scenario             string
-	CompletedFraction    float64
-	MeanCompletionTick   float64
-	MedianCompletionTick float64
-	LostPieces           int
-}
-
-// SwarmExperiment (E5) reproduces the paper's BitTorrent analysis:
-// satiating top uploaders in a seeded swarm does no damage — finished nodes
-// keep seeding, so the attacker's uploads are "often actually a net benefit
-// to the torrent" — and even the targeted rare-piece-holder attack on a
-// fragile swarm (initial seed departs, finished leechers leave) causes at
-// most marginal piece loss under either selection policy, while rarest-first
-// gives the healthier baseline. Rows average `seeds` independent runs.
+// SwarmExperiment (E5) reproduces the paper's BitTorrent analysis.
 func SwarmExperiment(seed uint64, seeds int) ([]SwarmRow, error) {
-	if seeds < 1 {
-		seeds = 1
-	}
-	rng := simrng.New(seed)
-	run := func(name string, mutate func(*swarm.Config)) (SwarmRow, error) {
-		row := SwarmRow{Scenario: name}
-		var lost float64
-		for rep := 0; rep < seeds; rep++ {
-			cfg := swarm.DefaultConfig()
-			mutate(&cfg)
-			sim, err := swarm.New(cfg, rng.ChildN(name, rep).Uint64())
-			if err != nil {
-				return SwarmRow{}, err
-			}
-			res, err := sim.Run()
-			if err != nil {
-				return SwarmRow{}, err
-			}
-			row.CompletedFraction += res.CompletedFraction
-			row.MeanCompletionTick += res.MeanCompletionTick
-			row.MedianCompletionTick += res.MedianCompletionTick
-			lost += float64(res.LostPieces)
-		}
-		row.CompletedFraction /= float64(seeds)
-		row.MeanCompletionTick /= float64(seeds)
-		row.MedianCompletionTick /= float64(seeds)
-		row.LostPieces = int(lost/float64(seeds) + 0.5)
-		return row, nil
-	}
-
-	fragile := func(cfg *swarm.Config) {
-		// The population the rare-piece attack needs: the initial seed
-		// departs early and finished leechers leave instead of seeding.
-		cfg.SeedDepartTick = 60
-		cfg.SeedAfterComplete = false
-		cfg.Ticks = 600
-	}
-	rareAttack := func(cfg *swarm.Config) {
-		cfg.Attack = swarm.AttackRarePieceHolders
-		cfg.AttackerUplink = 64
-		cfg.AttackTargets = 2
-		cfg.AttackStartTick = 10
-		cfg.AttackStopTick = 60 // a bounded campaign while pieces are scarce
-	}
-
-	var rows []SwarmRow
-	specs := []struct {
-		name   string
-		mutate func(*swarm.Config)
-	}{
-		{"baseline/rarest-first", func(cfg *swarm.Config) {}},
-		{"attack-top-uploaders", func(cfg *swarm.Config) {
-			cfg.Attack = swarm.AttackTopUploaders
-			cfg.AttackerUplink = 32
-			cfg.AttackTargets = 8
-		}},
-		{"fragile/no-attack/rarest-first", fragile},
-		{"fragile/rare-attack/rarest-first", func(cfg *swarm.Config) { fragile(cfg); rareAttack(cfg) }},
-		{"fragile/no-attack/random", func(cfg *swarm.Config) { fragile(cfg); cfg.Selection = swarm.SelectRandom }},
-		{"fragile/rare-attack/random", func(cfg *swarm.Config) {
-			fragile(cfg)
-			rareAttack(cfg)
-			cfg.Selection = swarm.SelectRandom
-		}},
-	}
-	for _, spec := range specs {
-		row, err := run(spec.name, spec.mutate)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return experiment.SwarmExperiment(seed, seeds)
 }
 
 // CodingExperiment (E6) compares plain token gossip against random linear
-// network coding under the rare-token attack: the attacker satiates the s
-// unique holders of s source symbols. Plain dissemination loses those
-// symbols outright; coded dissemination is indifferent because every packet
-// mixes all symbols. Returns mean progress (fraction of the file
-// reconstructible) versus s for both modes.
+// network coding under the rare-token attack.
 func CodingExperiment(seed uint64, q Quality) []*Series {
-	q = q.normalize()
-	const (
-		n       = 120
-		symbols = 24
-	)
-	xs := make([]float64, 0, 7)
-	for s := 0; s <= 12; s += 2 {
-		xs = append(xs, float64(s))
-	}
-
-	runMode := func(name string, coded bool, offset uint64) *Series {
-		return sweep.Run(sweep.Config{Name: name, Xs: xs, Seeds: q.Seeds}, seed+offset, func(x float64, rng *simrng.Source) float64 {
-			s := int(x)
-			// Unique holders: node i holds symbol i for i < symbols; the
-			// rest duplicate symbols >= s (so only the first s symbols are
-			// rare).
-			alloc := make([]int, n)
-			for v := 0; v < n; v++ {
-				if v < symbols {
-					alloc[v] = v
-				} else {
-					alloc[v] = symbols - 1 - (v % (symbols - 12))
-				}
-			}
-			targets := make([]int, s)
-			for i := range targets {
-				targets[i] = i
-			}
-			cfg := coding.DisseminationConfig{
-				Graph:       graph.RandomRegularish(n, 4, rng.Child("graph")),
-				Symbols:     symbols,
-				PayloadSize: 32,
-				Contacts:    2,
-				Rounds:      50,
-				Coded:       coded,
-				Allocation:  alloc,
-			}
-			var t attack.Targeter
-			if s > 0 {
-				t = attack.NewListTargeter(n, targets)
-			}
-			sim, err := coding.NewDissemination(cfg, rng.Uint64(), t)
-			if err != nil {
-				return 0
-			}
-			res, err := sim.Run()
-			if err != nil {
-				return 0
-			}
-			return res.MeanProgress
-		})
-	}
-	return []*Series{
-		runMode("plain", false, 0),
-		runMode("coded", true, 1),
-	}
+	return experiment.CodingExperiment(seed, q)
 }
 
 // ReportingExperiment (E7) sweeps the obedient fraction under a trade
-// lotus-eater attack with the reporting defense on: obedient satiation
-// targets report the attacker's excessive deliveries using signed receipts,
-// and accused nodes are evicted. Returns isolated-node delivery and the
-// eviction count versus obedient fraction.
+// lotus-eater attack with the reporting defense on.
 func ReportingExperiment(seed uint64, q Quality) []*Series {
-	q = q.normalize()
-	xs := sweep.Range(0, 1, q.Points)
-	// Excess service beyond the balance slack is already a protocol
-	// violation (honest exchanges are one-for-one up to slack), so an
-	// excess of 2+ is reportable, and two independent witnesses suffice.
-	base := gossip.DefaultConfig()
-	base.Attack = attack.Trade
-	base.AttackerFraction = 0.30
-	base.ReportThreshold = 1
-	base.EvictAfterReports = 2
-
-	run := func(x float64, rng *simrng.Source) (gossip.Result, error) {
-		cfg := base
-		cfg.ObedientFraction = x
-		eng, err := gossip.New(cfg, rng.Uint64())
-		if err != nil {
-			return gossip.Result{}, err
-		}
-		return eng.Run()
-	}
-	delivery := sweep.Run(sweep.Config{Name: "isolated-delivery", Xs: xs, Seeds: q.Seeds}, seed, func(x float64, rng *simrng.Source) float64 {
-		res, err := run(x, rng)
-		if err != nil {
-			return 0
-		}
-		return res.Isolated.MeanDelivery
-	})
-	evictions := sweep.Run(sweep.Config{Name: "evicted-nodes", Xs: xs, Seeds: q.Seeds}, seed, func(x float64, rng *simrng.Source) float64 {
-		res, err := run(x, rng)
-		if err != nil {
-			return 0
-		}
-		return float64(res.Evictions)
-	})
-	return []*Series{delivery, evictions}
+	return experiment.ReportingExperiment(seed, q)
 }
 
-// RateLimitExperiment (E8) addresses Section 5's open problem: limit the
-// rate at which any peer can provide service so the attacker cannot
-// satiate "sufficiently rapidly". All honest nodes are obedient and accept
-// at most `cap` updates per peer per round. Returns isolated delivery under
-// an ideal lotus-eater attack and under no attack (the cost of the defense)
-// versus the cap; x = 0 means the limiter is off.
+// RateLimitExperiment (E8) sweeps the per-peer service rate cap against the
+// ideal lotus-eater attack.
 func RateLimitExperiment(seed uint64, q Quality) []*Series {
-	q = q.normalize()
-	xs := []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24}
-	run := func(kind AttackKind, fraction float64) func(x float64, rng *simrng.Source) float64 {
-		return func(x float64, rng *simrng.Source) float64 {
-			cfg := gossip.DefaultConfig()
-			cfg.Attack = kind
-			cfg.AttackerFraction = fraction
-			cfg.ObedientFraction = 1
-			cfg.RateLimitPerPeer = int(x)
-			eng, err := gossip.New(cfg, rng.Uint64())
-			if err != nil {
-				return 0
-			}
-			res, err := eng.Run()
-			if err != nil {
-				return 0
-			}
-			return res.Isolated.MeanDelivery
-		}
-	}
-	attacked := sweep.Run(sweep.Config{Name: "ideal-attack(10%)", Xs: xs, Seeds: q.Seeds}, seed, run(attack.Ideal, 0.10))
-	clean := sweep.Run(sweep.Config{Name: "no-attack", Xs: xs, Seeds: q.Seeds}, seed+1, run(attack.None, 0))
-	return []*Series{attacked, clean}
+	return experiment.RateLimitExperiment(seed, q)
 }
 
-// RotatingResult summarizes one arm of the rotating-target experiment (E9).
-type RotatingResult struct {
-	// Name labels the arm (static vs rotating).
-	Name string
-	// MeanDelivery is the honest population's overall delivery.
-	MeanDelivery float64
-	// NodesWithOutage is the fraction of honest nodes that experienced at
-	// least one epoch (RotatePeriod-round window) of unusable service.
-	NodesWithOutage float64
-	// MeanOutageEpochs is the average number of unusable epochs per honest
-	// node.
-	MeanOutageEpochs float64
-	// Epochs is how many measured epochs the run contained.
-	Epochs int
-}
-
-// RotatingExperiment (E9) demonstrates the paper's remark that "by changing
-// who is satiated over time, the attacker could even make the service
-// intermittently unusable for all nodes". It runs the trade attack twice —
-// with a static satiated set and with the set re-drawn every `period`
-// rounds — and reports, per arm, how many nodes ever suffered an unusable
-// window. Static: only the permanently isolated minority suffers. Rotating:
-// nearly every node takes its turn being starved.
+// RotatingExperiment (E9) contrasts static and rotating satiated sets.
 func RotatingExperiment(seed uint64, period int) ([]RotatingResult, error) {
-	run := func(name string, rotate int) (RotatingResult, error) {
-		cfg := gossip.DefaultConfig()
-		cfg.Attack = attack.Ideal
-		cfg.AttackerFraction = 0.08
-		cfg.RotatePeriod = rotate
-		cfg.Rounds = 15 + 10*period
-		cfg.TrackPerNode = true
-		eng, err := gossip.New(cfg, seed)
-		if err != nil {
-			return RotatingResult{}, err
-		}
-		res, err := eng.Run()
-		if err != nil {
-			return RotatingResult{}, err
-		}
-		out := RotatingResult{Name: name, MeanDelivery: res.AllHonest.MeanDelivery}
-		var outageNodes, honest int
-		var outageEpochs float64
-		for _, rounds := range res.NodeRoundDelivery {
-			// Group this node's measured rounds into period-length epochs.
-			type acc struct{ sum, n float64 }
-			epochs := map[int]*acc{}
-			for r, frac := range rounds {
-				if frac < 0 {
-					continue
-				}
-				ep := r / period
-				a := epochs[ep]
-				if a == nil {
-					a = &acc{}
-					epochs[ep] = a
-				}
-				a.sum += frac
-				a.n++
-			}
-			if len(epochs) == 0 {
-				continue // attacker node
-			}
-			honest++
-			if len(epochs) > out.Epochs {
-				out.Epochs = len(epochs)
-			}
-			bad := 0
-			for _, a := range epochs {
-				if a.sum/a.n < cfg.UsableThreshold {
-					bad++
-				}
-			}
-			if bad > 0 {
-				outageNodes++
-			}
-			outageEpochs += float64(bad)
-		}
-		if honest > 0 {
-			out.NodesWithOutage = float64(outageNodes) / float64(honest)
-			out.MeanOutageEpochs = outageEpochs / float64(honest)
-		}
-		return out, nil
-	}
-	staticArm, err := run("static", 0)
-	if err != nil {
-		return nil, err
-	}
-	rotatingArm, err := run("rotating", period)
-	if err != nil {
-		return nil, err
-	}
-	return []RotatingResult{staticArm, rotatingArm}, nil
+	return experiment.RotatingExperiment(seed, period)
 }
 
 // Table1 returns the paper's simulation parameters (Table 1) as rendered
 // rows, sourced from DefaultGossipConfig so the table cannot drift from the
 // code.
-func Table1() [][]string {
-	cfg := gossip.DefaultConfig()
-	return [][]string{
-		{"Parameter", "Value"},
-		{"Number of Nodes", fmt.Sprintf("%d", cfg.Nodes)},
-		{"Updates per Round", fmt.Sprintf("%d", cfg.UpdatesPerRound)},
-		{"Update Lifetime (rds)", fmt.Sprintf("%d", cfg.Lifetime)},
-		{"Copies Seeded", fmt.Sprintf("%d", cfg.CopiesSeeded)},
-		{"Opt. Push Size (upd)", fmt.Sprintf("%d", cfg.PushSize)},
-	}
-}
+func Table1() [][]string { return experiment.Table1() }

@@ -331,7 +331,7 @@ func TestFacadeConstructors(t *testing.T) {
 }
 
 func TestQualityNormalize(t *testing.T) {
-	q := Quality{}.normalize()
+	q := Quality{}.Normalize()
 	if q.Points < 2 || q.Seeds < 1 {
 		t.Fatalf("normalize gave %+v", q)
 	}

@@ -1,0 +1,3 @@
+module lotuseater
+
+go 1.24

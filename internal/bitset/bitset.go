@@ -83,6 +83,25 @@ func (s *Set) UnionWith(other *Set) int {
 	return added
 }
 
+// Clear resets every bit, keeping the capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.count = 0
+}
+
+// CopyFrom overwrites s with the contents of other. It panics if capacities
+// differ. Unlike Clone it allocates nothing, so hot loops can reuse one set
+// as a snapshot buffer.
+func (s *Set) CopyFrom(other *Set) {
+	if other.n != s.n {
+		panic("bitset: capacity mismatch")
+	}
+	copy(s.words, other.words)
+	s.count = other.count
+}
+
 // Clone returns an independent copy.
 func (s *Set) Clone() *Set {
 	out := &Set{words: make([]uint64, len(s.words)), n: s.n, count: s.count}

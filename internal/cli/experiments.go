@@ -1,0 +1,131 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"lotuseater/internal/experiment"
+	"lotuseater/internal/metrics"
+)
+
+// RunExperiment implements `lotus-sim run <experiment> [flags]`: it looks
+// the experiment up in the registry, runs it, and encodes the artifact.
+func RunExperiment(w io.Writer, args []string) error {
+	if len(args) == 0 || args[0] == "" || args[0][0] == '-' {
+		return fmt.Errorf("usage: lotus-sim run <experiment> [-quality quick|full] [-seed N] [-format text|csv|json]; `lotus-sim list` shows experiments")
+	}
+	name, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet("lotus-sim run", flag.ContinueOnError)
+	quality := fs.String("quality", "full", "sweep quality: full|quick")
+	seed := fs.Uint64("seed", 1, "random seed")
+	format := fs.String("format", "text", "output format: text|csv|json")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	q, err := experiment.ParseQuality(*quality)
+	if err != nil {
+		return err
+	}
+	f, err := ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	a, err := experiment.Run(name, *seed, q)
+	if err != nil {
+		return err
+	}
+	return EmitArtifact(w, a, f)
+}
+
+// List implements `lotus-sim list`: the experiment catalogue as an aligned
+// table of name and description.
+func List(w io.Writer) error {
+	rows := [][]string{{"experiment", "description"}}
+	for _, e := range experiment.All() {
+		rows = append(rows, []string{e.Name, e.Description})
+	}
+	_, err := io.WriteString(w, metrics.RenderRows(rows))
+	return err
+}
+
+// figuresOrder is the curated presentation order of the figures command —
+// the paper's tables and figures first, then extensions — with the legacy
+// experiment ids it has always accepted.
+var figuresOrder = []string{
+	"table1", "fig1", "fig2", "fig3", "altruism", "gridcut", "raretoken",
+	"scrip", "swarm", "coding", "reporting", "ratelimit", "rotating",
+	"inflation", "hoarding", "satiate-ablation",
+}
+
+// figuresAliases maps the figures command's legacy ids to registry names.
+// Most ids are registry names already; "scrip" expands to both scrip
+// experiments, matching the command's historical output.
+var figuresAliases = map[string][]string{
+	"fig1":  {"figure1"},
+	"fig2":  {"figure2"},
+	"fig3":  {"figure3"},
+	"scrip": {"scrip-money-supply", "scrip-rare-provider"},
+}
+
+// Figures implements the figures command: regenerate every table and figure
+// of the paper (or one of them, via -exp) as aligned text tables or CSV.
+func Figures(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id (table1|fig1|fig2|fig3|altruism|gridcut|raretoken|scrip|swarm|coding|reporting|ratelimit|rotating|inflation|hoarding|satiate-ablation|all)")
+	quality := fs.String("quality", "full", "sweep quality: full|quick")
+	seed := fs.Uint64("seed", 1, "random seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	q, err := experiment.ParseQuality(*quality)
+	if err != nil {
+		return err
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = figuresOrder
+	}
+	for _, id := range ids {
+		names, ok := figuresAliases[id]
+		if !ok {
+			names = []string{id}
+		}
+		for _, name := range names {
+			a, err := experiment.Run(name, *seed, q)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			if err := emitFigure(w, a, *csv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emitFigure prints one artifact in the figures command's traditional
+// layout: a "## title" header, the table or CSV body, crossover notes, and
+// a trailing blank line.
+func emitFigure(w io.Writer, a *metrics.Artifact, csv bool) error {
+	if csv && len(a.Table) == 0 {
+		if _, err := fmt.Fprintf(w, "## %s\n\n%s", a.Title, a.CSV()); err != nil {
+			return err
+		}
+		for _, n := range a.Notes {
+			if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+				return err
+			}
+		}
+	} else {
+		if _, err := io.WriteString(w, a.Text()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

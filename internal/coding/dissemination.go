@@ -102,6 +102,7 @@ func NewDissemination(cfg DisseminationConfig, seed uint64, targeter attack.Targ
 		rng:      simrng.New(seed),
 		targeter: targeter,
 	}
+	d.res.AllCompleteRound = -1
 	// Source symbols with recognizable deterministic payloads.
 	d.sources = make([][]byte, cfg.Symbols)
 	srcRNG := d.rng.Child("sources")
@@ -165,26 +166,53 @@ func (d *Dissemination) Progress(v int) float64 {
 
 // Run simulates the horizon.
 func (d *Dissemination) Run() (DisseminationResult, error) {
-	n := d.cfg.Graph.N()
-	d.res.AllCompleteRound = -1
-	for d.round = 0; d.round < d.cfg.Rounds; d.round++ {
-		if err := d.step(); err != nil {
+	for !d.Finished() {
+		if err := d.Step(); err != nil {
 			return DisseminationResult{}, err
-		}
-		if d.res.AllCompleteRound == -1 {
-			all := true
-			for v := 0; v < n; v++ {
-				if !d.satiated(v) {
-					all = false
-					break
-				}
-			}
-			if all {
-				d.res.AllCompleteRound = d.round
-			}
 		}
 	}
 	return d.finish()
+}
+
+// Step simulates one round: attacker satiation, then contact exchanges, and
+// finally the all-complete bookkeeping.
+func (d *Dissemination) Step() error {
+	if d.round >= d.cfg.Rounds {
+		return fmt.Errorf("coding: horizon of %d rounds exhausted", d.cfg.Rounds)
+	}
+	if err := d.step(); err != nil {
+		return err
+	}
+	if d.res.AllCompleteRound == -1 {
+		n := d.cfg.Graph.N()
+		all := true
+		for v := 0; v < n; v++ {
+			if !d.satiated(v) {
+				all = false
+				break
+			}
+		}
+		if all {
+			d.res.AllCompleteRound = d.round
+		}
+	}
+	d.round++
+	return nil
+}
+
+// Round returns the next round to simulate.
+func (d *Dissemination) Round() int { return d.round }
+
+// Finished reports whether the horizon has been reached.
+func (d *Dissemination) Finished() bool { return d.round >= d.cfg.Rounds }
+
+// Snapshot returns the DisseminationResult summarizing the run so far.
+func (d *Dissemination) Snapshot() (any, error) {
+	res, err := d.finish()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 func (d *Dissemination) step() error {

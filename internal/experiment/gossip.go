@@ -1,0 +1,312 @@
+package experiment
+
+import (
+	"fmt"
+
+	"lotuseater/internal/attack"
+	"lotuseater/internal/gossip"
+	"lotuseater/internal/metrics"
+	"lotuseater/internal/sim"
+	"lotuseater/internal/simrng"
+	"lotuseater/internal/sweep"
+)
+
+// Series re-exports the metrics series type used by all experiment drivers.
+type Series = metrics.Series
+
+// gossipDeliverySweep sweeps attacker fraction for one attack/config
+// variant and returns the isolated-node delivery series.
+func gossipDeliverySweep(name string, base gossip.Config, kind attack.Kind, xs []float64, seeds int, seed uint64) *Series {
+	return sweep.Run(sweep.Config{Name: name, Xs: xs, Seeds: seeds}, seed, func(x float64, rng *simrng.Source, _ *sim.Workspace) float64 {
+		cfg := base
+		cfg.Attack = kind
+		cfg.AttackerFraction = x
+		if x == 0 {
+			cfg.Attack = attack.None
+		}
+		eng, err := gossip.New(cfg, rng.Uint64())
+		if err != nil {
+			return 0
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return 0
+		}
+		return res.Isolated.MeanDelivery
+	})
+}
+
+// Figure1 regenerates Figure 1 of the paper: fraction of updates received
+// by isolated nodes versus the fraction of nodes controlled by the
+// attacker, for the crash, ideal lotus-eater, and trade lotus-eater
+// attacks, at Table 1 parameters (push size 2).
+func Figure1(seed uint64, q Quality) []*Series {
+	q = q.Normalize()
+	base := gossip.DefaultConfig()
+	xs := sweep.Range(0, 0.9, q.Points)
+	return []*Series{
+		gossipDeliverySweep("crash", base, attack.Crash, xs, q.Seeds, seed),
+		gossipDeliverySweep("ideal-lotus-eater", base, attack.Ideal, xs, q.Seeds, seed),
+		gossipDeliverySweep("trade-lotus-eater", base, attack.Trade, xs, q.Seeds, seed),
+	}
+}
+
+// Figure2 regenerates Figure 2: the same three attacks with the optimistic
+// push size raised to 10, which makes partial satiation far less effective.
+func Figure2(seed uint64, q Quality) []*Series {
+	q = q.Normalize()
+	base := gossip.DefaultConfig()
+	base.PushSize = 10
+	xs := sweep.Range(0, 0.9, q.Points)
+	return []*Series{
+		gossipDeliverySweep("crash", base, attack.Crash, xs, q.Seeds, seed),
+		gossipDeliverySweep("ideal-lotus-eater", base, attack.Ideal, xs, q.Seeds, seed),
+		gossipDeliverySweep("trade-lotus-eater", base, attack.Trade, xs, q.Seeds, seed),
+	}
+}
+
+// Figure3 regenerates Figure 3: the trade lotus-eater attack against the
+// obedient "slightly unbalanced exchange" variant (give one more update
+// than received), alone and combined with a push size of 4.
+func Figure3(seed uint64, q Quality) []*Series {
+	q = q.Normalize()
+	xs := sweep.Range(0, 0.7, q.Points)
+	variant := func(name string, pushSize, slack int) *Series {
+		base := gossip.DefaultConfig()
+		base.PushSize = pushSize
+		base.BalanceSlack = slack
+		return gossipDeliverySweep(name, base, attack.Trade, xs, q.Seeds, seed)
+	}
+	return []*Series{
+		variant("push2-balanced", 2, 0),
+		variant("push2-unbalanced", 2, 1),
+		variant("push4-balanced", 4, 0),
+		variant("push4-unbalanced", 4, 1),
+	}
+}
+
+// SatiateFractionAblation (A1) reproduces the paper's reasoning for
+// targeting 70% of the system: "it strikes a balance between the need to
+// satiate enough nodes to limit trade opportunities for isolated nodes and
+// a desire to isolate as many as possible." At a fixed attacker fraction,
+// sweep the satiation target and report isolated-node delivery — the
+// attacker wants to starve as many nodes as possible. Satiating more nodes
+// starves each isolated node harder (fewer trading partners) but shrinks
+// the isolated population — so per-victim damage rises monotonically while
+// the *victim count* (isolated nodes with unusable service) peaks in
+// between, which is what makes ~70% the attacker's sweet spot. Returns both
+// series: "isolated-delivery" and "unusable-victims".
+func SatiateFractionAblation(seed uint64, q Quality) []*Series {
+	q = q.Normalize()
+	xs := sweep.Range(0.3, 0.95, q.Points)
+	run := func(x float64, rng *simrng.Source) (gossip.Result, error) {
+		cfg := gossip.DefaultConfig()
+		cfg.Attack = attack.Trade
+		cfg.AttackerFraction = 0.25
+		cfg.SatiateFraction = x
+		eng, err := gossip.New(cfg, rng.Uint64())
+		if err != nil {
+			return gossip.Result{}, err
+		}
+		return eng.Run()
+	}
+	delivery := sweep.Run(sweep.Config{Name: "isolated-delivery", Xs: xs, Seeds: q.Seeds}, seed, func(x float64, rng *simrng.Source, _ *sim.Workspace) float64 {
+		res, err := run(x, rng)
+		if err != nil {
+			return 0
+		}
+		return res.Isolated.MeanDelivery
+	})
+	victims := sweep.Run(sweep.Config{Name: "unusable-victims", Xs: xs, Seeds: q.Seeds}, seed, func(x float64, rng *simrng.Source, _ *sim.Workspace) float64 {
+		res, err := run(x, rng)
+		if err != nil {
+			return 0
+		}
+		return float64(res.Isolated.Nodes) * (1 - res.Isolated.UsableFraction)
+	})
+	return []*Series{delivery, victims}
+}
+
+// ReportingExperiment (E7) sweeps the obedient fraction under a trade
+// lotus-eater attack with the reporting defense on: obedient satiation
+// targets report the attacker's excessive deliveries using signed receipts,
+// and accused nodes are evicted. Returns isolated-node delivery and the
+// eviction count versus obedient fraction.
+func ReportingExperiment(seed uint64, q Quality) []*Series {
+	q = q.Normalize()
+	xs := sweep.Range(0, 1, q.Points)
+	// Excess service beyond the balance slack is already a protocol
+	// violation (honest exchanges are one-for-one up to slack), so an
+	// excess of 2+ is reportable, and two independent witnesses suffice.
+	base := gossip.DefaultConfig()
+	base.Attack = attack.Trade
+	base.AttackerFraction = 0.30
+	base.ReportThreshold = 1
+	base.EvictAfterReports = 2
+
+	run := func(x float64, rng *simrng.Source) (gossip.Result, error) {
+		cfg := base
+		cfg.ObedientFraction = x
+		eng, err := gossip.New(cfg, rng.Uint64())
+		if err != nil {
+			return gossip.Result{}, err
+		}
+		return eng.Run()
+	}
+	delivery := sweep.Run(sweep.Config{Name: "isolated-delivery", Xs: xs, Seeds: q.Seeds}, seed, func(x float64, rng *simrng.Source, _ *sim.Workspace) float64 {
+		res, err := run(x, rng)
+		if err != nil {
+			return 0
+		}
+		return res.Isolated.MeanDelivery
+	})
+	evictions := sweep.Run(sweep.Config{Name: "evicted-nodes", Xs: xs, Seeds: q.Seeds}, seed, func(x float64, rng *simrng.Source, _ *sim.Workspace) float64 {
+		res, err := run(x, rng)
+		if err != nil {
+			return 0
+		}
+		return float64(res.Evictions)
+	})
+	return []*Series{delivery, evictions}
+}
+
+// RateLimitExperiment (E8) addresses Section 5's open problem: limit the
+// rate at which any peer can provide service so the attacker cannot
+// satiate "sufficiently rapidly". All honest nodes are obedient and accept
+// at most `cap` updates per peer per round. Returns isolated delivery under
+// an ideal lotus-eater attack and under no attack (the cost of the defense)
+// versus the cap; x = 0 means the limiter is off.
+func RateLimitExperiment(seed uint64, q Quality) []*Series {
+	q = q.Normalize()
+	xs := []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24}
+	run := func(kind attack.Kind, fraction float64) sweep.PointFunc {
+		return func(x float64, rng *simrng.Source, _ *sim.Workspace) float64 {
+			cfg := gossip.DefaultConfig()
+			cfg.Attack = kind
+			cfg.AttackerFraction = fraction
+			cfg.ObedientFraction = 1
+			cfg.RateLimitPerPeer = int(x)
+			eng, err := gossip.New(cfg, rng.Uint64())
+			if err != nil {
+				return 0
+			}
+			res, err := eng.Run()
+			if err != nil {
+				return 0
+			}
+			return res.Isolated.MeanDelivery
+		}
+	}
+	attacked := sweep.Run(sweep.Config{Name: "ideal-attack(10%)", Xs: xs, Seeds: q.Seeds}, seed, run(attack.Ideal, 0.10))
+	clean := sweep.Run(sweep.Config{Name: "no-attack", Xs: xs, Seeds: q.Seeds}, seed+1, run(attack.None, 0))
+	return []*Series{attacked, clean}
+}
+
+// RotatingResult summarizes one arm of the rotating-target experiment (E9).
+type RotatingResult struct {
+	// Name labels the arm (static vs rotating).
+	Name string
+	// MeanDelivery is the honest population's overall delivery.
+	MeanDelivery float64
+	// NodesWithOutage is the fraction of honest nodes that experienced at
+	// least one epoch (RotatePeriod-round window) of unusable service.
+	NodesWithOutage float64
+	// MeanOutageEpochs is the average number of unusable epochs per honest
+	// node.
+	MeanOutageEpochs float64
+	// Epochs is how many measured epochs the run contained.
+	Epochs int
+}
+
+// RotatingExperiment (E9) demonstrates the paper's remark that "by changing
+// who is satiated over time, the attacker could even make the service
+// intermittently unusable for all nodes". It runs the trade attack twice —
+// with a static satiated set and with the set re-drawn every `period`
+// rounds — and reports, per arm, how many nodes ever suffered an unusable
+// window. Static: only the permanently isolated minority suffers. Rotating:
+// nearly every node takes its turn being starved.
+func RotatingExperiment(seed uint64, period int) ([]RotatingResult, error) {
+	run := func(name string, rotate int) (RotatingResult, error) {
+		cfg := gossip.DefaultConfig()
+		cfg.Attack = attack.Ideal
+		cfg.AttackerFraction = 0.08
+		cfg.RotatePeriod = rotate
+		cfg.Rounds = 15 + 10*period
+		cfg.TrackPerNode = true
+		eng, err := gossip.New(cfg, seed)
+		if err != nil {
+			return RotatingResult{}, err
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return RotatingResult{}, err
+		}
+		out := RotatingResult{Name: name, MeanDelivery: res.AllHonest.MeanDelivery}
+		var outageNodes, honest int
+		var outageEpochs float64
+		for _, rounds := range res.NodeRoundDelivery {
+			// Group this node's measured rounds into period-length epochs.
+			type acc struct{ sum, n float64 }
+			epochs := map[int]*acc{}
+			for r, frac := range rounds {
+				if frac < 0 {
+					continue
+				}
+				ep := r / period
+				a := epochs[ep]
+				if a == nil {
+					a = &acc{}
+					epochs[ep] = a
+				}
+				a.sum += frac
+				a.n++
+			}
+			if len(epochs) == 0 {
+				continue // attacker node
+			}
+			honest++
+			if len(epochs) > out.Epochs {
+				out.Epochs = len(epochs)
+			}
+			bad := 0
+			for _, a := range epochs {
+				if a.sum/a.n < cfg.UsableThreshold {
+					bad++
+				}
+			}
+			if bad > 0 {
+				outageNodes++
+			}
+			outageEpochs += float64(bad)
+		}
+		if honest > 0 {
+			out.NodesWithOutage = float64(outageNodes) / float64(honest)
+			out.MeanOutageEpochs = outageEpochs / float64(honest)
+		}
+		return out, nil
+	}
+	staticArm, err := run("static", 0)
+	if err != nil {
+		return nil, err
+	}
+	rotatingArm, err := run("rotating", period)
+	if err != nil {
+		return nil, err
+	}
+	return []RotatingResult{staticArm, rotatingArm}, nil
+}
+
+// Table1 returns the paper's simulation parameters (Table 1) as rendered
+// rows, sourced from gossip.DefaultConfig so the table cannot drift from
+// the code.
+func Table1() [][]string {
+	cfg := gossip.DefaultConfig()
+	return [][]string{
+		{"Parameter", "Value"},
+		{"Number of Nodes", fmt.Sprintf("%d", cfg.Nodes)},
+		{"Updates per Round", fmt.Sprintf("%d", cfg.UpdatesPerRound)},
+		{"Update Lifetime (rds)", fmt.Sprintf("%d", cfg.Lifetime)},
+		{"Copies Seeded", fmt.Sprintf("%d", cfg.CopiesSeeded)},
+		{"Opt. Push Size (upd)", fmt.Sprintf("%d", cfg.PushSize)},
+	}
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRegistryCatalogue pins the registry's shape: every table and figure
+// of the paper plus the extensions, at least 15 entries, all self-describing.
+func TestRegistryCatalogue(t *testing.T) {
+	all := All()
+	if len(all) < 15 {
+		t.Fatalf("registry has %d experiments, want >= 15", len(all))
+	}
+	for _, e := range all {
+		if e.Description == "" {
+			t.Errorf("experiment %q has no description", e.Name)
+		}
+	}
+	for _, name := range []string{"table1", "figure1", "figure2", "figure3", "altruism",
+		"gridcut", "raretoken", "scrip-money-supply", "scrip-rare-provider", "swarm",
+		"coding", "reporting", "ratelimit", "rotating", "inflation", "hoarding",
+		"satiate-ablation"} {
+		if _, ok := Get(name); !ok {
+			t.Errorf("experiment %q not registered", name)
+		}
+	}
+}
+
+// TestEveryExperimentRunsQuick is the registry smoke test: each entry must
+// run at QuickQuality without error and produce a non-empty artifact.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			a, err := e.Run(3, QuickQuality())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Name != e.Name {
+				t.Fatalf("artifact name %q, want %q", a.Name, e.Name)
+			}
+			if a.Title == "" {
+				t.Fatal("artifact has no title")
+			}
+			if len(a.Series) == 0 && len(a.Table) == 0 {
+				t.Fatal("artifact has neither series nor table")
+			}
+			for _, s := range a.Series {
+				if s.Len() == 0 {
+					t.Fatalf("series %q is empty", s.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownName(t *testing.T) {
+	if _, err := Run("no-such-experiment", 1, QuickQuality()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestSeriesArtifactJSONRoundTrip runs a series-producing experiment and
+// checks that its artifact survives JSON encode/decode bit-for-bit.
+func TestSeriesArtifactJSONRoundTrip(t *testing.T) {
+	a, err := Run("figure1", 2, Quality{Points: 3, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, a)
+	if !strings.Contains(a.CSV(), "trade-lotus-eater") {
+		t.Fatalf("CSV missing series header:\n%s", a.CSV())
+	}
+}
+
+// TestTableArtifactJSONRoundTrip does the same for a table-producing
+// experiment.
+func TestTableArtifactJSONRoundTrip(t *testing.T) {
+	a, err := Run("table1", 1, QuickQuality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, a)
+	csv := a.CSV()
+	if !strings.HasPrefix(csv, "Parameter,Value\n") {
+		t.Fatalf("table CSV header wrong:\n%s", csv)
+	}
+}
+
+func roundTrip(t *testing.T, a *Artifact) {
+	t.Helper()
+	data, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origJSON, _ := json.Marshal(a)
+	backJSON, _ := json.Marshal(back)
+	if string(origJSON) != string(backJSON) {
+		t.Fatalf("artifact did not round-trip:\n%s\nvs\n%s", origJSON, backJSON)
+	}
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"lotuseater/internal/simrng"
+	"lotuseater/internal/swarm"
+)
+
+// SwarmRow is one scenario of the swarm experiment (E5).
+type SwarmRow struct {
+	Scenario             string
+	CompletedFraction    float64
+	MeanCompletionTick   float64
+	MedianCompletionTick float64
+	LostPieces           int
+}
+
+// SwarmExperiment (E5) reproduces the paper's BitTorrent analysis:
+// satiating top uploaders in a seeded swarm does no damage — finished nodes
+// keep seeding, so the attacker's uploads are "often actually a net benefit
+// to the torrent" — and even the targeted rare-piece-holder attack on a
+// fragile swarm (initial seed departs, finished leechers leave) causes at
+// most marginal piece loss under either selection policy, while rarest-first
+// gives the healthier baseline. Rows average `seeds` independent runs.
+func SwarmExperiment(seed uint64, seeds int) ([]SwarmRow, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	rng := simrng.New(seed)
+	run := func(name string, mutate func(*swarm.Config)) (SwarmRow, error) {
+		row := SwarmRow{Scenario: name}
+		var lost float64
+		for rep := 0; rep < seeds; rep++ {
+			cfg := swarm.DefaultConfig()
+			mutate(&cfg)
+			s, err := swarm.New(cfg, rng.ChildN(name, rep).Uint64())
+			if err != nil {
+				return SwarmRow{}, err
+			}
+			res, err := s.Run()
+			if err != nil {
+				return SwarmRow{}, err
+			}
+			row.CompletedFraction += res.CompletedFraction
+			row.MeanCompletionTick += res.MeanCompletionTick
+			row.MedianCompletionTick += res.MedianCompletionTick
+			lost += float64(res.LostPieces)
+		}
+		row.CompletedFraction /= float64(seeds)
+		row.MeanCompletionTick /= float64(seeds)
+		row.MedianCompletionTick /= float64(seeds)
+		row.LostPieces = int(lost/float64(seeds) + 0.5)
+		return row, nil
+	}
+
+	fragile := func(cfg *swarm.Config) {
+		// The population the rare-piece attack needs: the initial seed
+		// departs early and finished leechers leave instead of seeding.
+		cfg.SeedDepartTick = 60
+		cfg.SeedAfterComplete = false
+		cfg.Ticks = 600
+	}
+	rareAttack := func(cfg *swarm.Config) {
+		cfg.Attack = swarm.AttackRarePieceHolders
+		cfg.AttackerUplink = 64
+		cfg.AttackTargets = 2
+		cfg.AttackStartTick = 10
+		cfg.AttackStopTick = 60 // a bounded campaign while pieces are scarce
+	}
+
+	var rows []SwarmRow
+	specs := []struct {
+		name   string
+		mutate func(*swarm.Config)
+	}{
+		{"baseline/rarest-first", func(cfg *swarm.Config) {}},
+		{"attack-top-uploaders", func(cfg *swarm.Config) {
+			cfg.Attack = swarm.AttackTopUploaders
+			cfg.AttackerUplink = 32
+			cfg.AttackTargets = 8
+		}},
+		{"fragile/no-attack/rarest-first", fragile},
+		{"fragile/rare-attack/rarest-first", func(cfg *swarm.Config) { fragile(cfg); rareAttack(cfg) }},
+		{"fragile/no-attack/random", func(cfg *swarm.Config) { fragile(cfg); cfg.Selection = swarm.SelectRandom }},
+		{"fragile/rare-attack/random", func(cfg *swarm.Config) {
+			fragile(cfg)
+			rareAttack(cfg)
+			cfg.Selection = swarm.SelectRandom
+		}},
+	}
+	for _, spec := range specs {
+		row, err := run(spec.name, spec.mutate)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -209,6 +209,13 @@ func (e *Engine) Run() (Result, error) {
 	return e.result(), nil
 }
 
+// Finished reports whether the horizon has been reached.
+func (e *Engine) Finished() bool { return e.round >= e.cfg.Rounds }
+
+// Snapshot returns the delivery statistics so far; its concrete type is
+// Result. Together with Step and Finished it makes Engine a sim.Model.
+func (e *Engine) Snapshot() (any, error) { return e.result(), nil }
+
 // Step simulates one round: broadcast seeding, the ideal attacker's instant
 // forwarding, the balanced-exchange phase, the optimistic-push phase,
 // defense bookkeeping, and expiry accounting.

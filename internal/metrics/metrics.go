@@ -13,14 +13,14 @@ import (
 
 // Point is one (x, y) sample of a sweep.
 type Point struct {
-	X float64
-	Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is a named sequence of points, ordered by X.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Add appends a point; callers should add points in ascending X order or

@@ -300,6 +300,15 @@ func (s *Sim) Run() (Result, error) {
 	return s.finish(), nil
 }
 
+// Round returns the next round to simulate.
+func (s *Sim) Round() int { return s.round }
+
+// Finished reports whether the horizon has been reached.
+func (s *Sim) Finished() bool { return s.round >= s.cfg.Rounds }
+
+// Snapshot returns the Result summarizing the run so far.
+func (s *Sim) Snapshot() (any, error) { return s.finish(), nil }
+
 // Step simulates one request round: attacker top-ups, a random requester,
 // volunteer selection, payment.
 func (s *Sim) Step() error {

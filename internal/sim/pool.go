@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The process-wide worker pool. All concurrent sweeps and replicate runs in
+// the process share these workers, so total simulation concurrency is
+// bounded by the machine regardless of how many experiments run at once.
+// Workers start lazily on first use and live for the life of the process;
+// each owns one Workspace handed to every task it runs.
+var (
+	poolOnce  sync.Once
+	poolTasks chan func(*Workspace)
+	poolSize  int
+)
+
+func ensurePool() {
+	poolOnce.Do(func() {
+		poolSize = runtime.GOMAXPROCS(0)
+		if poolSize < 1 {
+			poolSize = 1
+		}
+		// Buffered so offers can park for busy workers; see Go for why a
+		// parked offer can never deadlock (it no-ops on an empty queue).
+		poolTasks = make(chan func(*Workspace), 2*poolSize)
+		for w := 0; w < poolSize; w++ {
+			go func() {
+				ws := NewWorkspace()
+				for t := range poolTasks {
+					t(ws)
+				}
+			}()
+		}
+	})
+}
+
+// PoolSize returns the number of shared workers (GOMAXPROCS at first use).
+func PoolSize() int {
+	ensurePool()
+	return poolSize
+}
+
+// Go runs fn(i, ws) for every i in [0, n) on the shared pool and waits for
+// all of them. limit > 0 bounds how many of this call's jobs may run
+// concurrently (the pool width is the hard ceiling either way); limit <= 0
+// means pool width.
+//
+// The jobs sit in a per-call queue drained by two kinds of consumer: up to
+// limit-1 drainer offers handed to the pool (each claims jobs until the
+// queue is empty), and the calling goroutine itself. Because the caller is
+// a consumer of last resort, fan-out never deadlocks — even nested fan-out
+// from inside a pool task on a saturated pool simply drains inline — and
+// because drainers pull jobs directly, workers that free up mid-call are
+// never left idle behind a long-running job. A drainer offer that outlives
+// its call finds the queue empty and no-ops.
+//
+// Determinism is the caller's job and is easy: key all work by i and derive
+// randomness from i, never from scheduling order.
+func Go(n, limit int, fn func(i int, ws *Workspace)) {
+	if n <= 0 {
+		return
+	}
+	ensurePool()
+	if limit <= 0 || limit > poolSize {
+		limit = poolSize
+	}
+
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	drain := func(ws *Workspace) {
+		for i := range jobs {
+			ws.Reset()
+			fn(i, ws)
+			wg.Done()
+		}
+	}
+
+offers:
+	for k := 0; k < limit-1; k++ {
+		select {
+		case poolTasks <- drain:
+		default:
+			break offers // queue full; the caller picks up the slack
+		}
+	}
+	// The caller drains too, on scratch of its own: in the nested case the
+	// goroutine's worker Workspace belongs to the outer task mid-flight and
+	// must not be reset here.
+	drain(NewWorkspace())
+	wg.Wait()
+}

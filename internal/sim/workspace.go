@@ -1,0 +1,88 @@
+package sim
+
+import "lotuseater/internal/bitset"
+
+// Workspace is a per-worker arena of reusable scratch buffers. Each pool
+// worker owns exactly one Workspace and hands it to every task it runs; the
+// pool calls Reset between tasks, after which previously returned buffers
+// may be recycled. Buffers must therefore never outlive the task that
+// requested them.
+//
+// All getters return zeroed storage. Repeatedly running same-shaped
+// replicates on one worker allocates only on the first run — this is what
+// keeps bitset- and buffer-heavy models allocation-free per replicate.
+type Workspace struct {
+	bools  [][]bool
+	ints   [][]int
+	floats [][]float64
+	sets   []*bitset.Set
+
+	boolsUsed, intsUsed, floatsUsed, setsUsed int
+	setBits                                   int
+}
+
+// NewWorkspace returns an empty workspace. Most callers never construct one:
+// the pool provisions a Workspace per worker.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset recycles every buffer handed out since the previous Reset. Only the
+// owner of the workspace (the pool) should call it.
+func (w *Workspace) Reset() {
+	w.boolsUsed, w.intsUsed, w.floatsUsed, w.setsUsed = 0, 0, 0, 0
+}
+
+// take returns a zeroed slice of length n from the freelist, reusing the
+// slot's storage when it is large enough.
+func take[T any](list *[][]T, used *int, n int) []T {
+	if *used < len(*list) && cap((*list)[*used]) >= n {
+		buf := (*list)[*used][:n]
+		*used++
+		var zero T
+		for i := range buf {
+			buf[i] = zero
+		}
+		return buf
+	}
+	buf := make([]T, n)
+	if *used < len(*list) {
+		(*list)[*used] = buf
+	} else {
+		*list = append(*list, buf)
+	}
+	*used++
+	return buf
+}
+
+// Bools returns a zeroed []bool of length n, reusing storage when possible.
+func (w *Workspace) Bools(n int) []bool { return take(&w.bools, &w.boolsUsed, n) }
+
+// Ints returns a zeroed []int of length n, reusing storage when possible.
+func (w *Workspace) Ints(n int) []int { return take(&w.ints, &w.intsUsed, n) }
+
+// Floats returns a zeroed []float64 of length n, reusing storage when
+// possible.
+func (w *Workspace) Floats(n int) []float64 { return take(&w.floats, &w.floatsUsed, n) }
+
+// Bitsets returns count cleared bitsets of the given bit capacity, reusing
+// prior allocations when the capacity matches the previous request shape.
+// A capacity change drops the cached sets (simulators use one token/piece
+// universe size per task, so this is the rare path).
+func (w *Workspace) Bitsets(count, bits int) []*bitset.Set {
+	if w.setBits != bits {
+		// Drop the cache rather than truncate it: slices handed out earlier
+		// in this task alias the old backing array, and reusing its slots
+		// would swap their sets out from under them.
+		w.sets = nil
+		w.setBits = bits
+		w.setsUsed = 0
+	}
+	for w.setsUsed+count > len(w.sets) {
+		w.sets = append(w.sets, bitset.New(bits))
+	}
+	out := w.sets[w.setsUsed : w.setsUsed+count]
+	w.setsUsed += count
+	for _, s := range out {
+		s.Clear()
+	}
+	return out
+}

@@ -284,16 +284,20 @@ func (s *Sim) Tick() int { return s.tick }
 
 // Run simulates the full horizon.
 func (s *Sim) Run() (Result, error) {
-	for s.tick < s.cfg.Ticks {
+	for !s.Finished() {
 		if err := s.Step(); err != nil {
 			return Result{}, err
-		}
-		if s.allDone() {
-			break
 		}
 	}
 	return s.finish(), nil
 }
+
+// Finished reports whether the horizon has been reached or every leecher
+// has left the leeching state (nothing further can change).
+func (s *Sim) Finished() bool { return s.tick >= s.cfg.Ticks || s.allDone() }
+
+// Snapshot returns the Result summarizing the run so far.
+func (s *Sim) Snapshot() (any, error) { return s.finish(), nil }
 
 func (s *Sim) allDone() bool {
 	for v := 0; v < s.cfg.Leechers; v++ {

@@ -2,24 +2,25 @@
 //
 // Every figure in the paper is a sweep: "for each attacker fraction x in
 // [0, 1], run the simulation and record the fraction of updates delivered to
-// isolated nodes". Points are independent, so they run on a bounded worker
-// pool; determinism is preserved by deriving each point's seed from the
-// sweep seed and the point index, and by collecting results into a slice
-// keyed by index rather than by completion order.
+// isolated nodes". Points are independent, so they run on the shared
+// bounded worker pool from internal/sim; determinism is preserved by
+// deriving each point's seed from the sweep seed and the point index, and by
+// collecting results into a slice keyed by index rather than by completion
+// order — the series is bit-identical for any worker count.
 package sweep
 
 import (
-	"runtime"
-	"sync"
-
 	"lotuseater/internal/metrics"
+	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
 
 // PointFunc runs one sweep point. x is the swept parameter value, rng is a
 // stream derived deterministically from the sweep seed and the point index,
-// and the return value is the measured y.
-type PointFunc func(x float64, rng *simrng.Source) float64
+// and ws is the executing worker's scratch arena (pass it to simulators that
+// accept one to avoid per-replicate allocations). The return value is the
+// measured y.
+type PointFunc func(x float64, rng *simrng.Source, ws *sim.Workspace) float64
 
 // Config controls a sweep.
 type Config struct {
@@ -30,50 +31,35 @@ type Config struct {
 	// Seeds is the number of independent replications averaged per point.
 	// Zero means 1.
 	Seeds int
-	// Workers bounds concurrency. Zero means GOMAXPROCS.
+	// Workers bounds this sweep's in-flight tasks on the shared pool; the
+	// pool width is the hard ceiling either way. Zero means pool width.
+	// Results never depend on it.
 	Workers int
 }
 
 // Run evaluates fn at every (x, seed replicate) pair concurrently and
 // returns the per-x means as a series. The result is deterministic for a
 // fixed (cfg, seed, fn): replicate r of point i always sees the stream
-// derived with ChildN("sweep", i*Seeds+r).
+// derived with ChildN("sweep", i*Seeds+r). Nested sweeps (a PointFunc that
+// itself calls Run) are safe: when the shared pool is saturated, tasks fall
+// back to inline execution instead of queueing.
 func Run(cfg Config, seed uint64, fn PointFunc) *metrics.Series {
 	seeds := cfg.Seeds
 	if seeds <= 0 {
 		seeds = 1
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 
-	type job struct{ pt, rep int }
-	jobs := make(chan job)
 	results := make([][]float64, len(cfg.Xs))
 	for i := range results {
 		results[i] = make([]float64, seeds)
 	}
 
 	root := simrng.New(seed)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				rng := root.ChildN("sweep", j.pt*seeds+j.rep)
-				results[j.pt][j.rep] = fn(cfg.Xs[j.pt], rng)
-			}
-		}()
-	}
-	for pt := range cfg.Xs {
-		for rep := 0; rep < seeds; rep++ {
-			jobs <- job{pt: pt, rep: rep}
-		}
-	}
-	close(jobs)
-	wg.Wait()
+	sim.Go(len(cfg.Xs)*seeds, cfg.Workers, func(j int, ws *sim.Workspace) {
+		pt, rep := j/seeds, j%seeds
+		rng := root.ChildN("sweep", j)
+		results[pt][rep] = fn(cfg.Xs[pt], rng, ws)
+	})
 
 	out := &metrics.Series{Name: cfg.Name}
 	for i, x := range cfg.Xs {

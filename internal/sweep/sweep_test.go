@@ -5,12 +5,13 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
 
 func TestRunDeterministic(t *testing.T) {
 	cfg := Config{Name: "det", Xs: Range(0, 1, 7), Seeds: 3, Workers: 4}
-	fn := func(x float64, rng *simrng.Source) float64 {
+	fn := func(x float64, rng *simrng.Source, _ *sim.Workspace) float64 {
 		return x + float64(rng.Uint64()%1000)/1000
 	}
 	a := Run(cfg, 42, fn)
@@ -26,7 +27,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
-	fn := func(x float64, rng *simrng.Source) float64 {
+	fn := func(x float64, rng *simrng.Source, _ *sim.Workspace) float64 {
 		return x*1000 + float64(rng.IntN(100))
 	}
 	one := Run(Config{Xs: Range(0, 1, 5), Seeds: 4, Workers: 1}, 7, fn)
@@ -42,7 +43,7 @@ func TestRunAveragesSeeds(t *testing.T) {
 	// fn returns the replicate index via a counter; the mean of 0..3 is 1.5
 	// only if all four replicates ran.
 	var calls atomic.Int64
-	s := Run(Config{Xs: []float64{1}, Seeds: 4}, 1, func(x float64, _ *simrng.Source) float64 {
+	s := Run(Config{Xs: []float64{1}, Seeds: 4}, 1, func(x float64, _ *simrng.Source, _ *sim.Workspace) float64 {
 		calls.Add(1)
 		return x
 	})
@@ -56,7 +57,7 @@ func TestRunAveragesSeeds(t *testing.T) {
 
 func TestRunZeroSeedsMeansOne(t *testing.T) {
 	var calls atomic.Int64
-	Run(Config{Xs: []float64{1, 2}}, 1, func(float64, *simrng.Source) float64 {
+	Run(Config{Xs: []float64{1, 2}}, 1, func(float64, *simrng.Source, *sim.Workspace) float64 {
 		calls.Add(1)
 		return 0
 	})
@@ -67,7 +68,7 @@ func TestRunZeroSeedsMeansOne(t *testing.T) {
 
 func TestRunPreservesXOrder(t *testing.T) {
 	xs := []float64{5, 1, 3}
-	s := Run(Config{Xs: xs}, 1, func(x float64, _ *simrng.Source) float64 { return x })
+	s := Run(Config{Xs: xs}, 1, func(x float64, _ *simrng.Source, _ *sim.Workspace) float64 { return x })
 	for i, x := range xs {
 		if s.Points[i].X != x || s.Points[i].Y != x {
 			t.Fatalf("point %d = %v", i, s.Points[i])

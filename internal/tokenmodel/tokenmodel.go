@@ -28,6 +28,7 @@ import (
 	"lotuseater/internal/attack"
 	"lotuseater/internal/bitset"
 	"lotuseater/internal/graph"
+	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
 
@@ -94,15 +95,23 @@ type Result struct {
 }
 
 // Sim is one instance of the model. Create with New, drive with Run or Step.
+// Sim implements sim.Model; Snapshot's concrete type is Result.
 type Sim struct {
 	cfg      Config
 	rng      *simrng.Source
 	targeter attack.Targeter // nil = no attacker
+	ws       *sim.Workspace  // nil = private allocations
 
 	round     int
 	held      []*bitset.Set
 	completed []int // round node became satiated, -1 if not yet
 	result    Result
+
+	// Round scratch, allocated once at New (from the workspace when one is
+	// installed) and reused every round — Step allocates nothing.
+	snapshot []*bitset.Set
+	gains    []*bitset.Set
+	sat      []bool
 }
 
 // Option customizes a Sim.
@@ -114,6 +123,13 @@ func WithTargeter(t attack.Targeter) Option {
 	return func(s *Sim) { s.targeter = t }
 }
 
+// WithWorkspace draws the simulation's bitsets and scratch from a worker's
+// arena instead of the heap, making replicated runs allocation-free on the
+// hot path. The Sim must then not outlive the pool task that built it.
+func WithWorkspace(ws *sim.Workspace) Option {
+	return func(s *Sim) { s.ws = ws }
+}
+
 // New builds a Sim, deterministic in (cfg, seed).
 func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
@@ -121,13 +137,31 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 	}
 	n := cfg.Graph.N()
 	s := &Sim{
-		cfg:       cfg,
-		rng:       simrng.New(seed),
-		held:      make([]*bitset.Set, n),
-		completed: make([]int, n),
+		cfg: cfg,
+		rng: simrng.New(seed),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.ws != nil {
+		s.held = s.ws.Bitsets(n, cfg.Tokens)
+		s.snapshot = s.ws.Bitsets(n, cfg.Tokens)
+		s.gains = s.ws.Bitsets(n, cfg.Tokens)
+		s.sat = s.ws.Bools(n)
+		s.completed = s.ws.Ints(n)
+	} else {
+		s.held = make([]*bitset.Set, n)
+		s.snapshot = make([]*bitset.Set, n)
+		s.gains = make([]*bitset.Set, n)
+		for v := 0; v < n; v++ {
+			s.held[v] = bitset.New(cfg.Tokens)
+			s.snapshot[v] = bitset.New(cfg.Tokens)
+			s.gains[v] = bitset.New(cfg.Tokens)
+		}
+		s.sat = make([]bool, n)
+		s.completed = make([]int, n)
 	}
 	for v := 0; v < n; v++ {
-		s.held[v] = bitset.New(cfg.Tokens)
 		tok := v % cfg.Tokens
 		if cfg.Allocation != nil {
 			tok = cfg.Allocation[v]
@@ -137,9 +171,6 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 		if s.satiated(v) {
 			s.completed[v] = 0
 		}
-	}
-	for _, opt := range opts {
-		opt(s)
 	}
 	return s, nil
 }
@@ -184,17 +215,12 @@ func (s *Sim) Step() error {
 	}
 
 	// 2. Simultaneous contacts: all exchanges read the start-of-round
-	// snapshot; gains land after every contact has been resolved.
-	snapshot := make([]*bitset.Set, n)
+	// snapshot; gains land after every contact has been resolved. The
+	// snapshot/gains/sat buffers live on the Sim and are reused each round.
+	snapshot, gains, sat := s.snapshot, s.gains, s.sat
 	for v := 0; v < n; v++ {
-		snapshot[v] = s.held[v].Clone()
-	}
-	gains := make([]*bitset.Set, n)
-	for v := 0; v < n; v++ {
-		gains[v] = bitset.New(s.cfg.Tokens)
-	}
-	sat := make([]bool, n)
-	for v := 0; v < n; v++ {
+		snapshot[v].CopyFrom(s.held[v])
+		gains[v].Clear()
 		sat[v] = snapshot[v].Full()
 	}
 	rng := s.rng.ChildN("round", s.round)
@@ -246,6 +272,12 @@ func (s *Sim) Run() (Result, error) {
 	}
 	return s.finish(), nil
 }
+
+// Finished reports whether the horizon has been reached.
+func (s *Sim) Finished() bool { return s.round >= s.cfg.Rounds }
+
+// Snapshot returns the Result summarizing the run so far.
+func (s *Sim) Snapshot() (any, error) { return s.finish(), nil }
 
 func (s *Sim) finish() Result {
 	n := s.cfg.Graph.N()

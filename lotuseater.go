@@ -11,11 +11,17 @@
 //   - a BitTorrent-like swarm — see NewSwarm;
 //   - random linear network coding over GF(2^8) and the coded-dissemination
 //     defense — see NewDissemination;
-//   - experiment drivers that regenerate every table and figure in the
-//     paper plus the extension experiments — see Figure1 and friends in
-//     experiments.go.
+//   - a registry of named, self-describing experiments covering every table
+//     and figure in the paper plus the extension experiments — see
+//     Experiments and RunExperiment (or `lotus-sim list` / `lotus-sim run
+//     <name>` on the command line), with the classic typed drivers
+//     (Figure1 and friends in experiments.go) kept as thin shims.
 //
-// Everything is deterministic in (configuration, seed) and uses only the
+// All five simulators implement the sim.Model interface of the shared
+// simulation kernel (internal/sim) — Step / Finished / Snapshot — and
+// experiment sweeps execute on the kernel's process-wide bounded worker
+// pool with per-worker scratch reuse, so results are deterministic in
+// (configuration, seed) for any worker count. Everything uses only the
 // standard library.
 package lotuseater
 
