@@ -1,12 +1,14 @@
 # Developer loops for the lotuseater reproduction.
 #
 #   make            # build + vet + test (the tier-1 gate)
-#   make bench      # registry-driven benchmarks, one per simulator
+#   make bench      # scenario benchmarks -> BENCH_scenarios.json
+#   make bench-go   # go test registry micro-benchmarks
 #   make figures    # regenerate every table/figure at quick fidelity
+#   make race       # race-check the concurrency kernel + strategy layer
 
 GO ?= go
 
-.PHONY: all build test vet bench figures list clean
+.PHONY: all build test vet race bench bench-go figures list scenarios clean
 
 all: build vet test
 
@@ -19,7 +21,17 @@ test:
 vet:
 	$(GO) vet ./...
 
+race:
+	$(GO) test -race ./internal/sim/... ./internal/sweep/... ./internal/experiment/... \
+		./internal/scenario/... ./internal/attack/... ./internal/defense/... ./internal/cli/...
+
+# Registry-driven scenario benchmarks (one per substrate plus a
+# 1000-replicate streaming-aggregation run); emits BENCH_scenarios.json for
+# the performance trajectory across PRs.
 bench:
+	$(GO) run ./cmd/lotus-sim scenarios bench -out BENCH_scenarios.json
+
+bench-go:
 	$(GO) test -run '^$$' -bench 'BenchmarkRegistry' -benchmem ./
 
 figures:
@@ -27,6 +39,9 @@ figures:
 
 list:
 	$(GO) run ./cmd/lotus-sim list
+
+scenarios:
+	$(GO) run ./cmd/lotus-sim scenarios list
 
 clean:
 	$(GO) clean ./...

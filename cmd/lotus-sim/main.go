@@ -35,13 +35,15 @@ func usage() string {
 usage: lotus-sim <command> [flags]
 
 commands:
-  list      show every registered experiment
-  run       run one experiment by name (-quality, -seed, -format)
-  figures   regenerate the paper's tables and figures (-exp, -quality, -csv)
-  gossip    run a single BAR Gossip simulation (default when given bare flags)
-  scrip     run the scrip-economy simulator
-  swarm     run the BitTorrent-like swarm simulator
-  token     run the Section 3 token-collecting model
+  list       show every registered experiment
+  run        run an experiment or scenario by name (-quality, -seed, -format,
+             -set key=val ..., -spec file.json)
+  scenarios  declarative scenarios: list | show <name> | run <name> | bench
+  figures    regenerate the paper's tables and figures (-exp, -quality, -csv)
+  gossip     run a single BAR Gossip simulation (default when given bare flags)
+  scrip      run the scrip-economy simulator
+  swarm      run the BitTorrent-like swarm simulator
+  token      run the Section 3 token-collecting model
 `)
 }
 
@@ -55,6 +57,8 @@ func run(args []string) error {
 		return cli.List(w)
 	case "run":
 		return cli.RunExperiment(w, args[1:])
+	case "scenarios":
+		return cli.Scenarios(w, args[1:])
 	case "figures":
 		return cli.Figures(w, args[1:])
 	case "gossip":

@@ -1,0 +1,141 @@
+package attack
+
+import (
+	"fmt"
+
+	"lotuseater/internal/simrng"
+)
+
+// Strategy is the paper's adversary as a reusable, substrate-independent
+// strategy. It satisfies sim.Adversary structurally (this package does not
+// import internal/sim), so every simulator can host the same four attacks:
+//
+//   - None:  no attacker nodes, no targets — the healthy baseline.
+//   - Crash: attacker nodes provide no service and satiate nobody.
+//   - Ideal: attacker nodes stay out of protocol; targets are satiated
+//     instantly each round (SatiatesInstantly reports true).
+//   - Trade: attacker nodes stay in protocol (TradesInProtocol reports
+//     true) and serve exactly the satiation targets.
+//
+// A Strategy is stateful per run: Place must be called once before Targets
+// or OnExchange, and Targets must see non-decreasing rounds. Use a fresh
+// value (or call Reset) per replicate.
+type Strategy struct {
+	// Kind selects the attack.
+	Kind Kind
+	// Fraction is the fraction of nodes the adversary controls.
+	Fraction float64
+	// SatiateFraction is the fraction of the system (attacker nodes
+	// included) targeted for satiation (0.70 in the paper). Ignored when
+	// TargetList is set.
+	SatiateFraction float64
+	// RotatePeriod, when positive, re-draws the satiated set every that many
+	// rounds (Section 2's "intermittently unusable" variant).
+	RotatePeriod int
+	// TargetList, when non-nil, satiates exactly these node ids (plus the
+	// attacker's own nodes) instead of a pseudorandom SatiateFraction —
+	// targeted attacks such as grid cuts and rare-resource holders.
+	TargetList []int
+
+	n        int
+	placed   []int
+	targeter Targeter
+}
+
+// Reset returns the strategy to its pre-Place state so it can host a fresh
+// replicate.
+func (s *Strategy) Reset() {
+	s.n, s.placed, s.targeter = 0, nil, nil
+}
+
+// Place implements the placement hook: it selects the attacker's nodes and
+// prepares the round targeter. Randomness comes from rng's "placement" and
+// "targets" children, matching the streams the gossip engine has always
+// used, so a default-configured engine is bit-identical to its pre-strategy
+// behavior.
+func (s *Strategy) Place(n int, rng *simrng.Source) []int {
+	s.n = n
+	s.placed = nil
+	if s.Kind != None && s.Kind != 0 && s.Fraction > 0 {
+		s.placed = PlaceAttackers(n, s.Fraction, rng.Child("placement"))
+	}
+	trng := rng.Child("targets")
+	switch {
+	case s.Kind != Ideal && s.Kind != Trade:
+		// Crash attackers and the no-attack baseline satiate nobody; the
+		// target set is just the attacker nodes themselves so every honest
+		// node counts as isolated.
+		s.targeter = NewListTargeter(n, s.placed)
+	case s.TargetList != nil:
+		s.targeter = NewListTargeter(n, append(append([]int(nil), s.placed...), s.TargetList...))
+	case s.RotatePeriod > 0:
+		s.targeter = NewRotatingTargeter(n, s.placed, s.SatiateFraction, s.RotatePeriod, trng)
+	default:
+		s.targeter = NewStaticTargeter(n, s.placed, s.SatiateFraction, trng)
+	}
+	return append([]int(nil), s.placed...)
+}
+
+// Targets implements the per-round targeting hook. Place must have run.
+func (s *Strategy) Targets(round int) []bool {
+	if s.targeter == nil {
+		panic("attack: Strategy.Targets called before Place")
+	}
+	return s.targeter.Satiated(round)
+}
+
+// Satiated makes a placed Strategy usable anywhere a Targeter is expected.
+func (s *Strategy) Satiated(round int) []bool { return s.Targets(round) }
+
+// OnExchange implements the in-protocol service decision: trade attackers
+// serve exactly the satiation targets; crash and ideal attackers serve
+// nobody; a None "adversary" behaves honestly (and controls no nodes
+// anyway).
+func (s *Strategy) OnExchange(round, attacker, partner int) bool {
+	switch s.Kind {
+	case Trade:
+		targets := s.Targets(round)
+		return partner >= 0 && partner < len(targets) && targets[partner]
+	case Crash, Ideal:
+		return false
+	default:
+		return true
+	}
+}
+
+// TradesInProtocol reports whether attacker nodes initiate and answer
+// protocol exchanges (the trade lotus-eater).
+func (s *Strategy) TradesInProtocol() bool { return s.Kind == Trade }
+
+// SatiatesInstantly reports whether targets are satiated out of protocol at
+// round start (the ideal lotus-eater).
+func (s *Strategy) SatiatesInstantly() bool { return s.Kind == Ideal }
+
+// TargeterFrom adapts any value exposing a per-round Targets hook — in
+// practice a sim.Adversary — to the Targeter interface, so simulators can
+// feed an adversary's targeting into their existing targeter plumbing
+// without each defining the same two-line adapter.
+func TargeterFrom(a interface{ Targets(round int) []bool }) Targeter {
+	return targeterFrom{a}
+}
+
+type targeterFrom struct {
+	a interface{ Targets(round int) []bool }
+}
+
+func (t targeterFrom) Satiated(round int) []bool { return t.a.Targets(round) }
+
+// Validate reports the first problem with the strategy's parameters, or nil.
+func (s *Strategy) Validate() error {
+	switch {
+	case s.Kind < None || s.Kind > Trade:
+		return fmt.Errorf("attack: unknown kind %d", s.Kind)
+	case s.Fraction < 0 || s.Fraction > 1:
+		return fmt.Errorf("attack: Fraction must be in [0,1], got %g", s.Fraction)
+	case s.SatiateFraction < 0 || s.SatiateFraction > 1:
+		return fmt.Errorf("attack: SatiateFraction must be in [0,1], got %g", s.SatiateFraction)
+	case s.RotatePeriod < 0:
+		return fmt.Errorf("attack: RotatePeriod must be non-negative, got %d", s.RotatePeriod)
+	}
+	return nil
+}

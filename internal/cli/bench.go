@@ -1,0 +1,157 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lotuseater/internal/metrics"
+	"lotuseater/internal/scenario"
+)
+
+// BenchResult is one timed scenario run in the BENCH_scenarios.json
+// artifact.
+type BenchResult struct {
+	// Name is the scenario (registry name, or a synthetic benchmark id).
+	Name string `json:"name"`
+	// Seconds is the wall time of one full run.
+	Seconds float64 `json:"seconds"`
+	// Points and Replicates describe the workload shape.
+	Points     int `json:"points"`
+	Replicates int `json:"replicates"`
+	// Runs is Points * Replicates, the total simulations executed.
+	Runs int `json:"runs"`
+	// RunsPerSecond is the headline throughput number to track across PRs.
+	RunsPerSecond float64 `json:"runsPerSecond"`
+	// Mean is the mean of the scenario metric at the last sweep point, a
+	// drift canary riding along with the timing.
+	Mean float64 `json:"mean"`
+}
+
+// benchFile is the schema of BENCH_scenarios.json.
+type benchFile struct {
+	GeneratedAt string        `json:"generatedAt"`
+	Seed        uint64        `json:"seed"`
+	Benchmarks  []BenchResult `json:"benchmarks"`
+}
+
+// benchSet names the registry scenarios timed by `lotus-sim scenarios
+// bench`: one per substrate, drawn from the cross-product grid so the
+// numbers track the strategy layer end to end.
+var benchSet = []string{
+	"x/trade-gossip",
+	"x/trade-token",
+	"x/trade-scrip",
+	"x/ideal-swarm",
+	"x/ideal-coding",
+	"x/trade-gossip+ratelimit",
+}
+
+// Bench implements `lotus-sim scenarios bench`: it times a representative
+// slice of the scenario registry plus one 1000-replicate streaming-
+// aggregation run, prints an aligned table, and writes the machine-readable
+// BENCH_scenarios.json for the performance trajectory.
+func Bench(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("lotus-sim scenarios bench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_scenarios.json", "output JSON path (empty = stdout only)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var results []BenchResult
+	for _, name := range benchSet {
+		spec, ok := scenario.Get(name)
+		if !ok {
+			return unknownScenario(name)
+		}
+		r, err := timeScenario(spec, *seed, scenario.RunOptions{})
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		results = append(results, r)
+	}
+
+	// The streaming-aggregation benchmark: 1000 replicates of one token-
+	// model point folded through the constant-memory accumulator path —
+	// the workload PR 2's aggregation layer exists for.
+	stream := &scenario.Spec{
+		Name:       "bench/streaming-1k",
+		Substrate:  "token",
+		Nodes:      64,
+		Rounds:     40,
+		Replicates: 1000,
+		Adversary:  scenario.AdversarySpec{Kind: "trade", Fraction: 0.15, SatiateFraction: 0.60},
+		Params:     map[string]float64{"tokens": 16},
+	}
+	r, err := timeScenario(stream, *seed, scenario.RunOptions{})
+	if err != nil {
+		return fmt.Errorf("bench %s: %w", stream.Name, err)
+	}
+	results = append(results, r)
+
+	rows := [][]string{{"benchmark", "seconds", "runs", "runs/sec", "mean"}}
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("%.3f", r.Seconds),
+			fmt.Sprintf("%d", r.Runs),
+			fmt.Sprintf("%.1f", r.RunsPerSecond),
+			fmt.Sprintf("%.4f", r.Mean),
+		})
+	}
+	if _, err := io.WriteString(w, metrics.RenderRows(rows)); err != nil {
+		return err
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(benchFile{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Seed:        *seed,
+			Benchmarks:  results,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "wrote %s\n", *out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func timeScenario(spec *scenario.Spec, seed uint64, opts scenario.RunOptions) (BenchResult, error) {
+	start := time.Now()
+	a, err := scenario.Run(spec, seed, opts)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+	points := len(a.Series[0].Points)
+	replicates := spec.Replicates
+	if opts.Replicates > 0 {
+		replicates = opts.Replicates
+	}
+	if replicates <= 0 {
+		replicates = 3
+	}
+	runs := points * replicates
+	r := BenchResult{
+		Name:       spec.Name,
+		Seconds:    elapsed,
+		Points:     points,
+		Replicates: replicates,
+		Runs:       runs,
+		Mean:       a.Series[0].Points[points-1].Y,
+	}
+	if elapsed > 0 {
+		r.RunsPerSecond = float64(runs) / elapsed
+	}
+	return r, nil
+}

@@ -7,32 +7,73 @@ import (
 
 	"lotuseater/internal/experiment"
 	"lotuseater/internal/metrics"
+	"lotuseater/internal/scenario"
 )
 
-// RunExperiment implements `lotus-sim run <experiment> [flags]`: it looks
-// the experiment up in the registry, runs it, and encodes the artifact.
+// RunExperiment implements `lotus-sim run <name> [flags]`. The name may be
+// a registry experiment (legacy drivers) or a registered scenario; -spec
+// runs a JSON spec file instead, and repeated -set key=value overrides
+// re-parameterize scenario runs (legacy experiments are fixed code and
+// reject overrides).
 func RunExperiment(w io.Writer, args []string) error {
-	if len(args) == 0 || args[0] == "" || args[0][0] == '-' {
-		return fmt.Errorf("usage: lotus-sim run <experiment> [-quality quick|full] [-seed N] [-format text|csv|json]; `lotus-sim list` shows experiments")
+	name := ""
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		name, args = args[0], args[1:]
 	}
-	name, rest := args[0], args[1:]
 
 	fs := flag.NewFlagSet("lotus-sim run", flag.ContinueOnError)
-	quality := fs.String("quality", "full", "sweep quality: full|quick")
+	var sets setFlags
+	fs.Var(&sets, "set", "override a scenario spec field, key=value (repeatable)")
+	specPath := fs.String("spec", "", "run a scenario from a JSON spec file")
+	quality := fs.String("quality", "full", "sweep quality for experiments: full|quick")
 	seed := fs.Uint64("seed", 1, "random seed")
 	format := fs.String("format", "text", "output format: text|csv|json")
-	if err := fs.Parse(rest); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	q, err := experiment.ParseQuality(*quality)
-	if err != nil {
-		return err
+	if name == "" && *specPath == "" {
+		return fmt.Errorf("usage: lotus-sim run <name> [-quality quick|full] [-seed N] [-format text|csv|json] [-set key=val ...] | lotus-sim run -spec file.json; `lotus-sim list` and `lotus-sim scenarios list` show the catalogues")
 	}
 	f, err := ParseFormat(*format)
 	if err != nil {
 		return err
 	}
-	a, err := experiment.Run(name, *seed, q)
+
+	// Legacy experiments take precedence for plain runs; anything involving
+	// -spec or -set is necessarily a scenario.
+	if *specPath == "" && len(sets) == 0 {
+		if _, ok := experiment.Get(name); ok {
+			q, err := experiment.ParseQuality(*quality)
+			if err != nil {
+				return err
+			}
+			a, err := experiment.Run(name, *seed, q)
+			if err != nil {
+				return err
+			}
+			return EmitArtifact(w, a, f)
+		}
+	}
+	// Distinguish "the name is not a scenario" (point at both catalogues,
+	// or explain that fixed drivers reject -set) from real resolveSpec
+	// failures (name+spec conflict, unreadable file), which propagate
+	// unchanged.
+	if name != "" && *specPath == "" {
+		if _, ok := scenario.Get(name); !ok {
+			if _, isExp := experiment.Get(name); isExp {
+				return fmt.Errorf("experiment %q is a fixed driver; -set overrides only apply to scenarios (`lotus-sim scenarios list`)", name)
+			}
+			return fmt.Errorf("unknown experiment or scenario %q; see `lotus-sim list` and `lotus-sim scenarios list`", name)
+		}
+	}
+	spec, err := resolveSpec(name, *specPath)
+	if err != nil {
+		return err
+	}
+	if err := spec.ApplySets(sets); err != nil {
+		return err
+	}
+	a, err := scenario.Run(spec, *seed, scenario.RunOptions{})
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"lotuseater/internal/attack"
 	"lotuseater/internal/bitset"
 	"lotuseater/internal/graph"
+	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
 
@@ -81,6 +82,17 @@ type Dissemination struct {
 	rng      *simrng.Source
 	targeter attack.Targeter
 
+	// Strategy hooks (WithAdversary / WithDefense): placed attacker nodes
+	// hold the full information (encoder access) when the strategy trades or
+	// satiates instantly, serve contacting partners per OnExchange, and
+	// never collect for themselves; the defense's Admit hook gates every
+	// unit accepted, the external attacker included (sender -1).
+	adv        sim.Adversary
+	def        sim.Defense
+	advTrades  bool
+	advInstant bool
+	isAttacker []bool
+
 	enc     *Encoder
 	decs    []*Decoder    // coded mode
 	plain   []*bitset.Set // plain mode
@@ -90,10 +102,26 @@ type Dissemination struct {
 	res   DisseminationResult
 }
 
+// DisseminationOption customizes a Dissemination.
+type DisseminationOption func(*Dissemination)
+
+// WithAdversary installs a full adversary strategy; it replaces the plain
+// targeter argument of NewDissemination (which then must be nil).
+func WithAdversary(a sim.Adversary) DisseminationOption {
+	return func(d *Dissemination) { d.adv = a }
+}
+
+// WithDefense installs a receiver-side defense rate-limiting how many
+// information units (symbols or coded packets) a node accepts per partner
+// per round.
+func WithDefense(def sim.Defense) DisseminationOption {
+	return func(d *Dissemination) { d.def = def }
+}
+
 // NewDissemination builds the simulator; deterministic in (cfg, seed).
 // The targeter, when non-nil, names the nodes the attacker satiates at the
 // start of every round.
-func NewDissemination(cfg DisseminationConfig, seed uint64, targeter attack.Targeter) (*Dissemination, error) {
+func NewDissemination(cfg DisseminationConfig, seed uint64, targeter attack.Targeter, opts ...DisseminationOption) (*Dissemination, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -101,6 +129,12 @@ func NewDissemination(cfg DisseminationConfig, seed uint64, targeter attack.Targ
 		cfg:      cfg,
 		rng:      simrng.New(seed),
 		targeter: targeter,
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	if d.adv != nil && targeter != nil {
+		return nil, errors.New("coding: targeter conflicts with WithAdversary")
 	}
 	d.res.AllCompleteRound = -1
 	// Source symbols with recognizable deterministic payloads.
@@ -147,7 +181,71 @@ func NewDissemination(cfg DisseminationConfig, seed uint64, targeter attack.Targ
 			d.plain[v].Add(tok)
 		}
 	}
+	if d.adv != nil {
+		d.advTrades = sim.TradesInProtocol(d.adv)
+		d.advInstant = sim.SatiatesInstantly(d.adv)
+		d.isAttacker = make([]bool, n)
+		for _, a := range d.adv.Place(n, d.rng.Child("adversary")) {
+			if a < 0 || a >= n {
+				return nil, fmt.Errorf("coding: adversary placed node %d outside [0,%d)", a, n)
+			}
+			d.isAttacker[a] = true
+			if d.advTrades || d.advInstant {
+				if err := d.satiateNode(a); err != nil {
+					return nil, err
+				}
+			}
+		}
+		d.targeter = attack.TargeterFrom(d.adv)
+	}
 	return d, nil
+}
+
+// satiateNode gives v the full information unconditionally (attacker nodes,
+// and targets when no defense throttles the delivery).
+func (d *Dissemination) satiateNode(v int) error {
+	if d.cfg.Coded {
+		for i := 0; i < d.cfg.Symbols; i++ {
+			if _, err := d.decs[v].Add(d.enc.Unit(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	d.plain[v].Fill()
+	return nil
+}
+
+// satiateLimited delivers the attacker's payload to v through the defense's
+// Admit gate: at most the granted number of genuinely new units (rank
+// increments or missing symbols, in deterministic order) land this round.
+func (d *Dissemination) satiateLimited(v int) error {
+	if d.def == nil {
+		return d.satiateNode(v)
+	}
+	if d.cfg.Coded {
+		need := d.cfg.Symbols - d.decs[v].Rank()
+		granted := d.def.Admit(d.round, -1, v, need)
+		for i := 0; i < d.cfg.Symbols && granted > 0; i++ {
+			before := d.decs[v].Rank()
+			if _, err := d.decs[v].Add(d.enc.Unit(i)); err != nil {
+				return err
+			}
+			if d.decs[v].Rank() > before {
+				granted--
+			}
+		}
+		return nil
+	}
+	missing := d.plain[v].Missing()
+	granted := d.def.Admit(d.round, -1, v, len(missing))
+	if granted > len(missing) {
+		granted = len(missing)
+	}
+	for _, t := range missing[:granted] {
+		d.plain[v].Add(t)
+	}
+	return nil
 }
 
 func (d *Dissemination) progress(v int) int {
@@ -217,24 +315,21 @@ func (d *Dissemination) Snapshot() (any, error) {
 
 func (d *Dissemination) step() error {
 	n := d.cfg.Graph.N()
-	// 1. Attacker satiation: targets get the full information for free.
-	if d.targeter != nil {
+	// 1. Attacker satiation: targets get the full information for free. A
+	// legacy targeter always delivers instantly; an adversary strategy does
+	// so only when it satiates out of protocol (ideal) — trade attackers
+	// must work through contacts below. The defense throttles the delivery.
+	if d.targeter != nil && (d.adv == nil || d.advInstant) {
 		targets := d.targeter.Satiated(d.round)
 		if len(targets) != n {
 			return fmt.Errorf("coding: targeter returned %d entries for %d nodes", len(targets), n)
 		}
 		for v := 0; v < n; v++ {
-			if !targets[v] || d.satiated(v) {
+			if !targets[v] || d.satiated(v) || (d.isAttacker != nil && d.isAttacker[v]) {
 				continue
 			}
-			if d.cfg.Coded {
-				for i := 0; i < d.cfg.Symbols; i++ {
-					if _, err := d.decs[v].Add(d.enc.Unit(i)); err != nil {
-						return err
-					}
-				}
-			} else {
-				d.plain[v].Fill()
+			if err := d.satiateLimited(v); err != nil {
+				return err
 			}
 		}
 	}
@@ -248,12 +343,41 @@ func (d *Dissemination) step() error {
 		sat[v] = d.satiated(v)
 	}
 	type transfer struct {
-		to  int
-		pkt Packet // coded mode
-		sym int    // plain mode
+		from int
+		to   int
+		pkt  Packet // coded mode
+		sym  int    // plain mode
 	}
 	var transfers []transfer
+	// queue adds one unit flowing src -> dst: a fresh recoding of the
+	// sender's span (coded) or a random symbol the receiver lacks (plain).
+	queue := func(src, dst int) {
+		if d.cfg.Coded {
+			if pkt, ok := d.decs[src].Recode(rng); ok {
+				transfers = append(transfers, transfer{from: src, to: dst, pkt: pkt})
+			}
+			return
+		}
+		var cands []int
+		d.plain[src].ForEach(func(s int) {
+			if !d.plain[dst].Has(s) {
+				cands = append(cands, s)
+			}
+		})
+		if len(cands) > 0 {
+			transfers = append(transfers, transfer{from: src, to: dst, sym: cands[rng.IntN(len(cands))]})
+		}
+	}
 	for v := 0; v < n; v++ {
+		if d.isAttacker != nil && d.isAttacker[v] {
+			// Attacker nodes never collect. Trade attackers initiate
+			// contacts to serve their satiation targets; crash and ideal
+			// attackers stay silent.
+			if d.advTrades {
+				d.attackerContacts(v, sat, rng, queue)
+			}
+			continue
+		}
 		if sat[v] {
 			continue
 		}
@@ -264,32 +388,25 @@ func (d *Dissemination) step() error {
 		c := min(d.cfg.Contacts, len(nb))
 		for _, idx := range rng.SampleInts(len(nb), c) {
 			p := nb[idx]
+			if d.isAttacker != nil && d.isAttacker[p] {
+				// The contacted attacker serves per OnExchange, one-way.
+				if d.adv.OnExchange(d.round, p, v) {
+					queue(p, v)
+				}
+				continue
+			}
 			if sat[p] {
 				continue
 			}
 			// Bidirectional single-unit exchange.
-			for _, dir := range [2][2]int{{p, v}, {v, p}} {
-				src, dst := dir[0], dir[1]
-				if d.cfg.Coded {
-					if pkt, ok := d.decs[src].Recode(rng); ok {
-						transfers = append(transfers, transfer{to: dst, pkt: pkt})
-					}
-				} else {
-					// Send one symbol the receiver lacks, chosen at random.
-					var cands []int
-					d.plain[src].ForEach(func(s int) {
-						if !d.plain[dst].Has(s) {
-							cands = append(cands, s)
-						}
-					})
-					if len(cands) > 0 {
-						transfers = append(transfers, transfer{to: dst, sym: cands[rng.IntN(len(cands))]})
-					}
-				}
-			}
+			queue(p, v)
+			queue(v, p)
 		}
 	}
 	for _, t := range transfers {
+		if d.def != nil && d.def.Admit(d.round, t.from, t.to, 1) == 0 {
+			continue
+		}
 		if d.cfg.Coded {
 			if _, err := d.decs[t.to].Add(t.pkt); err != nil {
 				return err
@@ -299,6 +416,23 @@ func (d *Dissemination) step() error {
 		}
 	}
 	return nil
+}
+
+// attackerContacts is a trade attacker's round: contact up to c random
+// neighbors and queue one unit for each satiation target among them.
+func (d *Dissemination) attackerContacts(v int, sat []bool, rng *simrng.Source, queue func(src, dst int)) {
+	nb := d.cfg.Graph.Neighbors(v)
+	if len(nb) == 0 {
+		return
+	}
+	c := min(d.cfg.Contacts, len(nb))
+	for _, idx := range rng.SampleInts(len(nb), c) {
+		p := nb[idx]
+		if d.isAttacker[p] || sat[p] || !d.adv.OnExchange(d.round, v, p) {
+			continue
+		}
+		queue(v, p)
+	}
 }
 
 func (d *Dissemination) finish() (DisseminationResult, error) {

@@ -1,0 +1,27 @@
+package defense
+
+// Limit adapts RateLimiter to the substrate-independent defense hook
+// (sim.Defense, satisfied structurally): Admit is Allow, and Reset clears
+// the per-run state so one Limit can be pooled across replicates via
+// sim.Workspace.Defense.
+type Limit struct {
+	limiter *RateLimiter
+}
+
+// NewLimit returns a defense admitting up to perPeerPerRound service units
+// per (sender, receiver) pair per round. perPeerPerRound <= 0 disables
+// limiting (Admit grants everything).
+func NewLimit(perPeerPerRound int) *Limit {
+	return &Limit{limiter: NewRateLimiter(perPeerPerRound)}
+}
+
+// Admit implements the rate-limiting hook; see RateLimiter.Allow.
+func (l *Limit) Admit(round, from, to, requested int) int {
+	return l.limiter.Allow(round, from, to, requested)
+}
+
+// Reset clears all accumulated state for reuse in a fresh run.
+func (l *Limit) Reset() { l.limiter.Reset() }
+
+// Cap returns the per-peer per-round cap (0 = unlimited).
+func (l *Limit) Cap() int { return l.limiter.perPeerPerRound }

@@ -1,0 +1,76 @@
+package defense
+
+import (
+	"testing"
+)
+
+// TestLimitAdmit: Limit adapts RateLimiter semantics — grants up to the cap
+// per (from, to) pair per round and rolls over on a new round.
+func TestLimitAdmit(t *testing.T) {
+	l := NewLimit(3)
+	if got := l.Admit(0, 1, 2, 2); got != 2 {
+		t.Fatalf("first admit = %d, want 2", got)
+	}
+	if got := l.Admit(0, 1, 2, 5); got != 1 {
+		t.Fatalf("second admit = %d, want the remaining 1", got)
+	}
+	if got := l.Admit(0, 9, 2, 5); got != 3 {
+		t.Fatalf("other sender admit = %d, want fresh cap 3", got)
+	}
+	if got := l.Admit(1, 1, 2, 5); got != 3 {
+		t.Fatalf("new round admit = %d, want fresh cap 3", got)
+	}
+	if got := l.Cap(); got != 3 {
+		t.Fatalf("Cap = %d, want 3", got)
+	}
+}
+
+// TestLimitReset: Reset clears the pair budgets and the round cursor so a
+// pooled Limit behaves like a fresh one.
+func TestLimitReset(t *testing.T) {
+	l := NewLimit(2)
+	l.Admit(5, 1, 2, 2)
+	l.Reset()
+	if got := l.Admit(0, 1, 2, 2); got != 2 {
+		t.Fatalf("post-reset admit at round 0 = %d, want 2", got)
+	}
+}
+
+// TestRateLimiterSteadyStateAllocs: after warmup, round rollover reuses the
+// usage map in place — the hot path allocates nothing.
+func TestRateLimiterSteadyStateAllocs(t *testing.T) {
+	l := NewRateLimiter(4)
+	// Warm the map's buckets with the pair population.
+	for round := 0; round < 3; round++ {
+		for pair := 0; pair < 32; pair++ {
+			l.Allow(round, pair, pair+1, 3)
+		}
+	}
+	round := 3
+	allocs := testing.AllocsPerRun(100, func() {
+		for pair := 0; pair < 32; pair++ {
+			l.Allow(round, pair, pair+1, 3)
+		}
+		round++
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Allow allocates %.1f per round, want 0", allocs)
+	}
+}
+
+// TestRateLimiterNilAndDisabled: a nil or disabled limiter admits
+// everything non-negative.
+func TestRateLimiterNilAndDisabled(t *testing.T) {
+	var nilLimiter *RateLimiter
+	if got := nilLimiter.Allow(0, 1, 2, 7); got != 7 {
+		t.Fatalf("nil limiter = %d, want 7", got)
+	}
+	nilLimiter.Reset() // must not panic
+	off := NewRateLimiter(0)
+	if got := off.Allow(0, 1, 2, 7); got != 7 {
+		t.Fatalf("disabled limiter = %d, want 7", got)
+	}
+	if got := off.Allow(0, 1, 2, -3); got != 0 {
+		t.Fatalf("negative request = %d, want 0", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"lotuseater/internal/attack"
 	"lotuseater/internal/defense"
 	"lotuseater/internal/sign"
+	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
 
@@ -21,9 +22,19 @@ type Engine struct {
 	pseed    sign.PartnerSeed
 	targeter attack.Targeter
 
+	// adv drives attacker placement, targeting, and in-protocol behavior.
+	// The default is an attack.Strategy built from the Config; WithAdversary
+	// installs a custom one, whose OnExchange hook then decides attacker
+	// exchanges (customAdv). advTrades and advInstant cache the adversary's
+	// capability probes for the hot path.
+	adv        sim.Adversary
+	customAdv  bool
+	advTrades  bool
+	advInstant bool
+
 	keyring *sign.Keyring
 	board   *defense.Board
-	limiter *defense.RateLimiter
+	def     sim.Defense
 
 	roles      []Role
 	attackers  []int
@@ -62,6 +73,21 @@ func WithTargeter(t attack.Targeter) Option {
 	return func(e *Engine) { e.targeter = t }
 }
 
+// WithAdversary replaces the Config-derived attack.Strategy with a custom
+// adversary: it places the attacker's nodes, chooses the satiation targets
+// each round, and its OnExchange hook decides which partners attacker nodes
+// serve in protocol exchanges.
+func WithAdversary(a sim.Adversary) Option {
+	return func(e *Engine) { e.adv = a; e.customAdv = true }
+}
+
+// WithDefense replaces the Config-derived rate limiter with a custom
+// receiver-side defense; obedient nodes route every accepted excess delivery
+// through its Admit hook.
+func WithDefense(d sim.Defense) Option {
+	return func(e *Engine) { e.def = d }
+}
+
 // WithParallel enables the batched concurrent exchange executor. Results
 // are bit-identical to the default sequential executor (the equivalence is
 // tested), but for Table 1-sized systems the sequential path is faster:
@@ -92,18 +118,36 @@ func New(cfg Config, seed uint64, opts ...Option) (*Engine, error) {
 	n := cfg.Nodes
 	e.pseed = sign.PartnerSeed(e.rng.Child("partner-seed").Uint64())
 
-	// Roles: place attackers, then obedient nodes among the rest.
+	// Options first: placement and targeting may come from a custom
+	// adversary.
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.adv == nil {
+		e.adv = &attack.Strategy{
+			Kind:            cfg.Attack,
+			Fraction:        cfg.AttackerFraction,
+			SatiateFraction: cfg.SatiateFraction,
+			RotatePeriod:    cfg.RotatePeriod,
+		}
+	}
+	e.advTrades = sim.TradesInProtocol(e.adv)
+	e.advInstant = sim.SatiatesInstantly(e.adv)
+
+	// Roles: the adversary places its nodes, then obedient nodes are chosen
+	// among the rest.
 	e.roles = make([]Role, n)
 	for i := range e.roles {
 		e.roles[i] = RoleHonest
 	}
 	e.isAttacker = make([]bool, n)
-	if cfg.Attack != attack.None && cfg.AttackerFraction > 0 {
-		e.attackers = attack.PlaceAttackers(n, cfg.AttackerFraction, e.rng.Child("placement"))
-		for _, a := range e.attackers {
-			e.roles[a] = RoleAttacker
-			e.isAttacker[a] = true
+	e.attackers = e.adv.Place(n, e.rng)
+	for _, a := range e.attackers {
+		if a < 0 || a >= n {
+			return nil, fmt.Errorf("gossip: adversary placed node %d outside [0,%d)", a, n)
 		}
+		e.roles[a] = RoleAttacker
+		e.isAttacker[a] = true
 	}
 	if cfg.ObedientFraction > 0 {
 		honest := make([]int, 0, n)
@@ -146,8 +190,8 @@ func New(cfg Config, seed uint64, opts ...Option) (*Engine, error) {
 	}
 
 	// Defenses.
-	if cfg.RateLimitPerPeer > 0 {
-		e.limiter = defense.NewRateLimiter(cfg.RateLimitPerPeer)
+	if e.def == nil && cfg.RateLimitPerPeer > 0 {
+		e.def = defense.NewLimit(cfg.RateLimitPerPeer)
 	}
 	if cfg.ReportThreshold > 0 {
 		kr, err := sign.NewKeyring(n, e.rng.Child("keys"))
@@ -162,28 +206,14 @@ func New(cfg Config, seed uint64, opts ...Option) (*Engine, error) {
 		e.board = board
 	}
 
-	for _, opt := range opts {
-		opt(e)
-	}
 	if e.targeter == nil {
-		e.targeter = defaultTargeter(cfg, e.attackers, e.rng.Child("targets"))
+		// The adversary's Targets hook is the targeter; attack.Strategy
+		// reproduces the pre-strategy defaults (static/rotating satiation
+		// for ideal and trade, attacker-only for crash and none) from the
+		// same "targets" child stream.
+		e.targeter = attack.TargeterFrom(e.adv)
 	}
 	return e, nil
-}
-
-func defaultTargeter(cfg Config, attackers []int, rng *simrng.Source) attack.Targeter {
-	switch cfg.Attack {
-	case attack.Ideal, attack.Trade:
-		if cfg.RotatePeriod > 0 {
-			return attack.NewRotatingTargeter(cfg.Nodes, attackers, cfg.SatiateFraction, cfg.RotatePeriod, rng)
-		}
-		return attack.NewStaticTargeter(cfg.Nodes, attackers, cfg.SatiateFraction, rng)
-	default:
-		// Crash attackers and the no-attack baseline satiate nobody; the
-		// target set is just the attacker nodes themselves so every honest
-		// node counts as isolated.
-		return attack.NewListTargeter(cfg.Nodes, attackers)
-	}
 }
 
 // Config returns the engine's configuration.
@@ -230,7 +260,7 @@ func (e *Engine) Step() error {
 	e.targetsByRound[e.round] = targets
 
 	e.seedUpdates()
-	if e.cfg.Attack == attack.Ideal {
+	if e.advInstant {
 		e.idealDeliver()
 	}
 
@@ -283,8 +313,8 @@ func (e *Engine) idealDeliver() {
 			if !targets[v] || e.isAttacker[v] || u.holders[v] {
 				continue
 			}
-			if e.roles[v] == RoleObedient && e.limiter != nil {
-				if e.limiter.Allow(e.round, sender, v, 1) == 0 {
+			if e.roles[v] == RoleObedient && e.def != nil {
+				if e.def.Admit(e.round, sender, v, 1) == 0 {
 					continue
 				}
 			}
@@ -306,7 +336,7 @@ type pairing struct {
 func (e *Engine) planBalanced() []pairing {
 	return e.plan("balanced", func(v int) bool {
 		if e.isAttacker[v] {
-			return e.cfg.Attack == attack.Trade
+			return e.advTrades
 		}
 		return e.lacksAnyLive(v, e.round)
 	})
@@ -318,7 +348,7 @@ func (e *Engine) planPush() []pairing {
 	oldCutoff := e.round - e.cfg.RecentWindow
 	return e.plan("push", func(v int) bool {
 		if e.isAttacker[v] {
-			return e.cfg.Attack == attack.Trade
+			return e.advTrades
 		}
 		return e.lacksAnyLive(v, oldCutoff)
 	})

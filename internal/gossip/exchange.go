@@ -1,9 +1,20 @@
 package gossip
 
 import (
-	"lotuseater/internal/attack"
 	"lotuseater/internal/defense"
 )
+
+// attackerServes decides whether attacker node att serves peer inside a
+// protocol exchange this round: a custom adversary's OnExchange hook rules
+// when one is installed; the default Config-derived strategy serves exactly
+// the round's satiation targets (which also honors WithTargeter overrides,
+// since targetsByRound comes from the effective targeter).
+func (e *Engine) attackerServes(att, peer int) bool {
+	if e.customAdv {
+		return e.adv.OnExchange(e.round, att, peer)
+	}
+	return e.targetsByRound[e.round][peer]
+}
 
 // execBalanced performs one balanced exchange between the planned pair.
 //
@@ -26,7 +37,7 @@ func (e *Engine) execBalanced(p pairing) {
 	case ai && aj:
 		return // attacker nodes have nothing to gain from each other
 	case ai || aj:
-		if e.cfg.Attack != attack.Trade {
+		if !e.advTrades {
 			return // crash and ideal attackers never trade
 		}
 		att, peer := i, j
@@ -77,8 +88,7 @@ func (e *Engine) maybeAltruistic(i, j int, needI, needJ []int) {
 // ordinary one-for-one count, which the attacker keeps (it needs inventory
 // to keep satiating). Isolated nodes get nothing.
 func (e *Engine) attackerBalanced(att, peer int) {
-	targets := e.targetsByRound[e.round]
-	if !targets[peer] {
+	if !e.attackerServes(att, peer) {
 		return // isolated nodes get nothing from the attacker
 	}
 	needPeer := e.needsFrom(peer, holdsOffer(att))
@@ -115,8 +125,8 @@ func (e *Engine) deliver(from, to int, indices []int, reciprocated int, attacker
 		e.fileReport(from, to, indices)
 	}
 	granted := offered
-	if obedient && excess > 0 && e.limiter != nil {
-		allowed := e.limiter.Allow(e.round, from, to, excess)
+	if obedient && excess > 0 && e.def != nil {
+		allowed := e.def.Admit(e.round, from, to, excess)
 		granted = offered - (excess - allowed)
 	}
 	got := e.give(indices[:granted], to)
@@ -155,12 +165,12 @@ func (e *Engine) execPush(p pairing) {
 	case ai && aj:
 		return
 	case ai:
-		if e.cfg.Attack != attack.Trade {
+		if !e.advTrades {
 			return
 		}
 		e.attackerPushInit(i, j)
 	case aj:
-		if e.cfg.Attack != attack.Trade {
+		if !e.advTrades {
 			return
 		}
 		e.attackerPushRespond(i, j)
@@ -215,8 +225,7 @@ func (e *Engine) honestPush(i, j int) {
 // recent updates it holds to a satiated target; the target takes up to
 // PushSize and reciprocates per protocol, growing the attacker's inventory.
 func (e *Engine) attackerPushInit(att, peer int) {
-	targets := e.targetsByRound[e.round]
-	if !targets[peer] {
+	if !e.attackerServes(att, peer) {
 		return
 	}
 	wants := e.recentOffer(peer, holdsOffer(att))
@@ -241,8 +250,7 @@ func (e *Engine) attackerPushRespond(i, att int) {
 	k := min(len(fresh), e.cfg.PushSize)
 	e.give(fresh[:k], att)
 
-	targets := e.targetsByRound[e.round]
-	if targets[i] {
+	if e.attackerServes(att, i) {
 		back := e.oldNeeds(i, holdsOffer(att))
 		e.deliver(att, i, back, k, true)
 		if k > len(back) {

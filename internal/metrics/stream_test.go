@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"lotuseater/internal/simrng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestAccumulatorMatchesBuffered: streaming statistics must agree with the
+// buffered helpers on the same data — the mean bit for bit (same summation
+// order), the rest within float tolerance.
+func TestAccumulatorMatchesBuffered(t *testing.T) {
+	rng := simrng.New(7)
+	xs := make([]float64, 10000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 0.5
+		acc.Add(xs[i])
+	}
+	if got, want := acc.Mean(), Mean(xs); got != want {
+		t.Fatalf("Mean: streaming %v != buffered %v", got, want)
+	}
+	if got, want := acc.StdDev(), StdDev(xs); !almost(got, want, 1e-9) {
+		t.Fatalf("StdDev: streaming %v != buffered %v", got, want)
+	}
+	if got, want := acc.Min(), Min(xs); got != want {
+		t.Fatalf("Min: %v != %v", got, want)
+	}
+	if got, want := acc.Max(), Max(xs); got != want {
+		t.Fatalf("Max: %v != %v", got, want)
+	}
+	if acc.Count() != int64(len(xs)) {
+		t.Fatalf("Count %d, want %d", acc.Count(), len(xs))
+	}
+}
+
+// TestAccumulatorEmptyAndEdge: empty and tiny accumulators match the
+// buffered conventions.
+func TestAccumulatorEmptyAndEdge(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 {
+		t.Fatalf("empty accumulator: mean %v variance %v", a.Mean(), a.Variance())
+	}
+	if !math.IsInf(a.Min(), 1) || !math.IsInf(a.Max(), -1) {
+		t.Fatalf("empty accumulator min/max: %v/%v", a.Min(), a.Max())
+	}
+	a.Add(2.5)
+	if a.Mean() != 2.5 || a.Variance() != 0 || a.Min() != 2.5 || a.Max() != 2.5 {
+		t.Fatalf("singleton accumulator wrong: %+v", a)
+	}
+}
+
+// TestAccumulatorMerge: merging two halves must equal folding the whole
+// stream.
+func TestAccumulatorMerge(t *testing.T) {
+	rng := simrng.New(11)
+	var whole, left, right Accumulator
+	for i := 0; i < 5000; i++ {
+		x := rng.ExpFloat64()
+		whole.Add(x)
+		if i < 2000 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(&right)
+	if left.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", left.Count(), whole.Count())
+	}
+	if !almost(left.Mean(), whole.Mean(), 1e-12) {
+		t.Fatalf("merged mean %v, want %v", left.Mean(), whole.Mean())
+	}
+	if !almost(left.Variance(), whole.Variance(), 1e-9) {
+		t.Fatalf("merged variance %v, want %v", left.Variance(), whole.Variance())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Fatalf("merged min/max %v/%v, want %v/%v", left.Min(), left.Max(), whole.Min(), whole.Max())
+	}
+}
+
+// TestP2QuantileAccuracy: the P² estimate must land near the exact
+// quantile for smooth distributions at 10k samples.
+func TestP2QuantileAccuracy(t *testing.T) {
+	for _, p := range []float64{0.5, 0.9} {
+		rng := simrng.New(42)
+		est := NewP2Quantile(p)
+		xs := make([]float64, 10000)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			est.Add(xs[i])
+		}
+		exact := Quantile(xs, p)
+		if !almost(est.Value(), exact, 0.05) {
+			t.Fatalf("p%.0f: P2 %v vs exact %v", p*100, est.Value(), exact)
+		}
+	}
+}
+
+// TestP2QuantileSmallN: below six samples the estimator is exact.
+func TestP2QuantileSmallN(t *testing.T) {
+	est := NewP2Quantile(0.5)
+	if est.Value() != 0 {
+		t.Fatalf("empty estimator value %v", est.Value())
+	}
+	for _, x := range []float64{5, 1, 3} {
+		est.Add(x)
+	}
+	if est.Value() != 3 {
+		t.Fatalf("median of {5,1,3} = %v, want 3", est.Value())
+	}
+}
+
+// TestStreamReset: a reset stream behaves like a fresh one.
+func TestStreamReset(t *testing.T) {
+	s := NewStream()
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	s.Reset()
+	if s.Acc.Count() != 0 || s.P50.Count() != 0 {
+		t.Fatalf("reset stream still holds observations")
+	}
+	s.Add(4)
+	if s.Acc.Mean() != 4 || s.P50.Value() != 4 {
+		t.Fatalf("post-reset stream wrong: mean %v p50 %v", s.Acc.Mean(), s.P50.Value())
+	}
+}

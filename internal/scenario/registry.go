@@ -1,0 +1,215 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Spec{}
+)
+
+// Register adds a spec to the registry. It panics on an invalid spec or a
+// duplicate name — programmer errors at init time.
+func Register(s *Spec) {
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: Register(%q): %v", s.Name, err))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
+	}
+	// Store a private copy: callers may keep mutating (or sharing) the spec
+	// and its params map after registration.
+	registry[s.Name] = s.Clone()
+}
+
+// Get returns a copy of the named spec, so callers can override fields
+// without mutating the registry.
+func Get(name string) (*Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return nil, false
+	}
+	return s.Clone(), true
+}
+
+// All returns copies of every registered spec sorted by name.
+func All() []*Spec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted registry keys.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// The canned scenarios: declarative forms of the repository's classic
+// sweeps. Each is data — retune it with `-set key=val` instead of editing
+// code.
+func init() {
+	Register(&Spec{
+		Name:        "gossip-trade",
+		Title:       "Trade lotus-eater vs BAR Gossip",
+		Description: "Figure 1's trade arm as data: isolated-node delivery vs attacker fraction",
+		Substrate:   "gossip",
+		Adversary:   AdversarySpec{Kind: "trade", SatiateFraction: 0.70},
+		Sweep:       SweepSpec{Axis: "adversary.fraction", From: 0, To: 0.9, Points: 10},
+		Replicates:  3,
+	})
+	Register(&Spec{
+		Name:        "gossip-trade-push10",
+		Title:       "Trade lotus-eater vs BAR Gossip, push size 10",
+		Description: "Figure 2's defense as data: raising the optimistic push size blunts the attack",
+		Substrate:   "gossip",
+		Adversary:   AdversarySpec{Kind: "trade", SatiateFraction: 0.70},
+		Sweep:       SweepSpec{Axis: "adversary.fraction", From: 0, To: 0.9, Points: 10},
+		Replicates:  3,
+		Params:      map[string]float64{"push": 10},
+	})
+	Register(&Spec{
+		Name:        "gossip-ratelimit",
+		Title:       "Per-peer rate limiting vs the ideal attack",
+		Description: "E8 as data: sweep the obedient acceptance cap against a 10% ideal attacker",
+		Substrate:   "gossip",
+		Adversary:   AdversarySpec{Kind: "ideal", Fraction: 0.10, SatiateFraction: 0.70},
+		Defense:     DefenseSpec{Kind: "ratelimit"},
+		Sweep:       SweepSpec{Axis: "defense.rateLimit", From: 0, To: 24, Points: 7},
+		Replicates:  3,
+	})
+	Register(&Spec{
+		Name:        "gossip-rotating",
+		Title:       "Rotating the satiated set",
+		Description: "E9's knob as data: sweep the rotation period of an 8% ideal attacker",
+		Substrate:   "gossip",
+		Adversary:   AdversarySpec{Kind: "ideal", Fraction: 0.08, SatiateFraction: 0.70},
+		Sweep:       SweepSpec{Axis: "adversary.rotatePeriod", From: 0, To: 25, Points: 6},
+		Replicates:  3,
+	})
+	Register(&Spec{
+		Name:        "token-altruism",
+		Title:       "Altruism restores the token model",
+		Description: "E1 as data: sweep altruism a under half-system ideal satiation",
+		Substrate:   "token",
+		Adversary:   AdversarySpec{Kind: "ideal", SatiateFraction: 0.5},
+		Sweep:       SweepSpec{Axis: "params.altruism", From: 0, To: 0.1, Points: 8},
+		Replicates:  3,
+	})
+	Register(&Spec{
+		Name:        "token-trade-defended",
+		Title:       "Trade attack vs rate-limited token collection",
+		Description: "New ground: the trade lotus-eater against the Section 3 model with a per-peer token cap",
+		Substrate:   "token",
+		Adversary:   AdversarySpec{Kind: "trade", Fraction: 0.15},
+		Defense:     DefenseSpec{Kind: "ratelimit", RateLimit: 4},
+		Sweep:       SweepSpec{Axis: "adversary.satiateFraction", From: 0, To: 0.8, Points: 6},
+		Replicates:  3,
+	})
+	Register(&Spec{
+		Name:        "scrip-trade-satiation",
+		Title:       "Earned-budget satiation of a scrip economy",
+		Description: "E4a as data: a 5% trade attacker sweeps its satiation target against the money supply",
+		Substrate:   "scrip",
+		Adversary:   AdversarySpec{Kind: "trade", Fraction: 0.05},
+		Sweep:       SweepSpec{Axis: "adversary.satiateFraction", From: 0, To: 0.8, Points: 8},
+		Metric:      "satiated-targets",
+		Replicates:  3,
+	})
+	Register(&Spec{
+		Name:        "swarm-ideal",
+		Title:       "Ideal satiation of a healthy swarm",
+		Description: "E5's qualitative claim as data: satiating leechers barely hurts (often helps) a seeded swarm",
+		Substrate:   "swarm",
+		Adversary:   AdversarySpec{Kind: "ideal", SatiateFraction: 0.70},
+		Sweep:       SweepSpec{Axis: "adversary.satiateFraction", From: 0, To: 0.6, Points: 6},
+		Replicates:  3,
+		Params:      map[string]float64{"uplink": 32},
+	})
+	Register(&Spec{
+		Name:        "coding-ideal",
+		Title:       "Ideal satiation vs plain dissemination",
+		Description: "E6's baseline as data: plain-symbol gossip under a growing instant-satiation attack",
+		Substrate:   "coding",
+		Adversary:   AdversarySpec{Kind: "ideal", SatiateFraction: 0.70},
+		Sweep:       SweepSpec{Axis: "adversary.satiateFraction", From: 0, To: 0.6, Points: 6},
+		Replicates:  3,
+	})
+
+	registerCrossProduct()
+}
+
+// registerCrossProduct generates the attack x substrate x defense grid: every
+// attack kind against every substrate, undefended and rate-limited, each
+// sweeping the attacker fraction. This is the paper's thesis as a test
+// matrix — the same adversary strategy runs unmodified against five
+// different systems — and the first time the trade lotus-eater meets the
+// swarm and scrip economies.
+func registerCrossProduct() {
+	kinds := []string{"none", "crash", "ideal", "trade"}
+	// Small-but-meaningful populations keep the full grid runnable in CI.
+	shapes := map[string]struct {
+		nodes, rounds int
+		params        map[string]float64
+	}{
+		"gossip": {nodes: 120, rounds: 40},
+		"token":  {nodes: 96, rounds: 60, params: map[string]float64{"tokens": 24}},
+		"scrip":  {nodes: 120, rounds: 6000},
+		"swarm":  {nodes: 60, rounds: 250, params: map[string]float64{"pieces": 64, "uplink": 16}},
+		"coding": {nodes: 64, rounds: 40, params: map[string]float64{"symbols": 16}},
+	}
+	for _, substrate := range Substrates {
+		shape := shapes[substrate]
+		for _, kind := range kinds {
+			for _, defended := range []bool{false, true} {
+				name := fmt.Sprintf("x/%s-%s", kind, substrate)
+				desc := fmt.Sprintf("cross-product: %s attack vs the %s substrate", kind, substrate)
+				// Crash and trade act through the attacker's nodes, so the
+				// controlled fraction is the natural axis. Ideal satiation is
+				// delivered out of protocol — sweeping the satiated fraction
+				// (at a fixed 10% placement) is what actually modulates it,
+				// and keeps x = 0 a genuine no-attack baseline on every
+				// substrate.
+				adversary := AdversarySpec{Kind: kind, SatiateFraction: 0.70}
+				axis := SweepSpec{Axis: "adversary.fraction", From: 0, To: 0.4, Points: 5}
+				if kind == "ideal" {
+					adversary.Fraction = 0.10
+					axis = SweepSpec{Axis: "adversary.satiateFraction", From: 0, To: 0.7, Points: 5}
+				}
+				spec := &Spec{
+					Name:        name,
+					Description: desc,
+					Substrate:   substrate,
+					Nodes:       shape.nodes,
+					Rounds:      shape.rounds,
+					Adversary:   adversary,
+					Sweep:       axis,
+					Replicates:  2,
+					Params:      shape.params,
+				}
+				if defended {
+					spec.Name += "+ratelimit"
+					spec.Description += ", rate-limit defense on"
+					spec.Defense = DefenseSpec{Kind: "ratelimit", RateLimit: 4}
+				}
+				Register(spec)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"fmt"
+
+	"lotuseater/internal/metrics"
+	"lotuseater/internal/sim"
+	"lotuseater/internal/simrng"
+	"lotuseater/internal/sweep"
+)
+
+// RunOptions tunes a scenario run without touching the spec.
+type RunOptions struct {
+	// Workers bounds the run's in-flight replicates on the shared pool
+	// (0 = pool width). Results never depend on it.
+	Workers int
+	// Replicates overrides the spec's replicate count when positive.
+	Replicates int
+	// Points overrides the sweep's point count when positive.
+	Points int
+}
+
+// Run executes the scenario and returns its artifact: one series per
+// summary statistic (mean, stddev, min, max, p50) of the spec's metric
+// across the sweep axis. Replicates fold into streaming accumulators in
+// replicate order — nothing per-replicate is materialized, and the result
+// is bit-identical for any worker count.
+func Run(spec *Spec, seed uint64, opts RunOptions) (*metrics.Artifact, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	replicates := spec.Replicates
+	if opts.Replicates > 0 {
+		replicates = opts.Replicates
+	}
+	if replicates <= 0 {
+		replicates = 3
+	}
+
+	xs := []float64{0}
+	xLabel := "x"
+	if spec.Sweep.Axis != "" {
+		points := spec.Sweep.Points
+		if opts.Points > 0 {
+			points = opts.Points
+		}
+		if points < 2 {
+			points = 2
+		}
+		xs = sweep.Range(spec.Sweep.From, spec.Sweep.To, points)
+		xLabel = spec.Sweep.Axis
+	}
+
+	b := sub(spec.Substrate)
+	mean := &metrics.Series{Name: "mean"}
+	std := &metrics.Series{Name: "stddev"}
+	minS := &metrics.Series{Name: "min"}
+	maxS := &metrics.Series{Name: "max"}
+	p50 := &metrics.Series{Name: "p50"}
+
+	root := simrng.New(seed)
+	runner := sim.Runner{Workers: opts.Workers}
+	for pi, x := range xs {
+		pt := spec.Clone()
+		if spec.Sweep.Axis != "" {
+			if err := pt.applyAxis(x); err != nil {
+				return nil, err
+			}
+			if err := pt.Validate(); err != nil {
+				return nil, fmt.Errorf("scenario: %s at %s=%g: %w", spec.Name, spec.Sweep.Axis, x, err)
+			}
+		}
+		st := metrics.NewStream()
+		pointSeed := root.ChildN("point", pi).Uint64()
+		err := runner.Fold(pointSeed, replicates,
+			func(rep int, rng *simrng.Source, ws *sim.Workspace) (sim.Model, error) {
+				adv, err := pt.Adversary.Strategy()
+				if err != nil {
+					return nil, err
+				}
+				return b.build(pt, rng, ws, adv, newDefense(pt, ws))
+			},
+			func(rep int, snap any) error {
+				y, err := b.metric(pt, snap)
+				if err != nil {
+					return err
+				}
+				st.Add(y)
+				return nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: point %s=%g: %w", spec.Name, xLabel, x, err)
+		}
+		mean.Add(x, st.Acc.Mean())
+		std.Add(x, st.Acc.StdDev())
+		minS.Add(x, st.Acc.Min())
+		maxS.Add(x, st.Acc.Max())
+		p50.Add(x, st.P50.Value())
+	}
+
+	metricName := spec.Metric
+	if metricName == "" {
+		metricName = b.defaultMetric
+	}
+	title := spec.Title
+	if title == "" {
+		title = spec.Name
+	}
+	return &metrics.Artifact{
+		Name:   spec.Name,
+		Title:  fmt.Sprintf("%s — %s/%s, metric %s (%d replicates/point)", title, spec.Substrate, adversaryLabel(spec), metricName, replicates),
+		XLabel: xLabel,
+		Series: []*metrics.Series{mean, std, minS, maxS, p50},
+	}, nil
+}
+
+func adversaryLabel(spec *Spec) string {
+	kind := spec.Adversary.Kind
+	if kind == "" {
+		kind = "none"
+	}
+	if spec.Defense.enabled() {
+		return fmt.Sprintf("%s vs ratelimit(%d)", kind, spec.Defense.RateLimit)
+	}
+	return kind
+}

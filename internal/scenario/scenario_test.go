@@ -1,0 +1,302 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lotuseater/internal/attack"
+	"lotuseater/internal/metrics"
+	"lotuseater/internal/sim"
+	"lotuseater/internal/simrng"
+)
+
+// TestSpecJSONRoundTrip: encode/decode must preserve a spec exactly,
+// including -set overrides applied beforehand (the acceptance criterion
+// that overrides round-trip through the JSON spec).
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec, ok := Get("x/trade-gossip")
+	if !ok {
+		t.Fatal("x/trade-gossip not registered")
+	}
+	if err := spec.ApplySets([]string{
+		"adversary.fraction=0.33",
+		"defense.kind=ratelimit",
+		"defense.rateLimit=6",
+		"params.push=7",
+		"sweep.points=4",
+		"replicates=9",
+		"metric=honest-delivery",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := spec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(spec)
+	b, _ := json.Marshal(back)
+	if string(a) != string(b) {
+		t.Fatalf("round trip diverged:\n%s\nvs\n%s", a, b)
+	}
+	if back.Adversary.Fraction != 0.33 || back.Defense.RateLimit != 6 ||
+		back.Params["push"] != 7 || back.Sweep.Points != 4 ||
+		back.Replicates != 9 || back.Metric != "honest-delivery" {
+		t.Fatalf("overrides lost in round trip: %+v", back)
+	}
+}
+
+// TestSpecSetErrors: malformed overrides fail loudly, and so does an
+// unknown key.
+func TestSpecSetErrors(t *testing.T) {
+	spec, _ := Get("x/trade-gossip")
+	for _, bad := range []string{
+		"nonsense",              // not key=value
+		"mystery.knob=1",        // unknown key
+		"adversary.fraction=no", // not a number
+		"sweep.points=1.5",      // not an integer
+	} {
+		if err := spec.ApplySets([]string{bad}); err == nil {
+			t.Fatalf("override %q accepted", bad)
+		}
+	}
+	if err := spec.ApplySets([]string{"adversary.kind=imaginary"}); err == nil {
+		t.Fatal("unknown adversary kind accepted")
+	}
+	if err := spec.ApplySets([]string{"metric=not-a-metric"}); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+// TestRegistryCrossProduct: every attack kind must be registered against
+// every substrate, defended and undefended — the attack x substrate x
+// defense grid of the tentpole.
+func TestRegistryCrossProduct(t *testing.T) {
+	kinds := []string{"none", "crash", "ideal", "trade"}
+	for _, substrate := range Substrates {
+		for _, kind := range kinds {
+			for _, suffix := range []string{"", "+ratelimit"} {
+				name := fmt.Sprintf("x/%s-%s%s", kind, substrate, suffix)
+				spec, ok := Get(name)
+				if !ok {
+					t.Fatalf("cross-product scenario %q missing", name)
+				}
+				if spec.Substrate != substrate || spec.Adversary.Kind != kind {
+					t.Fatalf("%q mislabeled: %+v", name, spec)
+				}
+			}
+		}
+	}
+}
+
+// TestCrossSubstrateDeterminism is the acceptance table test: every
+// attack.Kind runs against gossip, token, swarm (and the other two), and
+// each run is bit-identical across worker counts.
+func TestCrossSubstrateDeterminism(t *testing.T) {
+	kinds := []attack.Kind{attack.None, attack.Crash, attack.Ideal, attack.Trade}
+	substratesUnder := map[string][]string{
+		"none":  {"gossip", "token", "swarm", "scrip", "coding"},
+		"crash": {"gossip", "token", "swarm", "scrip", "coding"},
+		"ideal": {"gossip", "token", "swarm", "scrip", "coding"},
+		"trade": {"gossip", "token", "swarm", "scrip", "coding"},
+	}
+	for _, kind := range kinds {
+		for _, substrate := range substratesUnder[kind.String()] {
+			t.Run(kind.String()+"/"+substrate, func(t *testing.T) {
+				spec, ok := Get(fmt.Sprintf("x/%s-%s", kind, substrate))
+				if !ok {
+					t.Fatalf("scenario missing")
+				}
+				// Shrink for test runtime; keep the attack meaningful.
+				opts := RunOptions{Points: 2, Replicates: 2}
+				if substrate == "scrip" {
+					spec.Rounds = 1500
+				}
+				serial, err := Run(spec, 7, RunOptions{Workers: 1, Points: opts.Points, Replicates: opts.Replicates})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wide, err := Run(spec, 7, RunOptions{Workers: 8, Points: opts.Points, Replicates: opts.Replicates})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := serial.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := wide.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(a) != string(b) {
+					t.Fatalf("results depend on worker count:\n%s\nvs\n%s", a, b)
+				}
+			})
+		}
+	}
+}
+
+// TestAttacksBite: sanity on the physics — with heavy attacker presence
+// (45%, past the paper's ~42% crash crossover), crash, ideal, and trade all
+// measurably hurt the gossip and token substrates relative to the no-attack
+// baseline.
+func TestAttacksBite(t *testing.T) {
+	for _, substrate := range []string{"gossip", "token"} {
+		base := baselineMetric(t, substrate, "none")
+		for _, kind := range []string{"crash", "ideal", "trade"} {
+			hurt := baselineMetric(t, substrate, kind)
+			if hurt >= base-0.01 {
+				t.Fatalf("%s attack on %s did nothing: %.4f vs baseline %.4f", kind, substrate, hurt, base)
+			}
+		}
+	}
+}
+
+func baselineMetric(t *testing.T, substrate, kind string) float64 {
+	t.Helper()
+	spec, ok := Get(fmt.Sprintf("x/%s-%s", kind, substrate))
+	if !ok {
+		t.Fatalf("x/%s-%s missing", kind, substrate)
+	}
+	spec.Sweep = SweepSpec{} // single point
+	spec.Adversary.Fraction = 0.45
+	a, err := Run(spec, 11, RunOptions{Replicates: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Series[0].Points[0].Y
+}
+
+// TestDefenseHelps: the rate-limit defense must improve the token
+// substrate's organic completion under an ideal attack (the satiation
+// payload is throttled to a trickle).
+func TestDefenseHelps(t *testing.T) {
+	run := func(name string) float64 {
+		spec, ok := Get(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		spec.Sweep = SweepSpec{}
+		spec.Adversary.Fraction = 0.2
+		a, err := Run(spec, 3, RunOptions{Replicates: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.Series[0].Points[0].Y
+	}
+	undefended := run("x/ideal-token")
+	defended := run("x/ideal-token+ratelimit")
+	if defended <= undefended {
+		t.Fatalf("rate limit did not help: defended %.4f vs undefended %.4f", defended, undefended)
+	}
+}
+
+// TestStreamingMatchesBuffered is the 10k-replicate acceptance test: a run
+// folded through the streaming path must produce the same mean and variance
+// as buffering every replicate, without materializing them.
+func TestStreamingMatchesBuffered(t *testing.T) {
+	const replicates = 10000
+	spec := &Spec{
+		Name:       "parity",
+		Substrate:  "token",
+		Nodes:      24,
+		Rounds:     6,
+		Adversary:  AdversarySpec{Kind: "trade", Fraction: 0.2, SatiateFraction: 0.5},
+		Params:     map[string]float64{"tokens": 6},
+		Replicates: replicates,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := sub(spec.Substrate)
+
+	// Buffered reference: materialize every snapshot, then reduce.
+	root := simrng.New(42)
+	pointSeed := root.ChildN("point", 0).Uint64()
+	snaps, err := sim.Runner{}.Replicates(pointSeed, replicates,
+		func(rep int, rng *simrng.Source, ws *sim.Workspace) (sim.Model, error) {
+			adv, err := spec.Adversary.Strategy()
+			if err != nil {
+				return nil, err
+			}
+			return b.build(spec, rng, ws, adv, nil)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := make([]float64, len(snaps))
+	for i, snap := range snaps {
+		y, err := b.metric(spec, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ys[i] = y
+	}
+
+	// Streaming path: the scenario engine itself.
+	a, err := Run(spec, 42, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]*metrics.Series{}
+	for _, s := range a.Series {
+		series[s.Name] = s
+	}
+	if got, want := series["mean"].Points[0].Y, metrics.Mean(ys); got != want {
+		t.Fatalf("streaming mean %v != buffered mean %v", got, want)
+	}
+	wantStd := metrics.StdDev(ys)
+	if got := series["stddev"].Points[0].Y; gotAbs(got-wantStd) > 1e-9 {
+		t.Fatalf("streaming stddev %v != buffered %v", got, wantStd)
+	}
+	if got, want := series["min"].Points[0].Y, metrics.Min(ys); got != want {
+		t.Fatalf("streaming min %v != buffered %v", got, want)
+	}
+	if got, want := series["max"].Points[0].Y, metrics.Max(ys); got != want {
+		t.Fatalf("streaming max %v != buffered %v", got, want)
+	}
+}
+
+func gotAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestRunUnknowns: bad specs fail with actionable errors.
+func TestRunUnknowns(t *testing.T) {
+	if _, err := Run(&Spec{Name: "x", Substrate: "mainframe"}, 1, RunOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "substrate") {
+		t.Fatalf("bad substrate error: %v", err)
+	}
+	if _, err := Run(&Spec{Name: "x", Substrate: "gossip", Sweep: SweepSpec{Axis: "sideways"}}, 1, RunOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "axis") {
+		t.Fatalf("bad axis error: %v", err)
+	}
+}
+
+// TestCannedScenariosRun: every registered scenario must at least run at a
+// tiny quality — the registry stays executable as it grows.
+func TestCannedScenariosRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep")
+	}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			if spec.Substrate == "scrip" {
+				spec.Rounds = 1200
+			}
+			if _, err := Run(spec, 1, RunOptions{Points: 2, Replicates: 1}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

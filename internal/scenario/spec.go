@@ -1,0 +1,397 @@
+// Package scenario makes experiments declarative data instead of code: a
+// Spec names a substrate (any of the five simulators), a population, an
+// adversary strategy, a defense, and a sweep axis, all JSON-encodable. The
+// engine compiles a Spec into replicated runs on the shared simulation
+// kernel, folding every replicate into streaming accumulators
+// (internal/metrics) so even 10k-replicate sweeps are constant-memory, and
+// renders the per-point mean/spread statistics as a metrics.Artifact.
+//
+// Specs live in a registry (canned classics plus the generated
+// attack x substrate x defense cross-product), can be loaded from JSON
+// files, and accept key=value overrides — `lotus-sim scenarios run <name>
+// -set adversary.fraction=0.3` re-parameterizes without recompiling.
+// Adding a scenario is a data change, not a code change.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lotuseater/internal/attack"
+)
+
+// Substrates accepted by Spec.Substrate, in canonical order.
+var Substrates = []string{"gossip", "token", "scrip", "swarm", "coding"}
+
+// AdversarySpec is the declarative form of an attack.Strategy.
+type AdversarySpec struct {
+	// Kind is the attack: none, crash, ideal, or trade.
+	Kind string `json:"kind"`
+	// Fraction of nodes the adversary controls.
+	Fraction float64 `json:"fraction,omitempty"`
+	// SatiateFraction of the system targeted for satiation (0.70 default
+	// for ideal and trade when zero).
+	SatiateFraction float64 `json:"satiateFraction,omitempty"`
+	// RotatePeriod re-draws the satiated set every N rounds (0 = static).
+	RotatePeriod int `json:"rotatePeriod,omitempty"`
+}
+
+// Strategy compiles the spec into a fresh attack.Strategy for one replicate.
+func (a AdversarySpec) Strategy() (*attack.Strategy, error) {
+	kind := a.Kind
+	if kind == "" {
+		kind = "none"
+	}
+	k, err := attack.ParseKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	// SatiateFraction 0 means exactly that — a sweep from 0 must satiate
+	// nobody at its first point, so there is deliberately no hidden default
+	// here; canned specs spell out the paper's 0.70.
+	s := &attack.Strategy{
+		Kind:            k,
+		Fraction:        a.Fraction,
+		SatiateFraction: a.SatiateFraction,
+		RotatePeriod:    a.RotatePeriod,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DefenseSpec is the declarative form of a receiver-side defense.
+type DefenseSpec struct {
+	// Kind is "none" (or empty) or "ratelimit".
+	Kind string `json:"kind,omitempty"`
+	// RateLimit is the per-peer per-round acceptance cap for the ratelimit
+	// kind.
+	RateLimit int `json:"rateLimit,omitempty"`
+}
+
+// Validate reports the first problem with the defense spec, or nil.
+func (d DefenseSpec) Validate() error {
+	switch d.Kind {
+	case "", "none":
+		return nil
+	case "ratelimit":
+		if d.RateLimit < 0 {
+			return fmt.Errorf("scenario: defense rateLimit must be non-negative, got %d", d.RateLimit)
+		}
+		return nil
+	default:
+		return fmt.Errorf("scenario: unknown defense kind %q (want none|ratelimit)", d.Kind)
+	}
+}
+
+// enabled reports whether the defense actually limits anything.
+func (d DefenseSpec) enabled() bool {
+	return d.Kind == "ratelimit" && d.RateLimit > 0
+}
+
+// SweepSpec describes the x axis of a scenario: which knob to sweep and
+// over what range. An empty Axis means a single point at x = 0.
+type SweepSpec struct {
+	// Axis names the swept knob: adversary.fraction,
+	// adversary.satiateFraction, adversary.rotatePeriod, defense.rateLimit,
+	// nodes, rounds, or params.<key>.
+	Axis string `json:"axis,omitempty"`
+	// From and To bound the sweep inclusively.
+	From float64 `json:"from,omitempty"`
+	To   float64 `json:"to,omitempty"`
+	// Points is the number of samples (2 minimum when an axis is set).
+	Points int `json:"points,omitempty"`
+}
+
+// Spec is one declarative scenario.
+type Spec struct {
+	// Name is the registry key.
+	Name string `json:"name"`
+	// Title is the artifact headline (Name when empty).
+	Title string `json:"title,omitempty"`
+	// Description is the one-liner shown by `lotus-sim scenarios list`.
+	Description string `json:"description,omitempty"`
+	// Substrate selects the simulator: gossip, token, scrip, swarm, coding.
+	Substrate string `json:"substrate"`
+	// Nodes is the population size (0 = substrate default).
+	Nodes int `json:"nodes,omitempty"`
+	// Rounds is the horizon in rounds/ticks/requests (0 = substrate
+	// default).
+	Rounds int `json:"rounds,omitempty"`
+	// Replicates is the number of independently seeded runs folded per
+	// sweep point (0 = 3).
+	Replicates int `json:"replicates,omitempty"`
+	// Adversary configures the attack strategy.
+	Adversary AdversarySpec `json:"adversary"`
+	// Defense configures the receiver-side defense.
+	Defense DefenseSpec `json:"defense,omitempty"`
+	// Sweep configures the x axis.
+	Sweep SweepSpec `json:"sweep,omitempty"`
+	// Metric names the per-run statistic folded into the accumulators; see
+	// `lotus-sim scenarios show` output or substrate.go for the per-
+	// substrate menu. Empty means the substrate default.
+	Metric string `json:"metric,omitempty"`
+	// Params holds substrate-specific knobs (push, tokens, threshold,
+	// pieces, symbols, ...); see substrate.go for each substrate's menu.
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// Validate reports the first problem with the spec, or nil.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if sub(s.Substrate) == nil {
+		return fmt.Errorf("scenario: unknown substrate %q (want %s)", s.Substrate, strings.Join(Substrates, "|"))
+	}
+	if _, err := s.Adversary.Strategy(); err != nil {
+		return err
+	}
+	if err := s.Defense.Validate(); err != nil {
+		return err
+	}
+	if s.Nodes < 0 || s.Rounds < 0 || s.Replicates < 0 {
+		return fmt.Errorf("scenario: nodes, rounds, and replicates must be non-negative")
+	}
+	if s.Sweep.Axis != "" {
+		if err := s.Clone().applyAxis(s.Sweep.From); err != nil {
+			return err
+		}
+		if s.Sweep.Points < 0 {
+			return fmt.Errorf("scenario: sweep points must be non-negative, got %d", s.Sweep.Points)
+		}
+	}
+	if s.Metric != "" {
+		if err := sub(s.Substrate).checkMetric(s.Metric); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the spec (params map included), so sweeps
+// and overrides never mutate registry entries.
+func (s *Spec) Clone() *Spec {
+	out := *s
+	if s.Params != nil {
+		out.Params = make(map[string]float64, len(s.Params))
+		for k, v := range s.Params {
+			out.Params[k] = v
+		}
+	}
+	return &out
+}
+
+// JSON encodes the spec, indented, with a trailing newline.
+func (s *Spec) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode parses a JSON spec and validates it.
+func Decode(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("scenario: bad spec JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// param returns a substrate knob with a default.
+func (s *Spec) param(key string, def float64) float64 {
+	if v, ok := s.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// setParam sets a substrate knob, allocating the map on first use.
+func (s *Spec) setParam(key string, v float64) {
+	if s.Params == nil {
+		s.Params = map[string]float64{}
+	}
+	s.Params[key] = v
+}
+
+// applyAxis sets the swept knob to x.
+func (s *Spec) applyAxis(x float64) error {
+	axis := s.Sweep.Axis
+	switch axis {
+	case "adversary.fraction":
+		s.Adversary.Fraction = x
+	case "adversary.satiateFraction":
+		s.Adversary.SatiateFraction = x
+	case "adversary.rotatePeriod":
+		s.Adversary.RotatePeriod = int(x)
+	case "defense.rateLimit":
+		s.Defense.RateLimit = int(x)
+		if s.Defense.Kind == "" || s.Defense.Kind == "none" {
+			s.Defense.Kind = "ratelimit"
+		}
+	case "nodes":
+		s.Nodes = int(x)
+	case "rounds":
+		s.Rounds = int(x)
+	default:
+		if key, ok := strings.CutPrefix(axis, "params."); ok && key != "" {
+			s.setParam(key, x)
+			return nil
+		}
+		return fmt.Errorf("scenario: unknown sweep axis %q", axis)
+	}
+	return nil
+}
+
+// Set applies one key=value override using the same dotted paths the JSON
+// spec uses, so overrides round-trip: Set then JSON yields a spec that
+// parses back to the overridden value. Valid keys: title, description,
+// substrate, nodes, rounds, replicates, metric, adversary.kind,
+// adversary.fraction, adversary.satiateFraction, adversary.rotatePeriod,
+// defense.kind, defense.rateLimit, sweep.axis, sweep.from, sweep.to,
+// sweep.points, and params.<key>.
+func (s *Spec) Set(key, value string) error {
+	number := func() (float64, error) {
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return 0, fmt.Errorf("scenario: %s needs a number, got %q", key, value)
+		}
+		return v, nil
+	}
+	integer := func() (int, error) {
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return 0, fmt.Errorf("scenario: %s needs an integer, got %q", key, value)
+		}
+		return v, nil
+	}
+	switch key {
+	case "title":
+		s.Title = value
+	case "description":
+		s.Description = value
+	case "substrate":
+		s.Substrate = value
+	case "metric":
+		s.Metric = value
+	case "nodes":
+		v, err := integer()
+		if err != nil {
+			return err
+		}
+		s.Nodes = v
+	case "rounds":
+		v, err := integer()
+		if err != nil {
+			return err
+		}
+		s.Rounds = v
+	case "replicates":
+		v, err := integer()
+		if err != nil {
+			return err
+		}
+		s.Replicates = v
+	case "adversary.kind":
+		s.Adversary.Kind = value
+	case "adversary.fraction":
+		v, err := number()
+		if err != nil {
+			return err
+		}
+		s.Adversary.Fraction = v
+	case "adversary.satiateFraction":
+		v, err := number()
+		if err != nil {
+			return err
+		}
+		s.Adversary.SatiateFraction = v
+	case "adversary.rotatePeriod":
+		v, err := integer()
+		if err != nil {
+			return err
+		}
+		s.Adversary.RotatePeriod = v
+	case "defense.kind":
+		s.Defense.Kind = value
+	case "defense.rateLimit":
+		v, err := integer()
+		if err != nil {
+			return err
+		}
+		s.Defense.RateLimit = v
+	case "sweep.axis":
+		s.Sweep.Axis = value
+	case "sweep.from":
+		v, err := number()
+		if err != nil {
+			return err
+		}
+		s.Sweep.From = v
+	case "sweep.to":
+		v, err := number()
+		if err != nil {
+			return err
+		}
+		s.Sweep.To = v
+	case "sweep.points":
+		v, err := integer()
+		if err != nil {
+			return err
+		}
+		s.Sweep.Points = v
+	default:
+		if pkey, ok := strings.CutPrefix(key, "params."); ok && pkey != "" {
+			v, err := number()
+			if err != nil {
+				return err
+			}
+			s.setParam(pkey, v)
+			return nil
+		}
+		return fmt.Errorf("scenario: unknown override key %q (run `lotus-sim scenarios show <name>` for the spec layout)", key)
+	}
+	return nil
+}
+
+// ApplySets parses and applies a list of key=value overrides, then
+// re-validates.
+func (s *Spec) ApplySets(sets []string) error {
+	for _, kv := range sets {
+		key, value, ok := strings.Cut(kv, "=")
+		if !ok || key == "" {
+			return fmt.Errorf("scenario: override %q is not key=value", kv)
+		}
+		if err := s.Set(key, value); err != nil {
+			return err
+		}
+	}
+	return s.Validate()
+}
+
+// Metrics lists the metric names the spec's substrate offers, default
+// first.
+func (s *Spec) Metrics() []string {
+	b := sub(s.Substrate)
+	if b == nil {
+		return nil
+	}
+	names := make([]string, 0, len(b.metrics))
+	for name := range b.metrics {
+		if name == b.defaultMetric {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return append([]string{b.defaultMetric}, names...)
+}

@@ -1,0 +1,300 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lotuseater/internal/attack"
+	"lotuseater/internal/coding"
+	"lotuseater/internal/defense"
+	"lotuseater/internal/gossip"
+	"lotuseater/internal/graph"
+	"lotuseater/internal/scrip"
+	"lotuseater/internal/sim"
+	"lotuseater/internal/simrng"
+	"lotuseater/internal/swarm"
+	"lotuseater/internal/tokenmodel"
+)
+
+// substrate binds a simulator into the scenario engine: build one replicate
+// as a sim.Model with the adversary and defense installed, and extract
+// named metrics from its snapshot.
+type substrate struct {
+	defaultMetric string
+	metrics       map[string]func(snap any) (float64, error)
+	build         func(s *Spec, rng *simrng.Source, ws *sim.Workspace, adv sim.Adversary, def sim.Defense) (sim.Model, error)
+}
+
+func (b *substrate) checkMetric(name string) error {
+	if _, ok := b.metrics[name]; ok {
+		return nil
+	}
+	names := make([]string, 0, len(b.metrics))
+	for n := range b.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("scenario: unknown metric %q (want %s)", name, strings.Join(names, "|"))
+}
+
+func (b *substrate) metric(spec *Spec, snap any) (float64, error) {
+	name := spec.Metric
+	if name == "" {
+		name = b.defaultMetric
+	}
+	fn, ok := b.metrics[name]
+	if !ok {
+		return 0, b.checkMetric(name)
+	}
+	return fn(snap)
+}
+
+// sub returns the substrate binding for name, or nil.
+func sub(name string) *substrate { return substrates[name] }
+
+// newDefense compiles the spec's defense, drawing the pooled per-worker
+// instance from the workspace when one is available (allocation-free at
+// steady state) and a fresh one otherwise.
+func newDefense(spec *Spec, ws *sim.Workspace) sim.Defense {
+	if !spec.Defense.enabled() {
+		return nil
+	}
+	cap := spec.Defense.RateLimit
+	if ws == nil {
+		return defense.NewLimit(cap)
+	}
+	return ws.Defense(fmt.Sprintf("ratelimit/%d", cap), func() sim.Defense {
+		return defense.NewLimit(cap)
+	})
+}
+
+func badSnap(want string, snap any) error {
+	return fmt.Errorf("scenario: snapshot is %T, want %s", snap, want)
+}
+
+var substrates = map[string]*substrate{
+	"gossip": {
+		defaultMetric: "isolated-delivery",
+		metrics: map[string]func(any) (float64, error){
+			"isolated-delivery": gossipMetric(func(r gossip.Result) float64 { return r.Isolated.MeanDelivery }),
+			"honest-delivery":   gossipMetric(func(r gossip.Result) float64 { return r.AllHonest.MeanDelivery }),
+			"satiated-delivery": gossipMetric(func(r gossip.Result) float64 { return r.Satiated.MeanDelivery }),
+			"usable-fraction":   gossipMetric(func(r gossip.Result) float64 { return r.Isolated.UsableFraction }),
+			"evictions":         gossipMetric(func(r gossip.Result) float64 { return float64(r.Evictions) }),
+		},
+		build: func(s *Spec, rng *simrng.Source, ws *sim.Workspace, adv sim.Adversary, def sim.Defense) (sim.Model, error) {
+			cfg := gossip.DefaultConfig()
+			if s.Nodes > 0 {
+				cfg.Nodes = s.Nodes
+			}
+			if s.Rounds > 0 {
+				cfg.Rounds = s.Rounds
+			}
+			cfg.PushSize = int(s.param("push", float64(cfg.PushSize)))
+			cfg.BalanceSlack = int(s.param("slack", float64(cfg.BalanceSlack)))
+			cfg.UpdatesPerRound = int(s.param("updates", float64(cfg.UpdatesPerRound)))
+			cfg.Lifetime = int(s.param("lifetime", float64(cfg.Lifetime)))
+			cfg.CopiesSeeded = int(s.param("copies", float64(cfg.CopiesSeeded)))
+			cfg.Warmup = int(s.param("warmup", float64(cfg.Warmup)))
+			cfg.Altruism = s.param("altruism", cfg.Altruism)
+			cfg.ObedientFraction = s.param("obedient", cfg.ObedientFraction)
+			if def != nil {
+				// The defense is only consulted for obedient receivers;
+				// default to a fully obedient population unless overridden.
+				if _, ok := s.Params["obedient"]; !ok {
+					cfg.ObedientFraction = 1
+				}
+			}
+			opts := []gossip.Option{gossip.WithAdversary(adv)}
+			if def != nil {
+				opts = append(opts, gossip.WithDefense(def))
+			}
+			return gossip.New(cfg, rng.Uint64(), opts...)
+		},
+	},
+	"token": {
+		defaultMetric: "organic-completed",
+		metrics: map[string]func(any) (float64, error){
+			"organic-completed": tokenMetric(func(r tokenmodel.Result) float64 { return r.OrganicCompletedFraction }),
+			"completed":         tokenMetric(func(r tokenmodel.Result) float64 { return r.CompletedFraction }),
+			"mean-completion-round": tokenMetric(func(r tokenmodel.Result) float64 {
+				return r.MeanCompletionRound
+			}),
+		},
+		build: func(s *Spec, rng *simrng.Source, ws *sim.Workspace, adv sim.Adversary, def sim.Defense) (sim.Model, error) {
+			n := s.Nodes
+			if n <= 0 {
+				n = 128
+			}
+			rounds := s.Rounds
+			if rounds <= 0 {
+				rounds = 80
+			}
+			deg := int(s.param("degree", 4))
+			cfg := tokenmodel.Config{
+				Graph:    graph.RandomRegularish(n, deg, rng.Child("graph")),
+				Tokens:   int(s.param("tokens", 32)),
+				Contacts: int(s.param("contacts", 2)),
+				Altruism: s.param("altruism", 0),
+				Rounds:   rounds,
+			}
+			opts := []tokenmodel.Option{
+				tokenmodel.WithAdversary(adv),
+				tokenmodel.WithWorkspace(ws),
+			}
+			if def != nil {
+				opts = append(opts, tokenmodel.WithDefense(def))
+			}
+			return tokenmodel.New(cfg, rng.Uint64(), opts...)
+		},
+	},
+	"scrip": {
+		defaultMetric: "non-target-availability",
+		metrics: map[string]func(any) (float64, error){
+			"non-target-availability": scripMetric(func(r scrip.Result) float64 { return r.NonTargetAvailability }),
+			"availability":            scripMetric(func(r scrip.Result) float64 { return r.Availability }),
+			"satiated-targets":        scripMetric(func(r scrip.Result) float64 { return r.SatiatedTargetFraction }),
+			"attacker-spent":          scripMetric(func(r scrip.Result) float64 { return float64(r.AttackerSpent) }),
+			"mean-utility":            scripMetric(func(r scrip.Result) float64 { return r.MeanUtility }),
+		},
+		build: func(s *Spec, rng *simrng.Source, ws *sim.Workspace, adv sim.Adversary, def sim.Defense) (sim.Model, error) {
+			cfg := scrip.DefaultConfig()
+			if s.Nodes > 0 {
+				cfg.Agents = s.Nodes
+			}
+			if s.Rounds > 0 {
+				cfg.Rounds = s.Rounds
+			}
+			cfg.Threshold = int(s.param("threshold", float64(cfg.Threshold)))
+			cfg.MoneyPerCapita = int(s.param("money", float64(cfg.MoneyPerCapita)))
+			cfg.Cost = s.param("cost", cfg.Cost)
+			cfg.AltruistFraction = s.param("altruists", cfg.AltruistFraction)
+			opts := []scrip.Option{scrip.WithAdversary(adv)}
+			if def != nil {
+				opts = append(opts, scrip.WithDefense(def))
+			}
+			return scrip.New(cfg, rng.Uint64(), opts...)
+		},
+	},
+	"swarm": {
+		defaultMetric: "completed",
+		metrics: map[string]func(any) (float64, error){
+			"completed":         swarmMetric(func(r swarm.Result) float64 { return r.CompletedFraction }),
+			"mean-tick":         swarmMetric(func(r swarm.Result) float64 { return r.MeanCompletionTick }),
+			"median-tick":       swarmMetric(func(r swarm.Result) float64 { return r.MedianCompletionTick }),
+			"lost-pieces":       swarmMetric(func(r swarm.Result) float64 { return float64(r.LostPieces) }),
+			"attacker-uploaded": swarmMetric(func(r swarm.Result) float64 { return float64(r.AttackerUploaded) }),
+		},
+		build: func(s *Spec, rng *simrng.Source, ws *sim.Workspace, adv sim.Adversary, def sim.Defense) (sim.Model, error) {
+			cfg := swarm.DefaultConfig()
+			if s.Nodes > 0 {
+				cfg.Leechers = s.Nodes
+			}
+			if s.Rounds > 0 {
+				cfg.Ticks = s.Rounds
+			}
+			cfg.Pieces = int(s.param("pieces", float64(cfg.Pieces)))
+			cfg.UploadSlots = int(s.param("slots", float64(cfg.UploadSlots)))
+			cfg.PeerSetSize = int(s.param("peerset", float64(cfg.PeerSetSize)))
+			cfg.AttackerUplink = int(s.param("uplink", 16))
+			cfg.SeedDepartTick = int(s.param("seedDepart", float64(cfg.SeedDepartTick)))
+			cfg.SeedAfterComplete = s.param("seedAfter", 1) != 0
+			opts := []swarm.Option{swarm.WithAdversary(adv)}
+			if def != nil {
+				opts = append(opts, swarm.WithDefense(def))
+			}
+			return swarm.New(cfg, rng.Uint64(), opts...)
+		},
+	},
+	"coding": {
+		defaultMetric: "mean-progress",
+		metrics: map[string]func(any) (float64, error){
+			"mean-progress": codingMetric(func(r coding.DisseminationResult) float64 { return r.MeanProgress }),
+			"completed":     codingMetric(func(r coding.DisseminationResult) float64 { return r.CompletedFraction }),
+		},
+		build: func(s *Spec, rng *simrng.Source, ws *sim.Workspace, adv sim.Adversary, def sim.Defense) (sim.Model, error) {
+			n := s.Nodes
+			if n <= 0 {
+				n = 96
+			}
+			rounds := s.Rounds
+			if rounds <= 0 {
+				rounds = 50
+			}
+			deg := int(s.param("degree", 4))
+			cfg := coding.DisseminationConfig{
+				Graph:       graph.RandomRegularish(n, deg, rng.Child("graph")),
+				Symbols:     int(s.param("symbols", 24)),
+				PayloadSize: int(s.param("payload", 32)),
+				Contacts:    int(s.param("contacts", 2)),
+				Rounds:      rounds,
+				Coded:       s.param("coded", 0) != 0,
+			}
+			opts := []coding.DisseminationOption{coding.WithAdversary(adv)}
+			if def != nil {
+				opts = append(opts, coding.WithDefense(def))
+			}
+			return coding.NewDissemination(cfg, rng.Uint64(), nil, opts...)
+		},
+	},
+}
+
+func gossipMetric(f func(gossip.Result) float64) func(any) (float64, error) {
+	return func(snap any) (float64, error) {
+		r, ok := snap.(gossip.Result)
+		if !ok {
+			return 0, badSnap("gossip.Result", snap)
+		}
+		return f(r), nil
+	}
+}
+
+func tokenMetric(f func(tokenmodel.Result) float64) func(any) (float64, error) {
+	return func(snap any) (float64, error) {
+		r, ok := snap.(tokenmodel.Result)
+		if !ok {
+			return 0, badSnap("tokenmodel.Result", snap)
+		}
+		return f(r), nil
+	}
+}
+
+func scripMetric(f func(scrip.Result) float64) func(any) (float64, error) {
+	return func(snap any) (float64, error) {
+		r, ok := snap.(scrip.Result)
+		if !ok {
+			return 0, badSnap("scrip.Result", snap)
+		}
+		return f(r), nil
+	}
+}
+
+func swarmMetric(f func(swarm.Result) float64) func(any) (float64, error) {
+	return func(snap any) (float64, error) {
+		r, ok := snap.(swarm.Result)
+		if !ok {
+			return 0, badSnap("swarm.Result", snap)
+		}
+		return f(r), nil
+	}
+}
+
+func codingMetric(f func(coding.DisseminationResult) float64) func(any) (float64, error) {
+	return func(snap any) (float64, error) {
+		r, ok := snap.(coding.DisseminationResult)
+		if !ok {
+			return 0, badSnap("coding.DisseminationResult", snap)
+		}
+		return f(r), nil
+	}
+}
+
+// Interface conformance pins for the strategy layer: the canonical attack
+// and defense implementations must satisfy the kernel's hook contracts.
+var (
+	_ sim.Adversary       = (*attack.Strategy)(nil)
+	_ sim.ProtocolTrader  = (*attack.Strategy)(nil)
+	_ sim.InstantSatiator = (*attack.Strategy)(nil)
+	_ sim.Defense         = (*defense.Limit)(nil)
+)

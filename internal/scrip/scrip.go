@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
 
@@ -198,6 +199,18 @@ type Sim struct {
 	pool    int // attacker's scrip pool
 	isTgt   []bool
 
+	// Strategy hooks (WithAdversary / WithDefense). The adversary places its
+	// agents, names the balances to keep topped up each round, and its kind
+	// decides the financing: trade attackers spend in-system earnings, ideal
+	// attackers mint exogenous wealth, crash attackers merely withhold
+	// service. The defense caps how much attacker scrip a target accepts per
+	// round.
+	adv        sim.Adversary
+	def        sim.Defense
+	advTrades  bool
+	advInstant bool
+	advRounds  int
+
 	round             int
 	res               Result
 	satSum            float64
@@ -205,9 +218,27 @@ type Sim struct {
 	nonTargetRequests int
 }
 
+// Option customizes a Sim.
+type Option func(*Sim)
+
+// WithAdversary installs a substrate-independent adversary strategy; see
+// Sim for how its hooks map onto the scrip economy. It replaces the
+// AttackerFraction placement and the AttackPlan mechanism.
+func WithAdversary(a sim.Adversary) Option {
+	return func(s *Sim) { s.adv = a }
+}
+
+// WithDefense installs a receiver-side defense: a target accepts at most
+// Admit(...) units of attacker top-up per round, throttling how fast the
+// adversary can push balances to the threshold.
+func WithDefense(d sim.Defense) Option {
+	return func(s *Sim) { s.def = d }
+}
+
 // New builds a Sim, deterministic in (cfg, seed). Agent kinds are assigned
-// pseudorandomly according to the configured fractions.
-func New(cfg Config, seed uint64) (*Sim, error) {
+// pseudorandomly according to the configured fractions; an installed
+// adversary's Place hook overrides the AttackerFraction assignment.
+func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -219,12 +250,18 @@ func New(cfg Config, seed uint64) (*Sim, error) {
 		utility: make([]float64, cfg.Agents),
 		isTgt:   make([]bool, cfg.Agents),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	for i := range s.kinds {
 		s.kinds[i] = Rational
 		s.balance[i] = cfg.MoneyPerCapita
 	}
 	nAlt := int(cfg.AltruistFraction*float64(cfg.Agents) + 0.5)
 	nAtt := int(cfg.AttackerFraction*float64(cfg.Agents) + 0.5)
+	if s.adv != nil {
+		nAtt = 0 // the adversary places its own agents
+	}
 	perm := s.rng.Child("kinds").Perm(cfg.Agents)
 	for i := 0; i < nAlt && i < len(perm); i++ {
 		s.kinds[perm[i]] = Altruist
@@ -235,12 +272,26 @@ func New(cfg Config, seed uint64) (*Sim, error) {
 	for i := 0; i < cfg.AltruistProviders; i++ {
 		s.kinds[i] = Altruist
 	}
+	if s.adv != nil {
+		s.advTrades = sim.TradesInProtocol(s.adv)
+		s.advInstant = sim.SatiatesInstantly(s.adv)
+		for _, a := range s.adv.Place(cfg.Agents, s.rng.Child("adversary")) {
+			if a < 0 || a >= cfg.Agents {
+				return nil, fmt.Errorf("scrip: adversary placed agent %d outside [0,%d)", a, cfg.Agents)
+			}
+			s.kinds[a] = AttackerAgent
+		}
+	}
 	return s, nil
 }
 
 // Attack installs an attack plan. It returns an error if any target is out
-// of range or attacker-controlled (satiating your own nodes is a no-op).
+// of range or attacker-controlled (satiating your own nodes is a no-op), or
+// if an adversary strategy is installed (the strategy owns targeting).
 func (s *Sim) Attack(plan AttackPlan) error {
+	if s.adv != nil {
+		return errors.New("scrip: Attack conflicts with WithAdversary")
+	}
 	for _, t := range plan.Targets {
 		if t < 0 || t >= s.cfg.Agents {
 			return fmt.Errorf("scrip: target %d out of range", t)
@@ -349,6 +400,9 @@ func (s *Sim) Step() error {
 			s.satSum += float64(sat) / float64(len(s.plan.Targets))
 		}
 	}
+	if s.adv != nil {
+		s.adversaryStep()
+	}
 
 	// 2. A uniformly random non-attacker agent requests service. With
 	// probability SpecialRequestFraction the request is a specialty one
@@ -376,7 +430,12 @@ func (s *Sim) Step() error {
 		case Altruist:
 			volunteers = append(volunteers, i)
 		case AttackerAgent:
-			volunteers = append(volunteers, i)
+			// Legacy and trade attackers volunteer to earn scrip for the
+			// attack pool; crash attackers withhold service and ideal
+			// attackers stay out of protocol entirely.
+			if s.adv == nil || s.advTrades {
+				volunteers = append(volunteers, i)
+			}
 		case Rational:
 			if s.balance[i] < s.cfg.Threshold {
 				volunteers = append(volunteers, i)
@@ -431,6 +490,58 @@ func (s *Sim) Step() error {
 	return nil
 }
 
+// adversaryStep is the strategy adversary's round: trade attackers sweep
+// in-system earnings into the pool, then (trade and ideal only) targets are
+// topped up to the threshold — trade from the finite pool, ideal from
+// exogenous minted wealth. The defense's Admit hook caps each target's
+// per-round acceptance, so a rate limit stretches the satiation ramp even
+// against the ideal attacker.
+func (s *Sim) adversaryStep() {
+	targets := s.adv.Targets(s.round)
+	if s.advTrades {
+		for i, k := range s.kinds {
+			if k == AttackerAgent && s.balance[i] > 0 {
+				s.pool += s.balance[i]
+				s.balance[i] = 0
+			}
+		}
+	}
+	live, sat := 0, 0
+	for t := 0; t < s.cfg.Agents && t < len(targets); t++ {
+		if !targets[t] || s.kinds[t] == AttackerAgent {
+			s.isTgt[t] = false
+			continue
+		}
+		s.isTgt[t] = true
+		live++
+		need := s.cfg.Threshold - s.balance[t]
+		if need > 0 && (s.advTrades || s.advInstant) {
+			grant := need
+			if s.def != nil {
+				grant = s.def.Admit(s.round, -1, t, need)
+			}
+			if s.advTrades {
+				if s.pool < need {
+					s.res.AttackerShortfall++
+				}
+				if grant > s.pool {
+					grant = s.pool
+				}
+				s.pool -= grant
+			}
+			s.balance[t] += grant
+			s.res.AttackerSpent += grant
+		}
+		if s.balance[t] >= s.cfg.Threshold {
+			sat++
+		}
+	}
+	if live > 0 {
+		s.satSum += float64(sat) / float64(live)
+		s.advRounds++
+	}
+}
+
 func (s *Sim) pickRequester(rng *simrng.Source) int {
 	for {
 		i := rng.IntN(s.cfg.Agents)
@@ -456,6 +567,8 @@ func (s *Sim) finish() Result {
 	}
 	if s.plan != nil && s.round > s.plan.StartRound {
 		res.SatiatedTargetFraction = s.satSum / float64(s.round-s.plan.StartRound)
+	} else if s.advRounds > 0 {
+		res.SatiatedTargetFraction = s.satSum / float64(s.advRounds)
 	}
 	var util float64
 	people := 0

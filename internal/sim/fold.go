@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"lotuseater/internal/simrng"
+)
+
+// FoldFunc consumes one replicate's snapshot. Runner.Fold calls it from a
+// single goroutine, in strict replicate order, so implementations need no
+// locking and deterministic reductions (running sums, streaming
+// accumulators) come out bit-identical for any worker count.
+type FoldFunc func(rep int, snap any) error
+
+// Fold builds and drives n independently seeded models exactly like
+// Replicates — same per-replicate streams, same results — but folds each
+// snapshot into fold instead of materializing a []any of all of them.
+// Replicates run concurrently on the shared pool; completed snapshots wait
+// in a reorder buffer until their turn, and an admission window of about
+// twice the pool width bounds how far ahead of the fold cursor workers may
+// run, so a 10k-replicate run holds O(workers) snapshots at any moment
+// rather than 10k.
+//
+// fold runs on a dedicated goroutine in strict replicate order. A build or
+// drive error skips that replicate's fold call and is returned (first error
+// by replicate order) after all replicates finish; a fold error stops
+// folding (later snapshots are discarded) and is returned likewise.
+func (r Runner) Fold(seed uint64, n int, build Build, fold FoldFunc) error {
+	if n <= 0 {
+		return nil
+	}
+	root := simrng.New(seed)
+	errs := make([]error, n)
+
+	// Admission window: replicate rep may start only once the fold cursor
+	// has passed rep-window, so at most `window` snapshots are in flight or
+	// waiting to fold. The wait is keyed on the replicate's own index —
+	// replicate `cursor` is always admissible — so the window cannot
+	// deadlock no matter how pool workers interleave.
+	window := 2 * PoolSize()
+	if window < 2 {
+		window = 2
+	}
+	var (
+		mu     sync.Mutex
+		cursor int // next replicate to fold; owned by the folder
+	)
+	cond := sync.NewCond(&mu)
+
+	type done struct {
+		rep  int
+		snap any
+	}
+	results := make(chan done, window)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var foldErr error
+	foldErrAt := n
+	go func() {
+		defer wg.Done()
+		pending := make(map[int]any, window)
+		for d := range results {
+			pending[d.rep] = d.snap
+			mu.Lock()
+			for {
+				snap, ok := pending[cursor]
+				if !ok {
+					break
+				}
+				delete(pending, cursor)
+				rep := cursor
+				mu.Unlock()
+				if errs[rep] == nil && foldErr == nil {
+					if err := fold(rep, snap); err != nil {
+						foldErr = fmt.Errorf("replicate %d: fold: %w", rep, err)
+						foldErrAt = rep
+					}
+				}
+				mu.Lock()
+				cursor++
+				cond.Broadcast()
+			}
+			mu.Unlock()
+		}
+	}()
+
+	Go(n, r.Workers, func(rep int, ws *Workspace) {
+		mu.Lock()
+		for rep >= cursor+window {
+			cond.Wait()
+		}
+		mu.Unlock()
+		rng := root.ChildN("replicate", rep)
+		m, err := build(rep, rng, ws)
+		if err != nil {
+			errs[rep] = fmt.Errorf("replicate %d: %w", rep, err)
+			results <- done{rep: rep}
+			return
+		}
+		snap, err := Drive(m)
+		if err != nil {
+			errs[rep] = fmt.Errorf("replicate %d: %w", rep, err)
+			results <- done{rep: rep}
+			return
+		}
+		results <- done{rep: rep, snap: snap}
+	})
+	close(results)
+	wg.Wait()
+
+	for rep, err := range errs {
+		if err != nil && rep <= foldErrAt {
+			return err
+		}
+	}
+	return foldErr
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lotuseater/internal/simrng"
+)
+
+// countModel finishes immediately and snapshots a value derived from its
+// replicate stream.
+type countModel struct {
+	val  float64
+	done bool
+}
+
+func (m *countModel) Step() error            { m.done = true; return nil }
+func (m *countModel) Finished() bool         { return m.done }
+func (m *countModel) Snapshot() (any, error) { return m.val, nil }
+
+func buildCount(rep int, rng *simrng.Source, _ *Workspace) (Model, error) {
+	return &countModel{val: float64(rep) + rng.Float64()}, nil
+}
+
+// TestFoldMatchesReplicates: Fold must visit exactly the snapshots
+// Replicates returns, in replicate order, for any worker bound.
+func TestFoldMatchesReplicates(t *testing.T) {
+	const n = 500
+	want, err := Runner{}.Replicates(99, n, buildCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 0} {
+		var got []any
+		next := 0
+		err := Runner{Workers: workers}.Fold(99, n, buildCount, func(rep int, snap any) error {
+			if rep != next {
+				t.Fatalf("workers=%d: fold saw replicate %d, want %d", workers, rep, next)
+			}
+			next++
+			got = append(got, snap)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: folded %d snapshots, want %d", workers, len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: snapshot %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFoldBuildError: a failing replicate is skipped by fold and reported
+// as the first error by replicate order.
+func TestFoldBuildError(t *testing.T) {
+	build := func(rep int, rng *simrng.Source, ws *Workspace) (Model, error) {
+		if rep == 3 || rep == 7 {
+			return nil, fmt.Errorf("boom %d", rep)
+		}
+		return buildCount(rep, rng, ws)
+	}
+	folded := 0
+	err := Runner{}.Fold(1, 10, build, func(rep int, snap any) error {
+		if rep == 3 || rep == 7 {
+			t.Fatalf("fold saw failed replicate %d", rep)
+		}
+		folded++
+		return nil
+	})
+	if err == nil || err.Error() != "replicate 3: boom 3" {
+		t.Fatalf("err = %v, want replicate 3's", err)
+	}
+	if folded != 8 {
+		t.Fatalf("folded %d snapshots, want 8", folded)
+	}
+}
+
+// TestFoldFoldError: an error from the fold callback stops folding and is
+// returned.
+func TestFoldFoldError(t *testing.T) {
+	sentinel := errors.New("stop")
+	folded := 0
+	err := Runner{}.Fold(1, 50, buildCount, func(rep int, snap any) error {
+		if rep == 5 {
+			return sentinel
+		}
+		folded++
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if folded != 5 {
+		t.Fatalf("folded %d snapshots before the error, want 5", folded)
+	}
+}
+
+// TestFoldZero: n <= 0 is a no-op.
+func TestFoldZero(t *testing.T) {
+	err := Runner{}.Fold(1, 0, buildCount, func(int, any) error {
+		t.Fatal("fold called for n = 0")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkspaceDefense: the pooled defense is constructed once per key and
+// reset on every handout.
+func TestWorkspaceDefense(t *testing.T) {
+	ws := NewWorkspace()
+	made := 0
+	mk := func() Defense { made++; return &spyDefense{} }
+	d1 := ws.Defense("k", mk).(*spyDefense)
+	d2 := ws.Defense("k", mk).(*spyDefense)
+	if d1 != d2 {
+		t.Fatal("same key returned different defenses")
+	}
+	if made != 1 {
+		t.Fatalf("constructor ran %d times, want 1", made)
+	}
+	if d1.resets != 2 {
+		t.Fatalf("defense reset %d times, want 2 (one per handout)", d1.resets)
+	}
+	other := ws.Defense("other", mk)
+	if other == Defense(d1) {
+		t.Fatal("different keys shared a defense")
+	}
+	if made != 2 {
+		t.Fatalf("constructor ran %d times, want 2", made)
+	}
+}
+
+type spyDefense struct{ resets int }
+
+func (d *spyDefense) Admit(round, from, to, requested int) int { return requested }
+func (d *spyDefense) Reset()                                   { d.resets++ }

@@ -19,6 +19,8 @@ type Workspace struct {
 
 	boolsUsed, intsUsed, floatsUsed, setsUsed int
 	setBits                                   int
+
+	defenses map[string]Defense
 }
 
 // NewWorkspace returns an empty workspace. Most callers never construct one:
@@ -51,6 +53,25 @@ func take[T any](list *[][]T, used *int, n int) []T {
 	}
 	*used++
 	return buf
+}
+
+// Defense returns the worker's pooled Defense for key, constructing it with
+// mk on first use and Reset-ing it on every handout. Defenses accumulate
+// per-pair state maps that are expensive to reallocate per replicate;
+// pooling them per worker (keyed by configuration, e.g. "ratelimit/8")
+// makes defended replicated runs allocation-free at steady state. Like all
+// workspace resources, the returned Defense must not outlive the task.
+func (w *Workspace) Defense(key string, mk func() Defense) Defense {
+	if w.defenses == nil {
+		w.defenses = make(map[string]Defense)
+	}
+	d, ok := w.defenses[key]
+	if !ok {
+		d = mk()
+		w.defenses[key] = d
+	}
+	d.Reset()
+	return d
 }
 
 // Bools returns a zeroed []bool of length n, reusing storage when possible.

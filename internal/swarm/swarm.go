@@ -26,6 +26,7 @@ import (
 
 	"lotuseater/internal/bitset"
 	"lotuseater/internal/graph"
+	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
 
@@ -222,11 +223,40 @@ type Result struct {
 	SatiatedByAttacker int
 }
 
+// Option customizes a Sim.
+type Option func(*Sim)
+
+// WithAdversary installs a substrate-independent adversary strategy in
+// place of the Config's swarm-specific Attack kinds. Its hooks map onto the
+// swarm as follows: Place picks attacker-controlled leechers — crash and
+// ideal attackers leave the protocol (their slots are dead weight), trade
+// attackers hold the full file and unchoke only satiation targets; Targets
+// names the leechers the external attacker satiates; an instantly-satiating
+// (ideal) adversary uploads missing pieces to targets directly each tick,
+// up to Config.AttackerUplink pieces (16 when unset).
+func WithAdversary(a sim.Adversary) Option {
+	return func(s *Sim) { s.adv = a }
+}
+
+// WithDefense installs a receiver-side defense: every piece acceptance —
+// protocol transfers, endgame pulls, and attacker uploads (sender -1) — is
+// gated by Admit, capping pieces accepted per sender per tick.
+func WithDefense(d sim.Defense) Option {
+	return func(s *Sim) { s.def = d }
+}
+
 // Sim is one swarm instance.
 type Sim struct {
 	cfg   Config
 	rng   *simrng.Source
 	peers *graph.Graph
+
+	adv        sim.Adversary
+	def        sim.Defense
+	advTrades  bool
+	advInstant bool
+	advUplink  int
+	isAttacker []bool
 
 	n         int // leechers + 1 initial seed (node n-1)
 	seedID    int
@@ -244,7 +274,7 @@ type Sim struct {
 
 // New builds a Sim, deterministic in (cfg, seed). Node ids 0..Leechers-1
 // are leechers; node Leechers is the initial seed.
-func New(cfg Config, seed uint64) (*Sim, error) {
+func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -262,6 +292,12 @@ func New(cfg Config, seed uint64) (*Sim, error) {
 		fromAtk:   make([]int, n),
 		unchoked:  make([][]int, n),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.adv != nil && cfg.Attack != AttackOff {
+		return nil, errors.New("swarm: Config.Attack conflicts with WithAdversary")
+	}
 	deg := cfg.PeerSetSize / 2
 	if deg < 1 {
 		deg = 1
@@ -276,6 +312,31 @@ func New(cfg Config, seed uint64) (*Sim, error) {
 	s.pieces[s.seedID].Fill()
 	s.nodeState[s.seedID] = stateSeeding
 	s.finished[s.seedID] = 0
+	if s.adv != nil {
+		s.advTrades = sim.TradesInProtocol(s.adv)
+		s.advInstant = sim.SatiatesInstantly(s.adv)
+		s.advUplink = cfg.AttackerUplink
+		if s.advUplink <= 0 {
+			s.advUplink = 16
+		}
+		s.isAttacker = make([]bool, s.n)
+		for _, a := range s.adv.Place(cfg.Leechers, s.rng.Child("adversary")) {
+			if a < 0 || a >= cfg.Leechers {
+				return nil, fmt.Errorf("swarm: adversary placed node %d outside [0,%d)", a, cfg.Leechers)
+			}
+			s.isAttacker[a] = true
+			s.finished[a] = 0
+			if s.advTrades {
+				// Trade attackers hold the full file and seed selectively.
+				s.pieces[a].Fill()
+				s.nodeState[a] = stateSeeding
+			} else {
+				// Crash and ideal attacker nodes leave the protocol: no
+				// service in, no service out — crashed peers.
+				s.nodeState[a] = stateDeparted
+			}
+		}
+	}
 	return s, nil
 }
 
@@ -317,6 +378,10 @@ func (s *Sim) Step() error {
 		(s.cfg.AttackStopTick == 0 || s.tick < s.cfg.AttackStopTick) {
 		s.attackStep()
 	}
+	if s.adv != nil && s.advInstant && s.tick >= s.cfg.AttackStartTick &&
+		(s.cfg.AttackStopTick == 0 || s.tick < s.cfg.AttackStopTick) {
+		s.advSatiateStep()
+	}
 	if s.tick%s.cfg.RotateInterval == 0 {
 		s.recomputeUnchokes()
 	}
@@ -342,6 +407,34 @@ func (s *Sim) attackStep() {
 		for _, p := range missing {
 			if budget == 0 {
 				break
+			}
+			if s.def != nil && s.def.Admit(s.tick, -1, t, 1) == 0 {
+				break
+			}
+			s.pieces[t].Add(p)
+			s.fromAtk[t]++
+			s.res.AttackerUploaded++
+			budget--
+		}
+	}
+}
+
+// advSatiateStep is the instantly-satiating (ideal) adversary's tick: it
+// uploads missing pieces directly to its satiation targets, spending up to
+// the uplink budget, gated per target by the defense's Admit hook.
+func (s *Sim) advSatiateStep() {
+	targets := s.adv.Targets(s.tick)
+	budget := s.advUplink
+	for t := 0; t < s.cfg.Leechers && budget > 0; t++ {
+		if t >= len(targets) || !targets[t] || s.isAttacker[t] || s.nodeState[t] != stateLeeching {
+			continue
+		}
+		for _, p := range s.pieces[t].Missing() {
+			if budget == 0 {
+				break
+			}
+			if s.def != nil && s.def.Admit(s.tick, -1, t, 1) == 0 {
+				break // this target's per-tick acceptance is exhausted
 			}
 			s.pieces[t].Add(p)
 			s.fromAtk[t]++
@@ -424,6 +517,10 @@ func (s *Sim) recomputeUnchokes() {
 		var interested []int
 		for _, p := range s.peers.Neighbors(v) {
 			if s.nodeState[p] != stateLeeching {
+				continue
+			}
+			// A trade attacker unchokes only its satiation targets.
+			if s.isAttacker != nil && s.isAttacker[v] && !s.adv.OnExchange(s.tick, v, p) {
 				continue
 			}
 			if s.hasPieceFor(v, p) {
@@ -514,6 +611,9 @@ func (s *Sim) transferStep() {
 			if !ok {
 				continue
 			}
+			if s.def != nil && s.def.Admit(s.tick, v, p, 1) == 0 {
+				continue
+			}
 			s.pieces[p].Add(piece)
 			s.recvFrom[p][v]++
 			s.uploaded[v]++
@@ -570,11 +670,18 @@ func (s *Sim) endgameStep() {
 		}
 		p := missing[rng.IntN(len(missing))]
 		for _, nb := range s.peers.Neighbors(v) {
-			if s.nodeState[nb] != stateDeparted && s.pieces[nb].Has(p) {
-				s.pieces[v].Add(p)
-				s.uploaded[nb]++
-				break
+			if s.nodeState[nb] == stateDeparted || !s.pieces[nb].Has(p) {
+				continue
 			}
+			if s.isAttacker != nil && s.isAttacker[nb] && !s.adv.OnExchange(s.tick, nb, v) {
+				continue // the attacker stonewalls non-targets even in endgame
+			}
+			if s.def != nil && s.def.Admit(s.tick, nb, v, 1) == 0 {
+				continue
+			}
+			s.pieces[v].Add(p)
+			s.uploaded[nb]++
+			break
 		}
 	}
 }
@@ -605,6 +712,9 @@ func (s *Sim) finish() Result {
 	var ticks []float64
 	done := 0
 	for v := 0; v < s.cfg.Leechers; v++ {
+		if s.isAttacker != nil && s.isAttacker[v] {
+			continue // attacker-controlled leechers are not victims
+		}
 		t := float64(s.cfg.Ticks)
 		if s.finished[v] >= 0 {
 			done++
@@ -612,7 +722,10 @@ func (s *Sim) finish() Result {
 		}
 		ticks = append(ticks, t)
 	}
-	res.CompletedFraction = float64(done) / float64(s.cfg.Leechers)
+	if len(ticks) == 0 {
+		return res
+	}
+	res.CompletedFraction = float64(done) / float64(len(ticks))
 	sum := 0.0
 	for _, t := range ticks {
 		sum += t

@@ -68,6 +68,45 @@ func Run(cfg Config, seed uint64, fn PointFunc) *metrics.Series {
 	return out
 }
 
+// PointStats is the streaming summary of one sweep point's replicates.
+type PointStats struct {
+	// X is the swept parameter value.
+	X float64
+	// Stats folds every replicate's y: mean, variance, min, max, and P²
+	// quantile estimates, all in O(1) memory.
+	Stats *metrics.Stream
+}
+
+// Stats evaluates fn like Run but folds each point's replicates into
+// streaming accumulators instead of buffering a per-replicate slice, so
+// memory is O(points) regardless of Seeds. Each point is one pool task that
+// runs its replicates sequentially in index order; replicate r of point i
+// sees the same ChildN("sweep", i*Seeds+r) stream as Run, so the means are
+// bit-identical to Run's for any worker count (parallelism shifts from
+// points×seeds tasks to points tasks — the right trade once Seeds is large
+// enough to matter for memory).
+func Stats(cfg Config, seed uint64, fn PointFunc) []PointStats {
+	seeds := cfg.Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	out := make([]PointStats, len(cfg.Xs))
+	root := simrng.New(seed)
+	sim.Go(len(cfg.Xs), cfg.Workers, func(pt int, ws *sim.Workspace) {
+		st := metrics.NewStream()
+		for rep := 0; rep < seeds; rep++ {
+			// Recycle the arena between replicates: the previous replicate's
+			// model is gone, and without the reset same-shaped buffers would
+			// pile up seeds-deep instead of being reused.
+			ws.Reset()
+			rng := root.ChildN("sweep", pt*seeds+rep)
+			st.Add(fn(cfg.Xs[pt], rng, ws))
+		}
+		out[pt] = PointStats{X: cfg.Xs[pt], Stats: st}
+	})
+	return out
+}
+
 // Range returns count evenly spaced values from lo to hi inclusive.
 // count < 2 returns []float64{lo}.
 func Range(lo, hi float64, count int) []float64 {

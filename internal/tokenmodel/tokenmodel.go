@@ -83,6 +83,10 @@ type Result struct {
 	SatiatedByRound []int
 	// CompletedFraction is the fraction of nodes satiated at the horizon.
 	CompletedFraction float64
+	// OrganicCompletedFraction is the completed fraction among nodes the
+	// adversary neither controls nor ever served — the population an attack
+	// actually harms. Without an adversary it equals CompletedFraction.
+	OrganicCompletedFraction float64
 	// AllSatiatedRound is the first round after which every node was
 	// satiated, or -1 if that never happened.
 	AllSatiatedRound int
@@ -101,6 +105,16 @@ type Sim struct {
 	rng      *simrng.Source
 	targeter attack.Targeter // nil = no attacker
 	ws       *sim.Workspace  // nil = private allocations
+
+	// Strategy hooks: adv places attacker nodes and decides targeting and
+	// in-protocol service; def rate-limits what receivers accept. Both are
+	// optional; the legacy WithTargeter path is adv == nil.
+	adv        sim.Adversary
+	def        sim.Defense
+	isAttacker []bool
+	touched    []bool // node ever received tokens from the adversary
+	advTrades  bool
+	advInstant bool
 
 	round     int
 	held      []*bitset.Set
@@ -128,6 +142,24 @@ func WithTargeter(t attack.Targeter) Option {
 // hot path. The Sim must then not outlive the pool task that built it.
 func WithWorkspace(ws *sim.Workspace) Option {
 	return func(s *Sim) { s.ws = ws }
+}
+
+// WithAdversary installs a full adversary strategy: it places attacker
+// nodes (which hold every token when the strategy trades in protocol or
+// satiates instantly — the adversary sources content out of band, as the
+// paper's "deliberately overestimating the attacker" does), chooses per-
+// round satiation targets, and decides via OnExchange which contacting
+// partners attacker nodes serve.
+func WithAdversary(a sim.Adversary) Option {
+	return func(s *Sim) { s.adv = a }
+}
+
+// WithDefense installs a receiver-side defense: every token transfer is
+// gated by Admit, capping how many new tokens a node accepts from any one
+// partner per round — Section 5's rate-limiting idea on the Section 3
+// substrate.
+func WithDefense(d sim.Defense) Option {
+	return func(s *Sim) { s.def = d }
 }
 
 // New builds a Sim, deterministic in (cfg, seed).
@@ -168,6 +200,33 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 		}
 		s.held[v].Add(tok)
 		s.completed[v] = -1
+	}
+	if s.adv != nil {
+		s.advTrades = sim.TradesInProtocol(s.adv)
+		s.advInstant = sim.SatiatesInstantly(s.adv)
+		if s.ws != nil {
+			s.isAttacker = s.ws.Bools(n)
+			s.touched = s.ws.Bools(n)
+		} else {
+			s.isAttacker = make([]bool, n)
+			s.touched = make([]bool, n)
+		}
+		for _, a := range s.adv.Place(n, s.rng.Child("adversary")) {
+			if a < 0 || a >= n {
+				return nil, fmt.Errorf("tokenmodel: adversary placed node %d outside [0,%d)", a, n)
+			}
+			s.isAttacker[a] = true
+			if s.advTrades || s.advInstant {
+				// Lotus-eater attackers hold the full token set: the
+				// adversary sources content out of band.
+				s.held[a].Fill()
+			}
+		}
+		if s.targeter == nil {
+			s.targeter = attack.TargeterFrom(s.adv)
+		}
+	}
+	for v := 0; v < n; v++ {
 		if s.satiated(v) {
 			s.completed[v] = 0
 		}
@@ -201,16 +260,22 @@ func (s *Sim) Step() error {
 	}
 	n := s.cfg.Graph.N()
 
-	// 1. The attacker satiates its targets.
-	if s.targeter != nil {
+	// 1. The attacker satiates its targets. A legacy targeter (no adversary
+	// installed) always delivers instantly; an adversary strategy does so
+	// only when it satiates out of protocol (the ideal attack) — trade
+	// attackers must work through exchanges below. The defense's Admit hook
+	// caps how many tokens each target accepts per round, so a rate limit
+	// slows even the "instant" attacker.
+	if s.targeter != nil && (s.adv == nil || s.advInstant) {
 		targets := s.targeter.Satiated(s.round)
 		if len(targets) != n {
 			return fmt.Errorf("tokenmodel: targeter returned %d entries for %d nodes", len(targets), n)
 		}
 		for v := 0; v < n; v++ {
-			if targets[v] && !s.satiated(v) {
-				s.held[v].Fill()
+			if !targets[v] || s.satiated(v) || (s.isAttacker != nil && s.isAttacker[v]) {
+				continue
 			}
+			s.satiate(v)
 		}
 	}
 
@@ -225,6 +290,15 @@ func (s *Sim) Step() error {
 	}
 	rng := s.rng.ChildN("round", s.round)
 	for v := 0; v < n; v++ {
+		if s.isAttacker != nil && s.isAttacker[v] {
+			// Attacker nodes never collect for themselves. Trade attackers
+			// initiate contacts to deliver satiation through the protocol;
+			// crash and ideal attackers stay silent.
+			if s.advTrades {
+				s.attackerContacts(v, sat, rng)
+			}
+			continue
+		}
 		if sat[v] {
 			continue // satiated nodes stop communicating
 		}
@@ -238,11 +312,19 @@ func (s *Sim) Step() error {
 		}
 		for _, idx := range rng.SampleInts(len(nb), c) {
 			p := nb[idx]
+			if s.isAttacker != nil && s.isAttacker[p] {
+				// The contacted attacker serves per the adversary's
+				// OnExchange rule and takes nothing back.
+				if s.adv.OnExchange(s.round, p, v) && s.transferInto(v, p) > 0 {
+					s.touched[v] = true
+				}
+				continue
+			}
 			if sat[p] && !rng.Bool(s.cfg.Altruism) {
 				continue // satiated partner declines to respond
 			}
-			gains[v].UnionWith(snapshot[p])
-			gains[p].UnionWith(snapshot[v])
+			s.transferInto(v, p)
+			s.transferInto(p, v)
 		}
 	}
 	for v := 0; v < n; v++ {
@@ -261,6 +343,88 @@ func (s *Sim) Step() error {
 	s.result.SatiatedByRound = append(s.result.SatiatedByRound, count)
 	s.round++
 	return nil
+}
+
+// satiate delivers the attacker's out-of-protocol payload to v: every token
+// v lacks, capped by the defense's Admit budget (sender -1, the external
+// attacker).
+func (s *Sim) satiate(v int) {
+	if s.def == nil {
+		s.held[v].Fill()
+		if s.touched != nil {
+			s.touched[v] = true
+		}
+		return
+	}
+	missing := s.held[v].Missing()
+	granted := s.def.Admit(s.round, -1, v, len(missing))
+	if granted > len(missing) {
+		granted = len(missing)
+	}
+	for _, t := range missing[:granted] {
+		s.held[v].Add(t)
+	}
+	if granted > 0 && s.touched != nil {
+		s.touched[v] = true
+	}
+}
+
+// attackerContacts is a trade attacker's round: it contacts up to c random
+// neighbors and gives each satiation target its full snapshot, taking
+// nothing in return.
+func (s *Sim) attackerContacts(v int, sat []bool, rng *simrng.Source) {
+	nb := s.cfg.Graph.Neighbors(v)
+	if len(nb) == 0 {
+		return
+	}
+	c := s.cfg.Contacts
+	if c > len(nb) {
+		c = len(nb)
+	}
+	for _, idx := range rng.SampleInts(len(nb), c) {
+		p := nb[idx]
+		if s.isAttacker[p] || sat[p] || !s.adv.OnExchange(s.round, v, p) {
+			continue
+		}
+		if s.transferInto(p, v) > 0 {
+			s.touched[p] = true
+		}
+	}
+}
+
+// transferInto moves the sender's start-of-round token set into the
+// receiver's pending gains and reports how many new tokens landed. Without
+// a defense this is a plain union; with one, the number of genuinely new
+// tokens accepted is capped by Admit and the grant is consumed in ascending
+// token order (deterministic).
+func (s *Sim) transferInto(dst, src int) int {
+	if s.def == nil {
+		return s.gains[dst].UnionWith(s.snapshot[src])
+	}
+	need := 0
+	s.snapshot[src].ForEach(func(t int) {
+		if !s.snapshot[dst].Has(t) && !s.gains[dst].Has(t) {
+			need++
+		}
+	})
+	if need == 0 {
+		return 0
+	}
+	granted := s.def.Admit(s.round, src, dst, need)
+	if granted >= need {
+		return s.gains[dst].UnionWith(s.snapshot[src])
+	}
+	taken := 0
+	s.snapshot[src].ForEach(func(t int) {
+		if taken >= granted {
+			return
+		}
+		if !s.snapshot[dst].Has(t) && !s.gains[dst].Has(t) {
+			s.gains[dst].Add(t)
+			taken++
+		}
+	})
+	return taken
 }
 
 // Run simulates the full horizon and returns the result.
@@ -302,6 +466,22 @@ func (s *Sim) finish() Result {
 	if n > 0 {
 		res.CompletedFraction = float64(done) / float64(n)
 		res.MeanCompletionRound = sum / float64(n)
+	}
+	organicDone, organicTotal := 0, 0
+	for v := 0; v < n; v++ {
+		if s.isAttacker != nil && s.isAttacker[v] {
+			continue
+		}
+		if s.touched != nil && s.touched[v] {
+			continue
+		}
+		organicTotal++
+		if s.completed[v] >= 0 {
+			organicDone++
+		}
+	}
+	if organicTotal > 0 {
+		res.OrganicCompletedFraction = float64(organicDone) / float64(organicTotal)
 	}
 	res.TokenCoverage = make([]float64, s.cfg.Tokens)
 	for t := 0; t < s.cfg.Tokens; t++ {
