@@ -23,13 +23,16 @@ vet:
 
 race:
 	$(GO) test -race ./internal/sim/... ./internal/sweep/... ./internal/experiment/... \
-		./internal/scenario/... ./internal/attack/... ./internal/defense/... ./internal/cli/...
+		./internal/scenario/... ./internal/attack/... ./internal/defense/... ./internal/cli/... \
+		./internal/gossip/... ./internal/swarm/...
 
 # Registry-driven scenario benchmarks (one per substrate plus a
-# 1000-replicate streaming-aggregation run); emits BENCH_scenarios.json for
-# the performance trajectory across PRs.
+# 1000-replicate streaming-aggregation run) plus the kernel bench (ns/round
+# and allocs/round for gossip and swarm at n in {10k, 100k, 1m}); emits
+# BENCH_scenarios.json and BENCH_kernel.json for the performance trajectory
+# across PRs. Raise -kernel-rounds locally for tighter kernel numbers.
 bench:
-	$(GO) run ./cmd/lotus-sim scenarios bench -out BENCH_scenarios.json
+	$(GO) run ./cmd/lotus-sim scenarios bench -out BENCH_scenarios.json -kernel-out BENCH_kernel.json
 
 bench-go:
 	$(GO) test -run '^$$' -bench 'BenchmarkRegistry' -benchmem ./

@@ -13,6 +13,7 @@ package attack
 import (
 	"fmt"
 
+	"lotuseater/internal/bitset"
 	"lotuseater/internal/simrng"
 )
 
@@ -86,20 +87,62 @@ func PlaceAttackers(n int, fraction float64, rng *simrng.Source) []int {
 }
 
 // Targeter decides, per round, which nodes the attacker attempts to satiate.
-// The returned slice is indexed by node id; implementations must treat it as
-// immutable once returned for a round.
+// The returned set is immutable and shared — implementations return the same
+// pointer for every round of one targeting epoch, so callers may compare
+// pointers (or Epoch) to detect change and hold sets across rounds.
 type Targeter interface {
 	// Satiated returns the satiation targets for the given round. Attacker
 	// nodes themselves are always included: they are "satiated" by
 	// definition (they serve the attacker, not themselves).
-	Satiated(round int) []bool
+	Satiated(round int) *TargetSet
+}
+
+// DenseTargeter adapts a legacy dense targeter — one that materializes a
+// length-n []bool per round — to the sparse Targeter contract. It is the
+// compatibility path for external implementations that have not been ported;
+// each epoch change costs one O(n) conversion.
+func DenseTargeter(f func(round int) []bool) Targeter {
+	return &denseTargeter{f: f}
+}
+
+type denseTargeter struct {
+	f    func(round int) []bool
+	last []bool
+	set  *TargetSet
+}
+
+func (d *denseTargeter) Satiated(round int) *TargetSet {
+	dense := d.f(round)
+	if d.set != nil && len(dense) == len(d.last) {
+		same := true
+		for i, v := range dense {
+			if v != d.last[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return d.set
+		}
+	}
+	bits := bitset.New(len(dense))
+	for v, on := range dense {
+		if on {
+			bits.Add(v)
+		}
+	}
+	next := fromBits(bits)
+	next.diffFrom(d.set)
+	d.set = next
+	d.last = append(d.last[:0], dense...)
+	return d.set
 }
 
 // StaticTargeter satiates a fixed set: the attacker's own nodes plus enough
 // pseudorandomly chosen honest nodes to reach the target fraction. This is
 // the paper's primary configuration, with the target fraction fixed at 70%.
 type StaticTargeter struct {
-	targets []bool
+	targets *TargetSet
 }
 
 var _ Targeter = (*StaticTargeter)(nil)
@@ -109,15 +152,21 @@ var _ Targeter = (*StaticTargeter)(nil)
 // controls more than fraction*n nodes already, only attacker nodes are
 // targeted.
 func NewStaticTargeter(n int, attackers []int, fraction float64, rng *simrng.Source) *StaticTargeter {
-	return &StaticTargeter{targets: selectTargets(n, attackers, fraction, rng)}
+	return &StaticTargeter{targets: selectTargets(n, attackers, fraction, rng, nil)}
 }
 
 // Satiated implements Targeter.
-func (t *StaticTargeter) Satiated(int) []bool { return t.targets }
+func (t *StaticTargeter) Satiated(int) *TargetSet { return t.targets }
 
 // RotatingTargeter re-draws the satiated set every period rounds, always
 // keeping attacker nodes in it. Section 2 observes that rotating targets can
 // make the service intermittently unusable for every node.
+//
+// Re-draws are diff-tracked: each epoch's set carries Added/Removed journals
+// against the previous epoch, and the honest-candidate scratch is reused
+// across epochs, so an epoch costs O(n) time (the uniform redraw itself) but
+// only O(|satiated| + n/64) fresh allocation — and rounds within an epoch
+// cost nothing at all.
 type RotatingTargeter struct {
 	n         int
 	attackers []int
@@ -126,7 +175,8 @@ type RotatingTargeter struct {
 	rng       *simrng.Source
 
 	epoch   int
-	targets []bool
+	targets *TargetSet
+	scratch []int // honest-candidate buffer reused across epochs
 }
 
 var _ Targeter = (*RotatingTargeter)(nil)
@@ -151,11 +201,13 @@ func NewRotatingTargeter(n int, attackers []int, fraction float64, period int, r
 
 // Satiated implements Targeter. Calls must be made with non-decreasing
 // rounds (the simulation drives time forward).
-func (t *RotatingTargeter) Satiated(round int) []bool {
+func (t *RotatingTargeter) Satiated(round int) *TargetSet {
 	epoch := round / t.period
 	if epoch != t.epoch || t.targets == nil {
 		t.epoch = epoch
-		t.targets = selectTargets(t.n, t.attackers, t.fraction, t.rng.ChildN("epoch", epoch))
+		next := selectTargets(t.n, t.attackers, t.fraction, t.rng.ChildN("epoch", epoch), &t.scratch)
+		next.diffFrom(t.targets)
+		t.targets = next
 	}
 	return t.targets
 }
@@ -163,69 +215,81 @@ func (t *RotatingTargeter) Satiated(round int) []bool {
 // ListTargeter satiates an explicit node list; used for targeted attacks
 // such as satiating a grid cut or a rare-resource holder.
 type ListTargeter struct {
-	targets []bool
+	targets *TargetSet
 }
 
 var _ Targeter = (*ListTargeter)(nil)
 
-// NewListTargeter marks exactly the given node ids as targets.
+// NewListTargeter marks exactly the given node ids as targets. Hostile
+// lists are tolerated by construction: ids outside [0, n) are clamped away
+// and duplicates collapse (use ValidateTargetList to reject them loudly
+// instead).
 func NewListTargeter(n int, nodes []int) *ListTargeter {
-	targets := make([]bool, n)
-	for _, v := range nodes {
-		if v >= 0 && v < n {
-			targets[v] = true
-		}
-	}
-	return &ListTargeter{targets: targets}
+	return &ListTargeter{targets: NewTargetSet(n, nodes)}
 }
 
 // Satiated implements Targeter.
-func (t *ListTargeter) Satiated(int) []bool { return t.targets }
+func (t *ListTargeter) Satiated(int) *TargetSet { return t.targets }
 
-func selectTargets(n int, attackers []int, fraction float64, rng *simrng.Source) []bool {
+// ValidateTargetList reports the first problem with an explicit target
+// list: a negative id, an id >= n (when n > 0; pass n <= 0 when the
+// population is not yet known), or a duplicate. The targeters themselves
+// clamp silently; validation layers (scenario specs, CLI flags) call this to
+// fail fast on hostile input.
+func ValidateTargetList(n int, nodes []int) error {
+	seen := make(map[int]struct{}, len(nodes))
+	for i, v := range nodes {
+		if v < 0 {
+			return fmt.Errorf("attack: target list entry %d is negative (%d)", i, v)
+		}
+		if n > 0 && v >= n {
+			return fmt.Errorf("attack: target list entry %d (%d) is out of range [0,%d)", i, v, n)
+		}
+		if _, dup := seen[v]; dup {
+			return fmt.Errorf("attack: target list entry %d (%d) is a duplicate", i, v)
+		}
+		seen[v] = struct{}{}
+	}
+	return nil
+}
+
+// selectTargets draws the epoch's satiation set: every attacker node plus
+// uniformly chosen honest nodes up to round(fraction*n). The honest-candidate
+// buffer is taken from *scratch when provided, so rotating targeters reuse
+// it across epochs. RNG consumption is exactly one SampleInts draw, identical
+// to the historical dense implementation, so seeds reproduce the same sets.
+func selectTargets(n int, attackers []int, fraction float64, rng *simrng.Source, scratch *[]int) *TargetSet {
 	if fraction < 0 {
 		fraction = 0
 	}
 	if fraction > 1 {
 		fraction = 1
 	}
-	targets := make([]bool, n)
+	bits := bitset.New(n)
 	for _, a := range attackers {
 		if a >= 0 && a < n {
-			targets[a] = true
+			bits.Add(a)
 		}
 	}
 	want := int(fraction*float64(n) + 0.5)
-	have := 0
-	for _, t := range targets {
-		if t {
-			have++
+	have := bits.Len()
+	if want > have {
+		// Pick the remaining targets among honest nodes, uniformly.
+		var honest []int
+		if scratch != nil {
+			honest = (*scratch)[:0]
+		}
+		for v := 0; v < n; v++ {
+			if !bits.Has(v) {
+				honest = append(honest, v)
+			}
+		}
+		if scratch != nil {
+			*scratch = honest
+		}
+		for _, idx := range rng.SampleInts(len(honest), want-have) {
+			bits.Add(honest[idx])
 		}
 	}
-	if want <= have {
-		return targets
-	}
-	// Pick the remaining targets among honest nodes, uniformly.
-	honest := make([]int, 0, n-have)
-	for v := 0; v < n; v++ {
-		if !targets[v] {
-			honest = append(honest, v)
-		}
-	}
-	for _, idx := range rng.SampleInts(len(honest), want-have) {
-		targets[honest[idx]] = true
-	}
-	return targets
-}
-
-// Count returns the number of true entries; a convenience for tests and
-// reporting.
-func Count(targets []bool) int {
-	n := 0
-	for _, t := range targets {
-		if t {
-			n++
-		}
-	}
-	return n
+	return fromBits(bits)
 }

@@ -69,19 +69,16 @@ func TestStaticTargeterIncludesAttackers(t *testing.T) {
 	tg := NewStaticTargeter(20, attackers, 0.5, rng)
 	targets := tg.Satiated(0)
 	for _, a := range attackers {
-		if !targets[a] {
+		if !targets.Has(a) {
 			t.Fatalf("attacker %d not in target set", a)
 		}
 	}
 	if got, want := Count(targets), 10; got != want {
 		t.Fatalf("targeted %d, want %d", got, want)
 	}
-	// Static: identical every round.
-	later := tg.Satiated(100)
-	for i := range targets {
-		if targets[i] != later[i] {
-			t.Fatal("static targeter changed over time")
-		}
+	// Static: the identical (shared, immutable) set every round.
+	if later := tg.Satiated(100); later != targets {
+		t.Fatal("static targeter changed over time")
 	}
 }
 
@@ -111,43 +108,49 @@ func TestStaticTargeterFractionClamped(t *testing.T) {
 func TestRotatingTargeterRotates(t *testing.T) {
 	rng := simrng.New(3)
 	tg := NewRotatingTargeter(100, []int{0}, 0.4, 5, rng)
-	epoch0 := append([]bool(nil), tg.Satiated(0)...)
-	sameEpoch := tg.Satiated(4)
-	for i := range epoch0 {
-		if epoch0[i] != sameEpoch[i] {
-			t.Fatal("targets changed within an epoch")
-		}
+	epoch0 := tg.Satiated(0)
+	if sameEpoch := tg.Satiated(4); sameEpoch != epoch0 {
+		t.Fatal("targets changed within an epoch")
 	}
 	epoch1 := tg.Satiated(5)
-	diff := 0
-	for i := range epoch0 {
-		if epoch0[i] != epoch1[i] {
-			diff++
-		}
-	}
-	if diff == 0 {
+	if len(epoch1.Added()) == 0 && len(epoch1.Removed()) == 0 {
 		t.Fatal("targets did not rotate across epochs")
 	}
-	if !epoch1[0] {
+	if !epoch1.Has(0) {
 		t.Fatal("attacker dropped from rotated target set")
 	}
 	if got := Count(epoch1); got != 40 {
 		t.Fatalf("rotated epoch targeted %d, want 40", got)
+	}
+	// The change journal must agree with a dense diff of the two epochs.
+	d0, d1 := epoch0.Dense(nil), epoch1.Dense(nil)
+	var wantAdd, wantDel []int
+	for v := range d1 {
+		if d1[v] && !d0[v] {
+			wantAdd = append(wantAdd, v)
+		}
+		if d0[v] && !d1[v] {
+			wantDel = append(wantDel, v)
+		}
+	}
+	if !equalInts(epoch1.Added(), wantAdd) || !equalInts(epoch1.Removed(), wantDel) {
+		t.Fatalf("journal diverges from dense diff: +%v -%v, want +%v -%v",
+			epoch1.Added(), epoch1.Removed(), wantAdd, wantDel)
+	}
+	if epoch1.Epoch() != epoch0.Epoch()+1 {
+		t.Fatalf("epoch did not advance: %d -> %d", epoch0.Epoch(), epoch1.Epoch())
 	}
 }
 
 func TestRotatingTargeterPeriodClamp(t *testing.T) {
 	rng := simrng.New(3)
 	tg := NewRotatingTargeter(10, nil, 0.5, 0, rng) // period 0 -> 1
-	a := append([]bool(nil), tg.Satiated(0)...)
+	a := tg.Satiated(0)
 	b := tg.Satiated(1)
-	diff := 0
-	for i := range a {
-		if a[i] != b[i] {
-			diff++
-		}
+	if a == b {
+		t.Fatal("period clamp did not re-draw per round")
 	}
-	if diff == 0 {
+	if len(b.Added()) == 0 && len(b.Removed()) == 0 {
 		t.Log("note: consecutive epochs drew identical sets (possible but unlikely)")
 	}
 }
@@ -158,7 +161,7 @@ func TestListTargeter(t *testing.T) {
 	if Count(targets) != 2 {
 		t.Fatalf("targeted %d, want 2 (dedup + range filtering)", Count(targets))
 	}
-	if !targets[2] || !targets[4] {
+	if !targets.Has(2) || !targets.Has(4) {
 		t.Fatal("listed nodes not targeted")
 	}
 }
@@ -166,10 +169,8 @@ func TestListTargeter(t *testing.T) {
 func TestSelectTargetsDeterministic(t *testing.T) {
 	a := NewStaticTargeter(50, []int{1}, 0.3, simrng.New(9)).Satiated(0)
 	b := NewStaticTargeter(50, []int{1}, 0.3, simrng.New(9)).Satiated(0)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("same-seed targeters differ")
-		}
+	if !equalInts(a.Members(), b.Members()) {
+		t.Fatal("same-seed targeters differ")
 	}
 }
 
@@ -184,4 +185,16 @@ func TestStaticTargeterCountQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -77,7 +77,9 @@ func (s *Strategy) Place(n int, rng *simrng.Source) []int {
 }
 
 // Targets implements the per-round targeting hook. Place must have run.
-func (s *Strategy) Targets(round int) []bool {
+// The returned set is immutable and shared; the same pointer comes back for
+// every round of one targeting epoch.
+func (s *Strategy) Targets(round int) *TargetSet {
 	if s.targeter == nil {
 		panic("attack: Strategy.Targets called before Place")
 	}
@@ -85,7 +87,7 @@ func (s *Strategy) Targets(round int) []bool {
 }
 
 // Satiated makes a placed Strategy usable anywhere a Targeter is expected.
-func (s *Strategy) Satiated(round int) []bool { return s.Targets(round) }
+func (s *Strategy) Satiated(round int) *TargetSet { return s.Targets(round) }
 
 // OnExchange implements the in-protocol service decision: trade attackers
 // serve exactly the satiation targets; crash and ideal attackers serve
@@ -94,8 +96,7 @@ func (s *Strategy) Satiated(round int) []bool { return s.Targets(round) }
 func (s *Strategy) OnExchange(round, attacker, partner int) bool {
 	switch s.Kind {
 	case Trade:
-		targets := s.Targets(round)
-		return partner >= 0 && partner < len(targets) && targets[partner]
+		return s.Targets(round).Has(partner)
 	case Crash, Ideal:
 		return false
 	default:
@@ -115,17 +116,20 @@ func (s *Strategy) SatiatesInstantly() bool { return s.Kind == Ideal }
 // practice a sim.Adversary — to the Targeter interface, so simulators can
 // feed an adversary's targeting into their existing targeter plumbing
 // without each defining the same two-line adapter.
-func TargeterFrom(a interface{ Targets(round int) []bool }) Targeter {
+func TargeterFrom(a interface{ Targets(round int) *TargetSet }) Targeter {
 	return targeterFrom{a}
 }
 
 type targeterFrom struct {
-	a interface{ Targets(round int) []bool }
+	a interface{ Targets(round int) *TargetSet }
 }
 
-func (t targeterFrom) Satiated(round int) []bool { return t.a.Targets(round) }
+func (t targeterFrom) Satiated(round int) *TargetSet { return t.a.Targets(round) }
 
 // Validate reports the first problem with the strategy's parameters, or nil.
+// A TargetList is checked for negatives and duplicates here; ids beyond the
+// (not yet known) population are caught by ValidateTargetList at the layer
+// that knows n, and clamped by the targeter either way.
 func (s *Strategy) Validate() error {
 	switch {
 	case s.Kind < None || s.Kind > Trade:
@@ -136,6 +140,11 @@ func (s *Strategy) Validate() error {
 		return fmt.Errorf("attack: SatiateFraction must be in [0,1], got %g", s.SatiateFraction)
 	case s.RotatePeriod < 0:
 		return fmt.Errorf("attack: RotatePeriod must be non-negative, got %d", s.RotatePeriod)
+	}
+	if s.TargetList != nil {
+		if err := ValidateTargetList(0, s.TargetList); err != nil {
+			return err
+		}
 	}
 	return nil
 }

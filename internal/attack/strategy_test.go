@@ -42,7 +42,7 @@ func TestStrategyTargets(t *testing.T) {
 			t.Fatalf("%v: %d targets, want %d", kind, got, want)
 		}
 		for _, a := range placed {
-			if !targets[a] {
+			if !targets.Has(a) {
 				t.Fatalf("%v: attacker %d not in its own satiated set", kind, a)
 			}
 		}
@@ -60,22 +60,12 @@ func TestStrategyRotation(t *testing.T) {
 	const n = 150
 	s := &Strategy{Kind: Ideal, Fraction: 0.1, SatiateFraction: 0.5, RotatePeriod: 10}
 	s.Place(n, simrng.New(9))
-	early := append([]bool(nil), s.Targets(0)...)
-	within := s.Targets(9)
-	for i := range early {
-		if early[i] != within[i] {
-			t.Fatal("targets changed within one epoch")
-		}
+	early := s.Targets(0)
+	if within := s.Targets(9); within != early {
+		t.Fatal("targets changed within one epoch")
 	}
 	later := s.Targets(10)
-	same := true
-	for i := range early {
-		if early[i] != later[i] {
-			same = false
-			break
-		}
-	}
-	if same {
+	if len(later.Added()) == 0 && len(later.Removed()) == 0 {
 		t.Fatal("targets did not rotate across epochs")
 	}
 }
@@ -87,16 +77,13 @@ func TestStrategyOnExchange(t *testing.T) {
 	trade := &Strategy{Kind: Trade, Fraction: 0.1, SatiateFraction: 0.5}
 	trade.Place(n, simrng.New(4))
 	targets := trade.Targets(0)
-	att := -1
-	for v := range targets {
-		if targets[v] {
-			att = v
-			break
-		}
+	if targets.Len() == 0 {
+		t.Fatal("trade strategy satiated nobody")
 	}
+	att := targets.Members()[0]
 	for v := 0; v < n; v++ {
-		if got := trade.OnExchange(0, att, v); got != targets[v] {
-			t.Fatalf("trade OnExchange(%d) = %v, targets[%d] = %v", v, got, v, targets[v])
+		if got := trade.OnExchange(0, att, v); got != targets.Has(v) {
+			t.Fatalf("trade OnExchange(%d) = %v, targets.Has(%d) = %v", v, got, v, targets.Has(v))
 		}
 	}
 	for _, kind := range []Kind{Crash, Ideal} {
@@ -139,7 +126,7 @@ func TestStrategyTargetList(t *testing.T) {
 	s := &Strategy{Kind: Ideal, TargetList: []int{3, 7, 11}}
 	s.Place(n, simrng.New(2))
 	targets := s.Targets(0)
-	if Count(targets) != 3 || !targets[3] || !targets[7] || !targets[11] {
+	if Count(targets) != 3 || !targets.Has(3) || !targets.Has(7) || !targets.Has(11) {
 		t.Fatalf("target list not honored: %d satiated", Count(targets))
 	}
 }

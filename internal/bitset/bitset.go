@@ -131,6 +131,55 @@ func (s *Set) ForEach(fn func(i int)) {
 	}
 }
 
+// DiffEach calls fn for every bit set in s but clear in other, in ascending
+// order. It panics if capacities differ.
+func (s *Set) DiffEach(other *Set, fn func(i int)) {
+	if other.n != s.n {
+		panic("bitset: capacity mismatch")
+	}
+	for wi, w := range s.words {
+		w &^= other.words[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// AppendDiff appends to buf, in ascending order, every bit set in s but
+// clear in other, and returns the extended slice. It panics if capacities
+// differ. Unlike DiffEach it needs no callback, so hot loops reusing buf
+// run allocation-free.
+func (s *Set) AppendDiff(other *Set, buf []int) []int {
+	if other.n != s.n {
+		panic("bitset: capacity mismatch")
+	}
+	for wi, w := range s.words {
+		w &^= other.words[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			buf = append(buf, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return buf
+}
+
+// HasDiff reports whether any bit is set in s but clear in other. It panics
+// if capacities differ.
+func (s *Set) HasDiff(other *Set) bool {
+	if other.n != s.n {
+		panic("bitset: capacity mismatch")
+	}
+	for wi, w := range s.words {
+		if w&^other.words[wi] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Missing returns the clear bits in ascending order.
 func (s *Set) Missing() []int {
 	out := make([]int, 0, s.n-s.count)

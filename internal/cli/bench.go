@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"lotuseater/internal/metrics"
@@ -53,13 +55,29 @@ var benchSet = []string{
 // Bench implements `lotus-sim scenarios bench`: it times a representative
 // slice of the scenario registry plus one 1000-replicate streaming-
 // aggregation run, prints an aligned table, and writes the machine-readable
-// BENCH_scenarios.json for the performance trajectory.
+// BENCH_scenarios.json for the performance trajectory. It then runs the
+// kernel bench — single-replicate ns/round and allocs/round for gossip and
+// swarm at n in {10k, 100k, 1m} — into BENCH_kernel.json.
 func Bench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("lotus-sim scenarios bench", flag.ContinueOnError)
 	out := fs.String("out", "BENCH_scenarios.json", "output JSON path (empty = stdout only)")
+	kernelOut := fs.String("kernel-out", "BENCH_kernel.json", "kernel bench JSON path (empty = skip the kernel bench)")
+	kernelRounds := fs.Int("kernel-rounds", 3, "steady-state rounds measured per kernel bench point (low quality; raise locally)")
+	kernelSizes := fs.String("kernel-sizes", "", "comma-separated kernel bench populations (default 10000,100000,1000000)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	sizes := kernelBenchSizes
+	if *kernelSizes != "" {
+		sizes = nil
+		for _, part := range strings.Split(*kernelSizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 2 {
+				return fmt.Errorf("lotus-sim: -kernel-sizes needs populations >= 2, got %q", part)
+			}
+			sizes = append(sizes, n)
+		}
 	}
 
 	var results []BenchResult
@@ -120,6 +138,12 @@ func Bench(w io.Writer, args []string) error {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "wrote %s\n", *out); err != nil {
+			return err
+		}
+	}
+
+	if *kernelOut != "" {
+		if err := kernelBench(w, *seed, *kernelRounds, sizes, *kernelOut); err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -195,9 +196,13 @@ func TestBenchWritesJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench run")
 	}
-	path := filepath.Join(t.TempDir(), "BENCH_scenarios.json")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_scenarios.json")
+	kernelPath := filepath.Join(dir, "BENCH_kernel.json")
 	var b strings.Builder
-	if err := Bench(&b, []string{"-out", path}); err != nil {
+	// A small population ladder keeps the kernel bench test-sized; the real
+	// 10k/100k/1m ladder is the flag default, exercised by `make bench`.
+	if err := Bench(&b, []string{"-out", path, "-kernel-out", kernelPath, "-kernel-sizes", "500,2000", "-kernel-rounds", "2"}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -224,6 +229,31 @@ func TestBenchWritesJSON(t *testing.T) {
 	for _, want := range []string{"x/trade-gossip", "x/trade-token", "x/ideal-swarm"} {
 		if _, ok := names[want]; !ok {
 			t.Fatalf("bench set missing %s", want)
+		}
+	}
+
+	// The kernel artifact carries one entry per (substrate, population)
+	// with per-round timing and allocation numbers.
+	kdata, err := os.ReadFile(kernelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kernel struct {
+		Entries []KernelBenchResult `json:"entries"`
+	}
+	if err := json.Unmarshal(kdata, &kernel); err != nil {
+		t.Fatalf("kernel bench JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range kernel.Entries {
+		seen[fmt.Sprintf("%s/%d", e.Substrate, e.Nodes)] = true
+		if e.NsPerRound <= 0 || e.Rounds != 2 {
+			t.Fatalf("kernel entry malformed: %+v", e)
+		}
+	}
+	for _, want := range []string{"gossip/500", "gossip/2000", "swarm/500", "swarm/2000"} {
+		if !seen[want] {
+			t.Fatalf("kernel bench missing %s entry (have %v)", want, seen)
 		}
 	}
 }

@@ -1,0 +1,174 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"lotuseater/internal/attack"
+	"lotuseater/internal/gossip"
+	"lotuseater/internal/metrics"
+	"lotuseater/internal/sim"
+	"lotuseater/internal/swarm"
+)
+
+// KernelBenchResult is one (substrate, population) measurement in
+// BENCH_kernel.json: the per-round cost of stepping a single replicate, the
+// number the sparse-satiation and in-replicate-parallelism work optimizes.
+type KernelBenchResult struct {
+	// Substrate is the simulator measured (gossip, swarm).
+	Substrate string `json:"substrate"`
+	// Nodes is the population size.
+	Nodes int `json:"nodes"`
+	// Rounds is how many steady-state rounds were measured (after warmup).
+	Rounds int `json:"rounds"`
+	// NsPerRound is wall time per simulated round in nanoseconds.
+	NsPerRound float64 `json:"nsPerRound"`
+	// AllocsPerRound is heap allocations per round — the satiation-path
+	// O(|satiated set|) claim made measurable. Pool fan-out shards count.
+	AllocsPerRound float64 `json:"allocsPerRound"`
+	// BytesPerRound is heap bytes allocated per round.
+	BytesPerRound float64 `json:"bytesPerRound"`
+	// BuildSeconds is the one-time model construction cost.
+	BuildSeconds float64 `json:"buildSeconds"`
+}
+
+// kernelBenchFile is the schema of BENCH_kernel.json.
+type kernelBenchFile struct {
+	GeneratedAt string              `json:"generatedAt"`
+	Seed        uint64              `json:"seed"`
+	Entries     []KernelBenchResult `json:"entries"`
+}
+
+// kernelBenchSizes is the population ladder the kernel bench climbs; the
+// top rung is the ROADMAP's million-user scale.
+var kernelBenchSizes = []int{10_000, 100_000, 1_000_000}
+
+// kernelBench measures ns/round and allocs/round for one replicate of the
+// gossip and swarm substrates at each of the given population sizes.
+// rounds is the measured steady-state round count (the CI default is low;
+// raise it locally for tighter numbers).
+func kernelBench(w io.Writer, seed uint64, rounds int, sizes []int, out string) error {
+	var entries []KernelBenchResult
+	for _, n := range sizes {
+		for _, sub := range []string{"gossip", "swarm"} {
+			r, err := kernelBenchOne(sub, n, rounds, seed)
+			if err != nil {
+				return fmt.Errorf("kernel bench %s/n=%d: %w", sub, n, err)
+			}
+			entries = append(entries, r)
+		}
+	}
+
+	rows := [][]string{{"kernel", "nodes", "rounds", "ms/round", "allocs/round", "MB/round"}}
+	for _, r := range entries {
+		rows = append(rows, []string{
+			r.Substrate,
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Rounds),
+			fmt.Sprintf("%.2f", r.NsPerRound/1e6),
+			fmt.Sprintf("%.0f", r.AllocsPerRound),
+			fmt.Sprintf("%.2f", r.BytesPerRound/1e6),
+		})
+	}
+	if _, err := io.WriteString(w, metrics.RenderRows(rows)); err != nil {
+		return err
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(kernelBenchFile{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Seed:        seed,
+			Entries:     entries,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "wrote %s\n", out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kernelBenchOne builds one model, steps it past its warmup so every pool
+// and freelist is primed, then times `rounds` steady-state rounds with the
+// allocator's counters bracketing the loop.
+func kernelBenchOne(substrate string, n, rounds int, seed uint64) (KernelBenchResult, error) {
+	buildStart := time.Now()
+	model, warmup, err := kernelBenchModel(substrate, n, rounds, seed)
+	if err != nil {
+		return KernelBenchResult{}, err
+	}
+	buildSeconds := time.Since(buildStart).Seconds()
+
+	for i := 0; i < warmup; i++ {
+		if err := model.Step(); err != nil {
+			return KernelBenchResult{}, err
+		}
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := model.Step(); err != nil {
+			return KernelBenchResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	return KernelBenchResult{
+		Substrate:      substrate,
+		Nodes:          n,
+		Rounds:         rounds,
+		NsPerRound:     float64(elapsed.Nanoseconds()) / float64(rounds),
+		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(rounds),
+		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
+		BuildSeconds:   buildSeconds,
+	}, nil
+}
+
+// kernelBenchModel builds the benchmark replicate: the same shapes the
+// gossip-1m / swarm-1m registry scenarios use, horizon stretched to cover
+// warmup plus the measured rounds.
+func kernelBenchModel(substrate string, n, rounds int, seed uint64) (sim.Model, int, error) {
+	switch substrate {
+	case "gossip":
+		cfg := gossip.DefaultConfig()
+		cfg.Nodes = n
+		cfg.UpdatesPerRound = 1
+		cfg.Lifetime = 8
+		cfg.CopiesSeeded = 64
+		if cfg.CopiesSeeded > n {
+			cfg.CopiesSeeded = n
+		}
+		warmup := cfg.Lifetime + 1
+		cfg.Rounds = warmup + rounds + cfg.Lifetime
+		cfg.Warmup = 0
+		adv := &attack.Strategy{Kind: attack.Ideal, Fraction: 0.02, SatiateFraction: 0.30}
+		e, err := gossip.New(cfg, seed, gossip.WithAdversary(adv))
+		return e, warmup, err
+	case "swarm":
+		cfg := swarm.DefaultConfig()
+		cfg.Leechers = n
+		cfg.Pieces = 32
+		cfg.PeerSetSize = 8
+		cfg.AttackerUplink = 4096
+		warmup := cfg.RotateInterval + 1
+		cfg.Ticks = warmup + rounds + 1
+		adv := &attack.Strategy{Kind: attack.Ideal, Fraction: 0.01, SatiateFraction: 0.10}
+		s, err := swarm.New(cfg, seed, swarm.WithAdversary(adv))
+		return s, warmup, err
+	default:
+		return nil, 0, fmt.Errorf("cli: unknown kernel bench substrate %q", substrate)
+	}
+}

@@ -98,8 +98,9 @@ type Dissemination struct {
 	plain   []*bitset.Set // plain mode
 	sources [][]byte
 
-	round int
-	res   DisseminationResult
+	round  int
+	satBuf []bool // per-round start-of-round satiation snapshot, reused
+	res    DisseminationResult
 }
 
 // DisseminationOption customizes a Dissemination.
@@ -321,11 +322,12 @@ func (d *Dissemination) step() error {
 	// must work through contacts below. The defense throttles the delivery.
 	if d.targeter != nil && (d.adv == nil || d.advInstant) {
 		targets := d.targeter.Satiated(d.round)
-		if len(targets) != n {
-			return fmt.Errorf("coding: targeter returned %d entries for %d nodes", len(targets), n)
+		if targets.Cap() != n {
+			return fmt.Errorf("coding: targeter returned a set over %d nodes, want %d", targets.Cap(), n)
 		}
-		for v := 0; v < n; v++ {
-			if !targets[v] || d.satiated(v) || (d.isAttacker != nil && d.isAttacker[v]) {
+		// Sparse iteration: O(|satiated set|) per round, not O(n).
+		for _, v := range targets.Members() {
+			if d.satiated(v) || (d.isAttacker != nil && d.isAttacker[v]) {
 				continue
 			}
 			if err := d.satiateLimited(v); err != nil {
@@ -338,7 +340,10 @@ func (d *Dissemination) step() error {
 	// satiated partners do not respond (a = 0 — the worst case the coding
 	// defense must survive). Transfers read start-of-round state.
 	rng := d.rng.ChildN("round", d.round)
-	sat := make([]bool, n)
+	if d.satBuf == nil {
+		d.satBuf = make([]bool, n)
+	}
+	sat := d.satBuf
 	for v := 0; v < n; v++ {
 		sat[v] = d.satiated(v)
 	}
@@ -381,7 +386,7 @@ func (d *Dissemination) step() error {
 		if sat[v] {
 			continue
 		}
-		nb := d.cfg.Graph.Neighbors(v)
+		nb := d.cfg.Graph.AdjList(v)
 		if len(nb) == 0 {
 			continue
 		}
@@ -421,7 +426,7 @@ func (d *Dissemination) step() error {
 // attackerContacts is a trade attacker's round: contact up to c random
 // neighbors and queue one unit for each satiation target among them.
 func (d *Dissemination) attackerContacts(v int, sat []bool, rng *simrng.Source, queue func(src, dst int)) {
-	nb := d.cfg.Graph.Neighbors(v)
+	nb := d.cfg.Graph.AdjList(v)
 	if len(nb) == 0 {
 		return
 	}

@@ -43,7 +43,22 @@ type Engine struct {
 
 	round          int
 	live           []*liveUpdate
-	targetsByRound [][]bool
+	targetsByRound []*attack.TargetSet
+
+	// Pooled per-round scratch: the planning permutation and pairing list
+	// are reused every round, retired holder arrays are recycled into new
+	// updates, and the two needs buffers back the sequential exchange
+	// executor — steady-state rounds allocate O(|satiated set|) on the
+	// satiation path and O(1) elsewhere, independent of Nodes.
+	permBuf     []int
+	pairBuf     []pairing
+	initFlags   []bool
+	holderPool  [][]bool
+	needScratch [2][]int
+
+	// evalParallel > 0 forces the sharded per-node planning evaluation,
+	// < 0 forces the sequential loop, 0 picks by population size.
+	evalParallel int
 
 	measStart, measEnd int // inclusive release-round measurement window
 
@@ -104,6 +119,26 @@ func WithParallel() Option {
 // default and exists for explicit equivalence tests.
 func WithSequential() Option {
 	return func(e *Engine) { e.parallel = false }
+}
+
+// evalParallelMinNodes is the population size at which the engine starts
+// sharding per-node planning evaluation across the worker pool by default.
+const evalParallelMinNodes = 1 << 15
+
+// WithEvalParallel forces the round-planning evaluation — the O(Nodes)
+// "does v initiate this phase?" scan — on or off the sharded sim.ParallelFor
+// path. The evaluation is a pure read of round state, so results are
+// bit-identical either way (the equivalence is tested); by default the
+// sharded path engages for populations of evalParallelMinNodes and up,
+// where the scan dominates round time.
+func WithEvalParallel(on bool) Option {
+	return func(e *Engine) {
+		if on {
+			e.evalParallel = 1
+		} else {
+			e.evalParallel = -1
+		}
+	}
 }
 
 // New builds an Engine for cfg, deterministic in (cfg, seed).
@@ -175,7 +210,8 @@ func New(cfg Config, seed uint64, opts ...Option) (*Engine, error) {
 		e.perRoundHonest[i] = -1
 		e.perRoundIsolated[i] = -1
 	}
-	e.targetsByRound = make([][]bool, cfg.Rounds)
+	e.targetsByRound = make([]*attack.TargetSet, cfg.Rounds)
+	e.initFlags = make([]bool, n)
 	if cfg.TrackPerNode {
 		e.nodeRound = make([][]int, n)
 		for v := range e.nodeRound {
@@ -254,9 +290,11 @@ func (e *Engine) Step() error {
 		return fmt.Errorf("gossip: horizon of %d rounds exhausted", e.cfg.Rounds)
 	}
 	targets := e.targeter.Satiated(e.round)
-	if len(targets) != e.cfg.Nodes {
-		return fmt.Errorf("gossip: targeter returned %d entries for %d nodes", len(targets), e.cfg.Nodes)
+	if targets.Cap() != e.cfg.Nodes {
+		return fmt.Errorf("gossip: targeter returned a set over %d nodes, want %d", targets.Cap(), e.cfg.Nodes)
 	}
+	// Target sets are immutable per epoch, so storing the pointer per round
+	// costs nothing: all rounds of one epoch share one set.
 	e.targetsByRound[e.round] = targets
 
 	e.seedUpdates()
@@ -275,6 +313,19 @@ func (e *Engine) Step() error {
 	return nil
 }
 
+// takeHolders returns a zeroed length-Nodes holder array, recycling one
+// retired with a past update when available, so steady-state rounds allocate
+// no per-update O(Nodes) storage.
+func (e *Engine) takeHolders() []bool {
+	if k := len(e.holderPool); k > 0 {
+		h := e.holderPool[k-1]
+		e.holderPool = e.holderPool[:k-1]
+		clear(h)
+		return h
+	}
+	return make([]bool, e.cfg.Nodes)
+}
+
 // seedUpdates releases this round's updates to random nodes, per Table 1.
 func (e *Engine) seedUpdates() {
 	rng := e.rng.ChildN("seed", e.round)
@@ -283,7 +334,7 @@ func (e *Engine) seedUpdates() {
 			id:       UpdateID{Round: e.round, Index: k},
 			release:  e.round,
 			deadline: e.round + e.cfg.Lifetime - 1,
-			holders:  make([]bool, e.cfg.Nodes),
+			holders:  e.takeHolders(),
 			measured: e.round >= e.measStart && e.round <= e.measEnd,
 		}
 		for _, v := range rng.SampleInts(e.cfg.Nodes, e.cfg.CopiesSeeded) {
@@ -298,7 +349,8 @@ func (e *Engine) seedUpdates() {
 
 // idealDeliver implements the ideal lotus-eater attack: every update seeded
 // to at least one attacker node this round is forwarded instantly to all
-// satiated targets, outside any exchange.
+// satiated targets, outside any exchange. Iterating the sparse member list
+// makes this O(|satiated set|) per update, not O(Nodes).
 func (e *Engine) idealDeliver() {
 	targets := e.targetsByRound[e.round]
 	sender := -1
@@ -309,8 +361,8 @@ func (e *Engine) idealDeliver() {
 		if u.release != e.round || !u.pool {
 			continue
 		}
-		for v := 0; v < e.cfg.Nodes; v++ {
-			if !targets[v] || e.isAttacker[v] || u.holders[v] {
+		for _, v := range targets.Members() {
+			if e.isAttacker[v] || u.holders[v] {
 				continue
 			}
 			if e.roles[v] == RoleObedient && e.def != nil {
@@ -355,10 +407,28 @@ func (e *Engine) planPush() []pairing {
 }
 
 func (e *Engine) plan(label string, initiates func(v int) bool) []pairing {
-	order := e.rng.ChildN("order-"+label, e.round).Perm(e.cfg.Nodes)
-	pairs := make([]pairing, 0, len(order))
+	n := e.cfg.Nodes
+	// Evaluate "does v initiate?" for every node up front. The predicate is
+	// a pure read of round state (holder bits, live deadlines, roles), so
+	// for large populations the scan shards across the worker pool with
+	// bit-identical results; plan order below is untouched either way.
+	flags := e.initFlags
+	if e.evalParallel > 0 || (e.evalParallel == 0 && n >= evalParallelMinNodes) {
+		sim.ParallelFor(n, 0, func(_, start, end int) {
+			for v := start; v < end; v++ {
+				flags[v] = initiates(v)
+			}
+		})
+	} else {
+		for v := 0; v < n; v++ {
+			flags[v] = initiates(v)
+		}
+	}
+	order := e.rng.ChildN("order-"+label, e.round).PermInto(e.permBuf, n)
+	e.permBuf = order
+	pairs := e.pairBuf[:0]
 	for _, v := range order {
-		if e.evicted[v] || !initiates(v) {
+		if e.evicted[v] || !flags[v] {
 			continue
 		}
 		p := sign.Partner(e.pseed, label, e.round, v, e.cfg.Nodes)
@@ -367,6 +437,7 @@ func (e *Engine) plan(label string, initiates func(v int) bool) []pairing {
 		}
 		pairs = append(pairs, pairing{initiator: v, partner: p})
 	}
+	e.pairBuf = pairs
 	return pairs
 }
 
@@ -469,6 +540,7 @@ func (e *Engine) retireExpired() {
 			continue
 		}
 		if !u.measured {
+			e.holderPool = append(e.holderPool, u.holders)
 			continue
 		}
 		e.measuredUpdates++
@@ -489,7 +561,7 @@ func (e *Engine) retireExpired() {
 			if got {
 				roundDelivered++
 			}
-			if relTargets[v] {
+			if relTargets.Has(v) {
 				e.totalSat[v]++
 				if got {
 					e.deliveredSat[v]++
@@ -509,6 +581,7 @@ func (e *Engine) retireExpired() {
 		if roundIsoTotal > 0 {
 			e.perRoundIsolated[u.release] = float64(roundIsoDelivered) / float64(roundIsoTotal)
 		}
+		e.holderPool = append(e.holderPool, u.holders)
 	}
 	// Drop references so retired updates can be collected.
 	for i := len(keep); i < len(e.live); i++ {

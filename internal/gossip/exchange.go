@@ -13,7 +13,7 @@ func (e *Engine) attackerServes(att, peer int) bool {
 	if e.customAdv {
 		return e.adv.OnExchange(e.round, att, peer)
 	}
-	return e.targetsByRound[e.round][peer]
+	return e.targetsByRound[e.round].Has(peer)
 }
 
 // execBalanced performs one balanced exchange between the planned pair.
@@ -51,8 +51,8 @@ func (e *Engine) execBalanced(p pairing) {
 }
 
 func (e *Engine) honestBalanced(i, j int) {
-	needI := e.needsFrom(i, holdsOffer(j))
-	needJ := e.needsFrom(j, holdsOffer(i))
+	needI := e.needsFrom(i, j, 0)
+	needJ := e.needsFrom(j, i, 1)
 	k := min(len(needI), len(needJ))
 	if k == 0 {
 		e.maybeAltruistic(i, j, needI, needJ)
@@ -91,11 +91,11 @@ func (e *Engine) attackerBalanced(att, peer int) {
 	if !e.attackerServes(att, peer) {
 		return // isolated nodes get nothing from the attacker
 	}
-	needPeer := e.needsFrom(peer, holdsOffer(att))
+	needPeer := e.needsFrom(peer, att, 0)
 	if len(needPeer) == 0 {
 		return // nothing to give this target
 	}
-	needAtt := e.needsFrom(att, holdsOffer(peer))
+	needAtt := e.needsFrom(att, peer, 1)
 	recip := min(len(needAtt), len(needPeer))
 	e.deliver(att, peer, needPeer, recip, true)
 	e.give(needAtt[:recip], att)
@@ -179,34 +179,37 @@ func (e *Engine) execPush(p pairing) {
 	}
 }
 
-// recentOffer lists live indices of recently released updates that `from`
-// can offer and `to` lacks.
-func (e *Engine) recentOffer(to int, offers func(*liveUpdate) bool) []int {
+// recentOffer lists live indices of recently released updates that src
+// holds and `to` lacks. slot selects the pooled output buffer (see
+// needsFrom).
+func (e *Engine) recentOffer(to, src int, slot int) []int {
 	cutoff := e.round - e.cfg.RecentWindow
-	var out []int
+	out := e.takeNeeds(slot)
 	for idx, u := range e.live {
-		if u.release > cutoff && u.deadline >= e.round && !u.holders[to] && offers(u) {
+		if u.release > cutoff && u.deadline >= e.round && !u.holders[to] && u.holders[src] {
 			out = append(out, idx)
 		}
 	}
+	e.storeNeeds(slot, out)
 	return out
 }
 
-// oldNeeds lists live indices of old updates `who` lacks that offers can
-// provide.
-func (e *Engine) oldNeeds(who int, offers func(*liveUpdate) bool) []int {
+// oldNeeds lists live indices of old updates `who` lacks that src can
+// provide. slot selects the pooled output buffer (see needsFrom).
+func (e *Engine) oldNeeds(who, src int, slot int) []int {
 	cutoff := e.round - e.cfg.RecentWindow
-	var out []int
+	out := e.takeNeeds(slot)
 	for idx, u := range e.live {
-		if u.release <= cutoff && u.deadline >= e.round && !u.holders[who] && offers(u) {
+		if u.release <= cutoff && u.deadline >= e.round && !u.holders[who] && u.holders[src] {
 			out = append(out, idx)
 		}
 	}
+	e.storeNeeds(slot, out)
 	return out
 }
 
 func (e *Engine) honestPush(i, j int) {
-	wants := e.recentOffer(j, holdsOffer(i))
+	wants := e.recentOffer(j, i, 0)
 	k := min(len(wants), e.cfg.PushSize)
 	if k == 0 {
 		return
@@ -215,7 +218,7 @@ func (e *Engine) honestPush(i, j int) {
 	e.deliver(i, j, wants[:k], k, false)
 	// ...and returns k units: old updates the initiator needs when it has
 	// them, junk otherwise.
-	back := e.oldNeeds(i, holdsOffer(j))
+	back := e.oldNeeds(i, j, 1)
 	r := min(len(back), k)
 	e.deliver(j, i, back[:r], k, false)
 	e.junkSent.Add(int64(k - r))
@@ -228,13 +231,13 @@ func (e *Engine) attackerPushInit(att, peer int) {
 	if !e.attackerServes(att, peer) {
 		return
 	}
-	wants := e.recentOffer(peer, holdsOffer(att))
+	wants := e.recentOffer(peer, att, 0)
 	k := min(len(wants), e.cfg.PushSize)
 	if k == 0 {
 		return
 	}
 	e.deliver(att, peer, wants[:k], k, true)
-	back := e.oldNeeds(att, holdsOffer(peer))
+	back := e.oldNeeds(att, peer, 1)
 	r := min(len(back), k)
 	e.give(back[:r], att)
 	e.usefulSent.Add(int64(r))
@@ -246,12 +249,12 @@ func (e *Engine) attackerPushInit(att, peer int) {
 // returns every old update a satiated target needs — excessive service — or
 // pure junk to an isolated initiator.
 func (e *Engine) attackerPushRespond(i, att int) {
-	fresh := e.recentOffer(att, holdsOffer(i))
+	fresh := e.recentOffer(att, i, 0)
 	k := min(len(fresh), e.cfg.PushSize)
 	e.give(fresh[:k], att)
 
 	if e.attackerServes(att, i) {
-		back := e.oldNeeds(i, holdsOffer(att))
+		back := e.oldNeeds(i, att, 1)
 		e.deliver(att, i, back, k, true)
 		if k > len(back) {
 			e.junkSent.Add(int64(k - len(back)))

@@ -27,29 +27,41 @@ type liveUpdate struct {
 	measured bool
 }
 
-// needsOf collects, for each of the two exchange parties, the live updates
-// the party lacks that the counterpart can offer. It is the hot inner loop
-// of the simulator, so it works on the engine's live slice directly.
-//
-// offerJ / offerI report, per live update index, whether j (resp. i) can
-// offer the update to the other side. For honest nodes that is simply
-// "holds it"; for trade attackers it is pool membership.
-func (e *Engine) needsFrom(dst int, srcOffers func(u *liveUpdate) bool) []int {
-	var out []int
+// takeNeeds hands out the slot-th pooled needs buffer on the sequential
+// executor; under WithParallel execs run concurrently and must not share
+// scratch, so a nil slice (heap append) comes back instead. Each exec uses
+// at most two needs-shaped buffers at once, hence two slots.
+func (e *Engine) takeNeeds(slot int) []int {
+	if e.parallel {
+		return nil
+	}
+	return e.needScratch[slot][:0]
+}
+
+// storeNeeds writes a possibly-regrown pooled buffer back to its slot.
+func (e *Engine) storeNeeds(slot int, buf []int) {
+	if !e.parallel {
+		e.needScratch[slot] = buf
+	}
+}
+
+// needsFrom collects the live updates dst lacks that src holds and can
+// offer. It is the hot inner loop of the simulator, so it works on the
+// engine's live slice directly, appends into the slot-th pooled buffer (see
+// takeNeeds), and takes the offering side as a plain node id — a predicate
+// closure here would allocate once per exchange, O(Nodes) per round.
+func (e *Engine) needsFrom(dst, src int, slot int) []int {
+	out := e.takeNeeds(slot)
 	for idx, u := range e.live {
 		if u.deadline < e.round {
 			continue
 		}
-		if !u.holders[dst] && srcOffers(u) {
+		if !u.holders[dst] && u.holders[src] {
 			out = append(out, idx)
 		}
 	}
+	e.storeNeeds(slot, out)
 	return out
-}
-
-// holdsOffer returns an offer predicate for an ordinary node.
-func holdsOffer(v int) func(*liveUpdate) bool {
-	return func(u *liveUpdate) bool { return u.holders[v] }
 }
 
 // give transfers the updates at the given live indices to node dst,

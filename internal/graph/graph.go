@@ -94,6 +94,17 @@ func (g *Graph) HasEdge(u, v int) bool {
 	return false
 }
 
+// AdjList returns u's neighbor list without copying; out-of-range u reads
+// as empty. The slice aliases the graph's internal storage and must be
+// treated as read-only — it exists for simulator hot loops, where the
+// defensive copy Neighbors makes per call dominates the round.
+func (g *Graph) AdjList(u int) []int {
+	if u < 0 || u >= g.n {
+		return nil
+	}
+	return g.adj[u]
+}
+
 // Neighbors returns the sorted neighbor list of u. The returned slice is a
 // copy; callers may mutate it freely.
 func (g *Graph) Neighbors(u int) []int {

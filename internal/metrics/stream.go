@@ -44,6 +44,11 @@ func (a *Accumulator) Add(x float64) {
 
 // Merge folds another accumulator's stream into a, as if its observations
 // had been Added here (Chan et al.'s parallel variance combination).
+//
+// Contract: b is read-only (never mutated), an empty b is a no-op, merging
+// into an empty a copies b, and self-merge — a.Merge(a) — is well defined:
+// it doubles the stream, exactly as if every observation had been Added
+// twice. All of this is pinned by tests.
 func (a *Accumulator) Merge(b *Accumulator) {
 	if b.n == 0 {
 		return
@@ -204,15 +209,33 @@ func (q *P2Quantile) Add(x float64) {
 	}
 }
 
+// parabolic is the P² piecewise-parabolic marker adjustment. Marker
+// positions are strictly increasing by invariant, but the guard makes the
+// estimator robust if a degenerate stream ever drives adjacent positions
+// together: a zero denominator yields NaN, which the caller's bounds check
+// (heights[i-1] < h < heights[i+1], false for NaN) rejects in favor of
+// linear — never a division-poisoned marker.
 func (q *P2Quantile) parabolic(i int, s float64) float64 {
-	return q.heights[i] + s/(q.pos[i+1]-q.pos[i-1])*
-		((q.pos[i]-q.pos[i-1]+s)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
-			(q.pos[i+1]-q.pos[i]-s)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+	dd := q.pos[i+1] - q.pos[i-1]
+	dp := q.pos[i+1] - q.pos[i]
+	dm := q.pos[i] - q.pos[i-1]
+	if dd == 0 || dp == 0 || dm == 0 {
+		return math.NaN()
+	}
+	return q.heights[i] + s/dd*
+		((dm+s)*(q.heights[i+1]-q.heights[i])/dp+
+			(dp-s)*(q.heights[i]-q.heights[i-1])/dm)
 }
 
+// linear is the fallback marker adjustment; with coincident positions it
+// leaves the marker's height unchanged rather than dividing by zero.
 func (q *P2Quantile) linear(i int, s float64) float64 {
 	j := i + int(s)
-	return q.heights[i] + s*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+	dp := q.pos[j] - q.pos[i]
+	if dp == 0 {
+		return q.heights[i]
+	}
+	return q.heights[i] + s*(q.heights[j]-q.heights[i])/dp
 }
 
 // Count returns the number of observations folded.

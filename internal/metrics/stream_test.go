@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"lotuseater/internal/simrng"
@@ -128,4 +129,135 @@ func TestStreamReset(t *testing.T) {
 	if s.Acc.Mean() != 4 || s.P50.Value() != 4 {
 		t.Fatalf("post-reset stream wrong: mean %v p50 %v", s.Acc.Mean(), s.P50.Value())
 	}
+}
+
+// TestAccumulatorMergeContract pins Merge's documented contract: empty and
+// one-sided merges, and the aliasing case a.Merge(a), which must behave as
+// if the stream had been folded twice.
+func TestAccumulatorMergeContract(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5, 9, 2.5}
+
+	// Self-merge == the doubled stream.
+	var a, doubled Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	for i := 0; i < 2; i++ {
+		for _, x := range xs {
+			doubled.Add(x)
+		}
+	}
+	a.Merge(&a)
+	if a.Count() != doubled.Count() || a.Sum() != doubled.Sum() ||
+		a.Min() != doubled.Min() || a.Max() != doubled.Max() {
+		t.Fatalf("self-merge diverges: count %d sum %g min %g max %g", a.Count(), a.Sum(), a.Min(), a.Max())
+	}
+	if d := a.Variance() - doubled.Variance(); d > 1e-12 || d < -1e-12 {
+		t.Fatalf("self-merge variance %g, want %g", a.Variance(), doubled.Variance())
+	}
+
+	// Merging an empty accumulator is a no-op and leaves b untouched.
+	var b, empty Accumulator
+	for _, x := range xs {
+		b.Add(x)
+	}
+	before := b
+	b.Merge(&empty)
+	if b != before {
+		t.Fatal("merging an empty accumulator changed the receiver")
+	}
+	if empty.Count() != 0 {
+		t.Fatal("merge mutated its argument")
+	}
+
+	// Merging into an empty accumulator copies the argument's stream.
+	var c Accumulator
+	c.Merge(&b)
+	if c != b {
+		t.Fatalf("empty.Merge(b) = %+v, want %+v", c, b)
+	}
+}
+
+// TestP2QuantileDegenerateStreams is the property test for the guarded
+// interpolation: constant runs, sorted ramps, and adversarial alternations
+// must never yield NaN/Inf, and must track the exact quantile.
+func TestP2QuantileDegenerateStreams(t *testing.T) {
+	finite := func(t *testing.T, q *P2Quantile) {
+		t.Helper()
+		v := q.Value()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("estimate went non-finite: %v", v)
+		}
+	}
+	t.Run("constant", func(t *testing.T) {
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			q := NewP2Quantile(p)
+			for i := 0; i < 5000; i++ {
+				q.Add(7.25)
+				finite(t, q)
+			}
+			if q.Value() != 7.25 {
+				t.Fatalf("p=%g: constant stream estimate %v, want 7.25", p, q.Value())
+			}
+		}
+	})
+	t.Run("long-constant-then-jump", func(t *testing.T) {
+		q := NewP2Quantile(0.5)
+		for i := 0; i < 2000; i++ {
+			q.Add(1)
+			finite(t, q)
+		}
+		for i := 0; i < 2000; i++ {
+			q.Add(1e9)
+			finite(t, q)
+		}
+	})
+	t.Run("alternating-extremes", func(t *testing.T) {
+		q := NewP2Quantile(0.9)
+		for i := 0; i < 4000; i++ {
+			x := -1e12
+			if i%2 == 0 {
+				x = 1e12
+			}
+			q.Add(x)
+			finite(t, q)
+		}
+	})
+	t.Run("tracks-exact", func(t *testing.T) {
+		// Streams where P² should track the exact quantile closely.
+		streams := map[string]func(i int) float64{
+			"sorted":   func(i int) float64 { return float64(i) },
+			"reversed": func(i int) float64 { return float64(9999 - i) },
+			"uniform":  func(i int) float64 { return math.Mod(float64(i)*0.61803398875, 1) },
+		}
+		for name, gen := range streams {
+			for _, p := range []float64{0.25, 0.5, 0.9} {
+				q := NewP2Quantile(p)
+				xs := make([]float64, 10000)
+				for i := range xs {
+					xs[i] = gen(i)
+					q.Add(xs[i])
+					finite(t, q)
+				}
+				sorted := append([]float64(nil), xs...)
+				sort.Float64s(sorted)
+				exact := Quantile(sorted, p)
+				spread := sorted[len(sorted)-1] - sorted[0]
+				if diff := math.Abs(q.Value() - exact); diff > 0.05*spread {
+					t.Fatalf("%s p=%g: estimate %v vs exact %v (spread %v)", name, p, q.Value(), exact, spread)
+				}
+			}
+		}
+	})
+	t.Run("exact-small", func(t *testing.T) {
+		// Five or fewer observations are exact by construction.
+		q := NewP2Quantile(0.5)
+		for _, x := range []float64{5, 1, 4} {
+			q.Add(x)
+		}
+		buf := []float64{1, 4, 5}
+		if q.Value() != Quantile(buf, 0.5) {
+			t.Fatalf("small-stream estimate %v, want exact %v", q.Value(), Quantile(buf, 0.5))
+		}
+	})
 }

@@ -152,6 +152,45 @@ func init() {
 		Replicates:  3,
 	})
 
+	// Big-N scenarios: the million-node fast path as data. Populations this
+	// size are exactly what the sparse target sets, pooled round scratch,
+	// and in-replicate sharding exist for; one replicate, no sweep, short
+	// horizons keep a run in seconds while still exercising every hot path
+	// at full width. `make bench` tracks their per-round cost in
+	// BENCH_kernel.json.
+	Register(&Spec{
+		Name:        "gossip-1m",
+		Title:       "Ideal lotus-eater vs a million-node BAR Gossip",
+		Description: "single replicate at n=10^6: sparse satiation, pooled planning, sharded evaluation",
+		Substrate:   "gossip",
+		Nodes:       1_000_000,
+		Rounds:      12,
+		Replicates:  1,
+		Adversary:   AdversarySpec{Kind: "ideal", Fraction: 0.02, SatiateFraction: 0.30},
+		Params: map[string]float64{
+			"updates":  1,
+			"lifetime": 8,
+			"copies":   64,
+			"warmup":   2,
+			"push":     2,
+		},
+	})
+	Register(&Spec{
+		Name:        "swarm-1m",
+		Title:       "Ideal satiation of a million-leecher swarm",
+		Description: "single replicate at n=10^6 leechers: O(n·degree) reciprocation state, sharded peer scoring",
+		Substrate:   "swarm",
+		Nodes:       1_000_000,
+		Rounds:      30,
+		Replicates:  1,
+		Adversary:   AdversarySpec{Kind: "ideal", Fraction: 0.01, SatiateFraction: 0.10},
+		Params: map[string]float64{
+			"pieces":  32,
+			"peerset": 8,
+			"uplink":  4096,
+		},
+	})
+
 	registerCrossProduct()
 }
 

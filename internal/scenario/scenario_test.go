@@ -141,6 +141,109 @@ func TestCrossSubstrateDeterminism(t *testing.T) {
 	}
 }
 
+// TestBigPopulationDeterminism extends the parity table to the in-replicate
+// parallel paths: at populations past the auto-sharding threshold the
+// gossip planning scan and the swarm peer scoring run on sim.ParallelFor,
+// and results must still be bit-identical across worker counts.
+func TestBigPopulationDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big-population sweep")
+	}
+	specs := []*Spec{
+		{
+			Name:       "par-gossip",
+			Substrate:  "gossip",
+			Nodes:      40_000,
+			Rounds:     12,
+			Replicates: 2,
+			Adversary:  AdversarySpec{Kind: "ideal", Fraction: 0.02, SatiateFraction: 0.30},
+			Params:     map[string]float64{"updates": 1, "lifetime": 8, "copies": 32, "warmup": 2},
+		},
+		{
+			Name:       "par-swarm",
+			Substrate:  "swarm",
+			Nodes:      40_000,
+			Rounds:     20,
+			Replicates: 2,
+			Adversary:  AdversarySpec{Kind: "ideal", Fraction: 0.01, SatiateFraction: 0.10},
+			Params:     map[string]float64{"pieces": 32, "peerset": 8, "uplink": 256},
+		},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := Run(spec, 7, RunOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wide, err := Run(spec, 7, RunOptions{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, _ := serial.JSON()
+			b, _ := wide.JSON()
+			if string(a) != string(b) {
+				t.Fatalf("results depend on worker count:\n%s\nvs\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestHostileTargetList: a spec naming out-of-range, duplicate, or negative
+// satiation targets must fail validation instead of indexing past a
+// replicate's node arrays.
+func TestHostileTargetList(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Name:      "hostile",
+			Substrate: "token",
+			Nodes:     50,
+			Rounds:    5,
+			Adversary: AdversarySpec{Kind: "ideal", Fraction: 0.1},
+		}
+	}
+	for name, targets := range map[string][]int{
+		"out-of-range": {3, 1_000_000_000},
+		"negative":     {-3, 4},
+		"duplicate":    {5, 9, 5},
+	} {
+		spec := base()
+		spec.Adversary.Targets = targets
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("%s target list accepted: %v", name, targets)
+		}
+		if _, err := Run(spec, 1, RunOptions{}); err == nil {
+			t.Fatalf("%s target list ran: %v", name, targets)
+		}
+	}
+
+	// A valid list must run, satiating exactly the named nodes, and must
+	// round-trip through -set overrides and JSON.
+	spec := base()
+	if err := spec.ApplySets([]string{"adversary.targets=3,7,11"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, 1, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := spec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Adversary.Targets) != 3 || back.Adversary.Targets[2] != 11 {
+		t.Fatalf("targets lost in round trip: %+v", back.Adversary)
+	}
+	// Ids beyond a pinned population are rejected even via overrides.
+	if err := spec.ApplySets([]string{"adversary.targets=60"}); err == nil {
+		t.Fatal("override with out-of-population target accepted")
+	}
+}
+
 // TestAttacksBite: sanity on the physics — with heavy attacker presence
 // (45%, past the paper's ~42% crash crossover), crash, ideal, and trade all
 // measurably hurt the gossip and token substrates relative to the no-attack
@@ -293,6 +396,12 @@ func TestCannedScenariosRun(t *testing.T) {
 			t.Parallel()
 			if spec.Substrate == "scrip" {
 				spec.Rounds = 1200
+			}
+			// Big-N entries (gossip-1m, swarm-1m) are data like any other:
+			// validate they run, but at a test-sized population. `make
+			// bench` exercises them at full width.
+			if spec.Nodes > 10_000 {
+				spec.Nodes = 2000
 			}
 			if _, err := Run(spec, 1, RunOptions{Points: 2, Replicates: 1}); err != nil {
 				t.Fatal(err)

@@ -37,6 +37,11 @@ type AdversarySpec struct {
 	SatiateFraction float64 `json:"satiateFraction,omitempty"`
 	// RotatePeriod re-draws the satiated set every N rounds (0 = static).
 	RotatePeriod int `json:"rotatePeriod,omitempty"`
+	// Targets, when non-empty, satiates exactly these node ids (plus the
+	// attacker's own nodes) instead of a pseudorandom SatiateFraction —
+	// targeted attacks such as grid cuts and rare-resource holders. Ids must
+	// be unique, non-negative, and within the population.
+	Targets []int `json:"targets,omitempty"`
 }
 
 // Strategy compiles the spec into a fresh attack.Strategy for one replicate.
@@ -57,6 +62,9 @@ func (a AdversarySpec) Strategy() (*attack.Strategy, error) {
 		Fraction:        a.Fraction,
 		SatiateFraction: a.SatiateFraction,
 		RotatePeriod:    a.RotatePeriod,
+	}
+	if len(a.Targets) > 0 {
+		s.TargetList = append([]int(nil), a.Targets...)
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -151,6 +159,13 @@ func (s *Spec) Validate() error {
 	if _, err := s.Adversary.Strategy(); err != nil {
 		return err
 	}
+	// Hostile target lists fail here, not at node-indexing depth inside a
+	// replicate: ids must be unique and non-negative always, and inside the
+	// population whenever the spec pins one (Nodes == 0 defers the upper
+	// bound to the substrate default; the targeter clamps regardless).
+	if err := attack.ValidateTargetList(s.Nodes, s.Adversary.Targets); err != nil {
+		return err
+	}
 	if err := s.Defense.Validate(); err != nil {
 		return err
 	}
@@ -182,6 +197,9 @@ func (s *Spec) Clone() *Spec {
 		for k, v := range s.Params {
 			out.Params[k] = v
 		}
+	}
+	if s.Adversary.Targets != nil {
+		out.Adversary.Targets = append([]int(nil), s.Adversary.Targets...)
 	}
 	return &out
 }
@@ -257,8 +275,9 @@ func (s *Spec) applyAxis(x float64) error {
 // parses back to the overridden value. Valid keys: title, description,
 // substrate, nodes, rounds, replicates, metric, adversary.kind,
 // adversary.fraction, adversary.satiateFraction, adversary.rotatePeriod,
-// defense.kind, defense.rateLimit, sweep.axis, sweep.from, sweep.to,
-// sweep.points, and params.<key>.
+// adversary.targets (comma-separated node ids), defense.kind,
+// defense.rateLimit, sweep.axis, sweep.from, sweep.to, sweep.points, and
+// params.<key>.
 func (s *Spec) Set(key, value string) error {
 	number := func() (float64, error) {
 		v, err := strconv.ParseFloat(value, 64)
@@ -321,6 +340,21 @@ func (s *Spec) Set(key, value string) error {
 			return err
 		}
 		s.Adversary.RotatePeriod = v
+	case "adversary.targets":
+		if value == "" {
+			s.Adversary.Targets = nil
+			break
+		}
+		parts := strings.Split(value, ",")
+		targets := make([]int, 0, len(parts))
+		for _, p := range parts {
+			id, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return fmt.Errorf("scenario: %s needs comma-separated integers, got %q", key, value)
+			}
+			targets = append(targets, id)
+		}
+		s.Adversary.Targets = targets
 	case "defense.kind":
 		s.Defense.Kind = value
 	case "defense.rateLimit":

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"lotuseater/internal/attack"
 	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
@@ -210,6 +211,9 @@ type Sim struct {
 	advTrades  bool
 	advInstant bool
 	advRounds  int
+	// lastTargets is the target set whose membership is currently reflected
+	// in isTgt; adversaryStep applies the journal of a new epoch's set.
+	lastTargets *attack.TargetSet
 
 	round             int
 	res               Result
@@ -498,6 +502,24 @@ func (s *Sim) Step() error {
 // against the ideal attacker.
 func (s *Sim) adversaryStep() {
 	targets := s.adv.Targets(s.round)
+	// Maintain the per-agent target flags incrementally from the set's
+	// change journal: O(|changed|) on an epoch flip, O(1) on the (vastly
+	// more common) rounds where the set pointer is unchanged. The journal
+	// includes the first epoch (everything "added"), so this also covers
+	// round 0.
+	if targets != s.lastTargets {
+		for _, t := range targets.Removed() {
+			if t < s.cfg.Agents {
+				s.isTgt[t] = false
+			}
+		}
+		for _, t := range targets.Added() {
+			if t < s.cfg.Agents && s.kinds[t] != AttackerAgent {
+				s.isTgt[t] = true
+			}
+		}
+		s.lastTargets = targets
+	}
 	if s.advTrades {
 		for i, k := range s.kinds {
 			if k == AttackerAgent && s.balance[i] > 0 {
@@ -507,12 +529,10 @@ func (s *Sim) adversaryStep() {
 		}
 	}
 	live, sat := 0, 0
-	for t := 0; t < s.cfg.Agents && t < len(targets); t++ {
-		if !targets[t] || s.kinds[t] == AttackerAgent {
-			s.isTgt[t] = false
+	for _, t := range targets.Members() {
+		if t >= s.cfg.Agents || s.kinds[t] == AttackerAgent {
 			continue
 		}
-		s.isTgt[t] = true
 		live++
 		need := s.cfg.Threshold - s.balance[t]
 		if need > 0 && (s.advTrades || s.advInstant) {

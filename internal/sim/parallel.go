@@ -1,0 +1,51 @@
+package sim
+
+// DefaultGrain is the per-shard work size ParallelFor uses when the caller
+// passes grain <= 0. It is tuned so that per-node work of a few dozen
+// nanoseconds amortizes the fan-out cost; smaller populations run inline.
+const DefaultGrain = 4096
+
+// ParallelFor shards the index range [0, n) into fixed, contiguous chunks of
+// `grain` indices (grain <= 0 means DefaultGrain) and runs fn(shard, start,
+// end) for each chunk on the shared worker pool, returning when all chunks
+// are done. When the range fits in a single chunk the call runs inline with
+// no fan-out at all.
+//
+// Determinism rules — this is the in-replicate parallelism primitive, so the
+// guarantees are strict:
+//
+//   - Shard boundaries depend only on (n, grain), never on worker count or
+//     scheduling, so the shard an index lands in is reproducible.
+//   - fn must write only to shard-private state (disjoint output regions
+//     indexed by [start, end), or a per-shard accumulator slot) and may read
+//     shared state only if no shard writes it.
+//   - Any randomness inside fn must come from a per-shard child stream
+//     (rng.ChildN(label, shard)), never from a stream shared across shards.
+//   - Cross-shard reductions must merge per-shard results in shard order
+//     after ParallelFor returns.
+//
+// Under those rules results are bit-identical to the sequential loop for any
+// worker count — the property the workers-1-vs-8 parity tests pin down.
+// Nested use (a model Step running inside a pool task) is safe: the shared
+// pool drains nested fan-out inline when saturated.
+func ParallelFor(n, grain int, fn func(shard, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	shards := (n + grain - 1) / grain
+	if shards <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	Go(shards, 0, func(shard int, _ *Workspace) {
+		start := shard * grain
+		end := start + grain
+		if end > n {
+			end = n
+		}
+		fn(shard, start, end)
+	})
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "lotuseater/internal/simrng"
+import (
+	"lotuseater/internal/attack"
+	"lotuseater/internal/simrng"
+)
 
 // Adversary is a substrate-independent attacker strategy. The paper's core
 // claim is that lotus-eater attacks work against any satiation-compatible
@@ -24,9 +27,13 @@ type Adversary interface {
 	// any randomness (placement, target selection) from children of rng, so
 	// a model passes its root stream and stays deterministic in its seed.
 	Place(n int, rng *simrng.Source) []int
-	// Targets returns the per-node satiation targets for the round, indexed
-	// by node id. Callers must treat the slice as immutable for the round.
-	Targets(round int) []bool
+	// Targets returns the satiation targets for the round as a sparse,
+	// immutable set: O(1) membership, O(|set|) iteration, and a change
+	// journal against the previous targeting epoch. The same pointer comes
+	// back for every round of one epoch, so callers may hold it across
+	// rounds and key incremental per-node state on pointer (or Epoch)
+	// change.
+	Targets(round int) *attack.TargetSet
 	// OnExchange reports whether attacker-controlled node `attacker` serves
 	// node `partner` within a protocol exchange in the given round.
 	OnExchange(round, attacker, partner int) bool

@@ -89,6 +89,24 @@ func (s *Source) Bool(p float64) bool {
 // Perm returns a random permutation of [0, n).
 func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
 
+// PermInto writes a random permutation of [0, n) into buf, reusing its
+// storage when it is large enough, and returns it. The draw is bit-identical
+// to Perm (identity order run through Shuffle, exactly as math/rand/v2
+// builds it), so hot loops can drop the per-round allocation without
+// changing any result; the equivalence is pinned by a test.
+func (s *Source) PermInto(buf []int, n int) []int {
+	if cap(buf) >= n {
+		buf = buf[:n]
+	} else {
+		buf = make([]int, n)
+	}
+	for i := range buf {
+		buf[i] = i
+	}
+	s.rng.Shuffle(n, func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
+	return buf
+}
+
 // Shuffle pseudo-randomizes the order of n elements using swap.
 func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
 

@@ -262,3 +262,29 @@ func TestNormAndExpFinite(t *testing.T) {
 		}
 	}
 }
+
+// TestPermIntoMatchesPerm: the buffer-reusing permutation must draw exactly
+// the permutation Perm draws from the same stream state, for any buffer
+// capacity, so swapping it into hot loops changes no result.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 1000} {
+		want := New(42).Perm(n)
+		for _, buf := range [][]int{nil, make([]int, 0, n/2), make([]int, n+7)} {
+			got := New(42).PermInto(buf, n)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: PermInto returned %d elements, want %d", n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d: PermInto diverges from Perm at %d", n, i)
+				}
+			}
+		}
+		// A large-enough buffer must be reused, not reallocated.
+		buf := make([]int, n)
+		got := New(7).PermInto(buf, n)
+		if n > 0 && &got[0] != &buf[0] {
+			t.Fatalf("n=%d: PermInto reallocated despite sufficient capacity", n)
+		}
+	}
+}

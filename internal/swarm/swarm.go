@@ -262,14 +262,53 @@ type Sim struct {
 	seedID    int
 	pieces    []*bitset.Set
 	nodeState []state
-	finished  []int   // tick completed, -1 otherwise
-	recvFrom  [][]int // receiver -> sender -> pieces this window
-	uploaded  []int   // total pieces uploaded, per node
-	fromAtk   []int   // pieces received from the attacker, per node
-	unchoked  [][]int // sender -> receivers
+	finished  []int // tick completed, -1 otherwise
+	// recvCnt[v][k] counts pieces v received this unchoke window from its
+	// k-th peer (aligned with peers.AdjList(v)). Keying by peer-set position
+	// instead of node id keeps reciprocation state O(n·degree), not O(n²) —
+	// the representation that makes million-leecher swarms possible.
+	recvCnt  [][]int32
+	uploaded []int   // total pieces uploaded, per node
+	fromAtk  []int   // pieces received from the attacker, per node
+	unchoked [][]int // sender -> receivers; backing arrays reused per window
+
+	// interested[v] is per-node scratch for unchoke recomputation: the
+	// peer-set positions of v's interested leechers, ranked for leechers.
+	// Building it is a pure read of swarm state, so large populations shard
+	// it across the worker pool (see WithEvalParallel).
+	interested [][]int32
+	// countsBuf[v] caches v's local piece-rarity view; countsTick tags the
+	// tick it was computed for, reproducing the lazy per-tick snapshot the
+	// map-based implementation took without reallocating it every tick.
+	countsBuf  [][]uint16
+	countsTick []int32
+	permBuf    []int
+	candBuf    []int // selectPiece candidate scratch (transfers run sequentially)
+
+	// evalParallel > 0 forces sharded peer scoring, < 0 forces sequential,
+	// 0 picks by population size.
+	evalParallel int
 
 	tick int
 	res  Result
+}
+
+// evalParallelMinNodes is the population size at which unchoke scoring
+// shards across the worker pool by default.
+const evalParallelMinNodes = 1 << 15
+
+// WithEvalParallel forces the peer-scoring pass of unchoke recomputation —
+// a pure read of swarm state — on or off the sharded sim.ParallelFor path.
+// Results are bit-identical either way (tested); by default sharding engages
+// for populations of evalParallelMinNodes and up.
+func WithEvalParallel(on bool) Option {
+	return func(s *Sim) {
+		if on {
+			s.evalParallel = 1
+		} else {
+			s.evalParallel = -1
+		}
+	}
 }
 
 // New builds a Sim, deterministic in (cfg, seed). Node ids 0..Leechers-1
@@ -280,17 +319,20 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 	}
 	n := cfg.Leechers + 1
 	s := &Sim{
-		cfg:       cfg,
-		rng:       simrng.New(seed),
-		n:         n,
-		seedID:    n - 1,
-		pieces:    make([]*bitset.Set, n),
-		nodeState: make([]state, n),
-		finished:  make([]int, n),
-		recvFrom:  make([][]int, n),
-		uploaded:  make([]int, n),
-		fromAtk:   make([]int, n),
-		unchoked:  make([][]int, n),
+		cfg:        cfg,
+		rng:        simrng.New(seed),
+		n:          n,
+		seedID:     n - 1,
+		pieces:     make([]*bitset.Set, n),
+		nodeState:  make([]state, n),
+		finished:   make([]int, n),
+		recvCnt:    make([][]int32, n),
+		uploaded:   make([]int, n),
+		fromAtk:    make([]int, n),
+		unchoked:   make([][]int, n),
+		interested: make([][]int32, n),
+		countsBuf:  make([][]uint16, n),
+		countsTick: make([]int32, n),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -307,7 +349,8 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 		s.pieces[v] = bitset.New(cfg.Pieces)
 		s.nodeState[v] = stateLeeching
 		s.finished[v] = -1
-		s.recvFrom[v] = make([]int, n)
+		s.recvCnt[v] = make([]int32, len(s.peers.AdjList(v)))
+		s.countsTick[v] = -1
 	}
 	s.pieces[s.seedID].Fill()
 	s.nodeState[s.seedID] = stateSeeding
@@ -421,12 +464,16 @@ func (s *Sim) attackStep() {
 
 // advSatiateStep is the instantly-satiating (ideal) adversary's tick: it
 // uploads missing pieces directly to its satiation targets, spending up to
-// the uplink budget, gated per target by the defense's Admit hook.
+// the uplink budget, gated per target by the defense's Admit hook. The
+// sparse member list makes the pass O(|satiated set|), not O(Leechers).
 func (s *Sim) advSatiateStep() {
 	targets := s.adv.Targets(s.tick)
 	budget := s.advUplink
-	for t := 0; t < s.cfg.Leechers && budget > 0; t++ {
-		if t >= len(targets) || !targets[t] || s.isAttacker[t] || s.nodeState[t] != stateLeeching {
+	for _, t := range targets.Members() {
+		if budget == 0 {
+			break
+		}
+		if t >= s.cfg.Leechers || s.isAttacker[t] || s.nodeState[t] != stateLeeching {
 			continue
 		}
 		for _, p := range s.pieces[t].Missing() {
@@ -442,6 +489,17 @@ func (s *Sim) advSatiateStep() {
 			budget--
 		}
 	}
+}
+
+// peerPos returns the position of p in v's sorted peer set, or -1. Peer-set
+// positions index recvCnt and interested.
+func (s *Sim) peerPos(v, p int) int {
+	adj := s.peers.AdjList(v)
+	i := sort.SearchInts(adj, p)
+	if i < len(adj) && adj[i] == p {
+		return i
+	}
+	return -1
 }
 
 // pickTargets returns the AttackTargets leechers the adversary focuses on.
@@ -507,27 +565,65 @@ func (s *Sim) pieceHolderCounts() []int {
 // recomputeUnchokes rebuilds every node's unchoke set: top reciprocators by
 // pieces received in the last window plus one optimistic unchoke; seeds
 // unchoke random interested peers. Reciprocation counters reset afterwards.
+//
+// The rebuild is split in two passes. Peer scoring — which neighbors are
+// interested, ranked by reciprocation for leechers — is a pure read of swarm
+// state, so it shards across the worker pool for large populations with
+// bit-identical results. Slot selection consumes the tick's RNG stream and
+// stays sequential in node order, exactly as before the split.
 func (s *Sim) recomputeUnchokes() {
+	if s.adv != nil {
+		// Pin the targeting epoch before any concurrent OnExchange probe:
+		// a rotating targeter re-draws lazily inside Targets, and that
+		// mutation must happen on this goroutine, not inside a shard.
+		s.adv.Targets(s.tick)
+	}
+	score := func(start, end int) {
+		for v := start; v < end; v++ {
+			list := s.interested[v][:0]
+			if s.nodeState[v] != stateDeparted {
+				for k, p := range s.peers.AdjList(v) {
+					if s.nodeState[p] != stateLeeching {
+						continue
+					}
+					// A trade attacker unchokes only its satiation targets.
+					if s.isAttacker != nil && s.isAttacker[v] && !s.adv.OnExchange(s.tick, v, p) {
+						continue
+					}
+					if s.hasPieceFor(v, p) {
+						list = append(list, int32(k))
+					}
+				}
+				if s.nodeState[v] == stateLeeching && len(list) > 1 {
+					// Rank by pieces received from the peer in the window;
+					// ties break toward the lower node id (= lower peer-set
+					// position, since peer sets are sorted).
+					cnt := s.recvCnt[v]
+					sort.Slice(list, func(a, b int) bool {
+						ra, rb := cnt[list[a]], cnt[list[b]]
+						if ra != rb {
+							return ra > rb
+						}
+						return list[a] < list[b]
+					})
+				}
+			}
+			s.interested[v] = list
+		}
+	}
+	if s.evalParallel > 0 || (s.evalParallel == 0 && s.n >= evalParallelMinNodes) {
+		sim.ParallelFor(s.n, 0, func(_, start, end int) { score(start, end) })
+	} else {
+		score(0, s.n)
+	}
+
 	rng := s.rng.ChildN("unchoke", s.tick)
 	for v := 0; v < s.n; v++ {
-		s.unchoked[v] = nil
-		if s.nodeState[v] == stateDeparted {
-			continue
-		}
-		var interested []int
-		for _, p := range s.peers.Neighbors(v) {
-			if s.nodeState[p] != stateLeeching {
-				continue
-			}
-			// A trade attacker unchokes only its satiation targets.
-			if s.isAttacker != nil && s.isAttacker[v] && !s.adv.OnExchange(s.tick, v, p) {
-				continue
-			}
-			if s.hasPieceFor(v, p) {
-				interested = append(interested, p)
-			}
-		}
-		if len(interested) == 0 {
+		adj := s.peers.AdjList(v)
+		interested := s.interested[v]
+		chosen := s.unchoked[v][:0]
+		if s.nodeState[v] == stateDeparted || len(interested) == 0 {
+			s.unchoked[v] = chosen
 			continue
 		}
 		slots := s.cfg.UploadSlots
@@ -536,67 +632,65 @@ func (s *Sim) recomputeUnchokes() {
 			rng.Shuffle(len(interested), func(a, b int) {
 				interested[a], interested[b] = interested[b], interested[a]
 			})
-			if len(interested) > slots {
-				interested = interested[:slots]
+			take := min(len(interested), slots)
+			for _, k := range interested[:take] {
+				chosen = append(chosen, adj[k])
 			}
-			s.unchoked[v] = interested
+			s.unchoked[v] = chosen
 			continue
 		}
-		// Leechers: rank by pieces received from the peer in the window.
-		sort.Slice(interested, func(a, b int) bool {
-			ra, rb := s.recvFrom[v][interested[a]], s.recvFrom[v][interested[b]]
-			if ra != rb {
-				return ra > rb
-			}
-			return interested[a] < interested[b]
-		})
 		regular := slots - 1
 		if regular > len(interested) {
 			regular = len(interested)
 		}
-		chosen := append([]int(nil), interested[:regular]...)
+		for _, k := range interested[:regular] {
+			chosen = append(chosen, adj[k])
+		}
 		if rest := interested[regular:]; len(rest) > 0 {
-			chosen = append(chosen, rest[rng.IntN(len(rest))]) // optimistic
+			chosen = append(chosen, adj[rest[rng.IntN(len(rest))]]) // optimistic
 		}
 		s.unchoked[v] = chosen
 	}
 	for v := 0; v < s.n; v++ {
-		clear(s.recvFrom[v])
+		clear(s.recvCnt[v])
 	}
 }
 
 // hasPieceFor reports whether v holds any piece that p lacks.
 func (s *Sim) hasPieceFor(v, p int) bool {
-	has := false
-	s.pieces[v].ForEach(func(i int) {
-		if !has && !s.pieces[p].Has(i) {
-			has = true
-		}
-	})
-	return has
+	return s.pieces[v].HasDiff(s.pieces[p])
 }
 
 // transferStep moves one piece along every unchoked, interested link.
 func (s *Sim) transferStep() {
 	rng := s.rng.ChildN("transfer", s.tick)
-	order := rng.Perm(s.n)
+	order := rng.PermInto(s.permBuf, s.n)
+	s.permBuf = order
 	// Rarity is judged from each receiver's local peer-set view, as in
 	// BitTorrent. A global rarity snapshot would make every receiver chase
 	// the same piece each tick (herding), destroying the diversity the
-	// policy exists to create.
-	localCounts := make(map[int][]int, s.n)
-	countsFor := func(receiver int) []int {
-		if c, ok := localCounts[receiver]; ok {
-			return c
+	// policy exists to create. The snapshot a receiver takes at its first
+	// transfer of the tick is cached per node (tick-tagged, buffers reused
+	// across the whole run), reproducing the old lazy-map behavior without
+	// rebuilding a population-sized map every tick.
+	countsFor := func(receiver int) []uint16 {
+		counts := s.countsBuf[receiver]
+		if s.countsTick[receiver] == int32(s.tick) {
+			return counts
 		}
-		counts := make([]int, s.cfg.Pieces)
-		for _, nb := range s.peers.Neighbors(receiver) {
+		if counts == nil {
+			counts = make([]uint16, s.cfg.Pieces)
+			s.countsBuf[receiver] = counts
+		} else {
+			clear(counts)
+		}
+		for _, nb := range s.peers.AdjList(receiver) {
 			if s.nodeState[nb] == stateDeparted {
 				continue
 			}
 			s.pieces[nb].ForEach(func(p int) { counts[p]++ })
 		}
-		localCounts[receiver] = counts
+		s.countsTick[receiver] = int32(s.tick)
 		return counts
 	}
 	for _, v := range order {
@@ -615,7 +709,7 @@ func (s *Sim) transferStep() {
 				continue
 			}
 			s.pieces[p].Add(piece)
-			s.recvFrom[p][v]++
+			s.recvCnt[p][s.peerPos(p, v)]++
 			s.uploaded[v]++
 		}
 	}
@@ -623,13 +717,9 @@ func (s *Sim) transferStep() {
 
 // selectPiece applies the receiver's selection policy to the sender's
 // holdings.
-func (s *Sim) selectPiece(sender, receiver int, holderCounts []int, rng *simrng.Source) (int, bool) {
-	var candidates []int
-	s.pieces[sender].ForEach(func(p int) {
-		if !s.pieces[receiver].Has(p) {
-			candidates = append(candidates, p)
-		}
-	})
+func (s *Sim) selectPiece(sender, receiver int, holderCounts []uint16, rng *simrng.Source) (int, bool) {
+	candidates := s.pieces[sender].AppendDiff(s.pieces[receiver], s.candBuf[:0])
+	s.candBuf = candidates
 	if len(candidates) == 0 {
 		return 0, false
 	}
@@ -664,12 +754,15 @@ func (s *Sim) endgameStep() {
 		if s.nodeState[v] != stateLeeching {
 			continue
 		}
-		missing := s.pieces[v].Missing()
-		if len(missing) == 0 || len(missing) > s.cfg.EndgameThreshold {
+		// Gate on the O(1) missing count before materializing the list, so
+		// nodes far from done cost nothing here.
+		missCount := s.cfg.Pieces - s.pieces[v].Len()
+		if missCount == 0 || missCount > s.cfg.EndgameThreshold {
 			continue
 		}
+		missing := s.pieces[v].Missing()
 		p := missing[rng.IntN(len(missing))]
-		for _, nb := range s.peers.Neighbors(v) {
+		for _, nb := range s.peers.AdjList(v) {
 			if s.nodeState[nb] == stateDeparted || !s.pieces[nb].Has(p) {
 				continue
 			}

@@ -3,6 +3,8 @@ package swarm
 import (
 	"strings"
 	"testing"
+
+	"lotuseater/internal/attack"
 )
 
 func quickCfg() Config {
@@ -253,6 +255,46 @@ func TestPieceBoundsDuringRun(t *testing.T) {
 			if n := sim.pieces[v].Len(); n > cfg.Pieces {
 				t.Fatalf("node %d holds %d of %d pieces", v, n, cfg.Pieces)
 			}
+		}
+	}
+}
+
+// TestEvalParallelBitIdentical extends the workers-parity guarantee to the
+// sharded peer-scoring path: a swarm with scoring forced onto
+// sim.ParallelFor must produce exactly the sequential result, for the
+// no-attack baseline and for a strategy adversary whose OnExchange hook is
+// probed from inside the shards.
+func TestEvalParallelBitIdentical(t *testing.T) {
+	base := DefaultConfig()
+	base.Leechers = 150
+	base.Ticks = 120
+	base.Pieces = 64
+	run := func(adv *attack.Strategy, parallel bool) Result {
+		opts := []Option{WithEvalParallel(parallel)}
+		if adv != nil {
+			fresh := *adv
+			opts = append(opts, WithAdversary(&fresh))
+		}
+		s, err := New(base, 31, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	advs := map[string]*attack.Strategy{
+		"none":  nil,
+		"trade": {Kind: attack.Trade, Fraction: 0.1, SatiateFraction: 0.3, RotatePeriod: 9},
+		"ideal": {Kind: attack.Ideal, Fraction: 0.05, SatiateFraction: 0.4},
+	}
+	for name, adv := range advs {
+		seq := run(adv, false)
+		par := run(adv, true)
+		if seq != par {
+			t.Fatalf("%s: sharded peer scoring diverged from sequential:\n%+v\nvs\n%+v", name, seq, par)
 		}
 	}
 }

@@ -268,11 +268,13 @@ func (s *Sim) Step() error {
 	// slows even the "instant" attacker.
 	if s.targeter != nil && (s.adv == nil || s.advInstant) {
 		targets := s.targeter.Satiated(s.round)
-		if len(targets) != n {
-			return fmt.Errorf("tokenmodel: targeter returned %d entries for %d nodes", len(targets), n)
+		if targets.Cap() != n {
+			return fmt.Errorf("tokenmodel: targeter returned a set over %d nodes, want %d", targets.Cap(), n)
 		}
-		for v := 0; v < n; v++ {
-			if !targets[v] || s.satiated(v) || (s.isAttacker != nil && s.isAttacker[v]) {
+		// Sparse iteration: the satiation pass costs O(|satiated set|), not
+		// O(n), and allocates nothing.
+		for _, v := range targets.Members() {
+			if s.satiated(v) || (s.isAttacker != nil && s.isAttacker[v]) {
 				continue
 			}
 			s.satiate(v)
@@ -302,7 +304,7 @@ func (s *Sim) Step() error {
 		if sat[v] {
 			continue // satiated nodes stop communicating
 		}
-		nb := s.cfg.Graph.Neighbors(v)
+		nb := s.cfg.Graph.AdjList(v)
 		if len(nb) == 0 {
 			continue
 		}
@@ -373,7 +375,7 @@ func (s *Sim) satiate(v int) {
 // neighbors and gives each satiation target its full snapshot, taking
 // nothing in return.
 func (s *Sim) attackerContacts(v int, sat []bool, rng *simrng.Source) {
-	nb := s.cfg.Graph.Neighbors(v)
+	nb := s.cfg.Graph.AdjList(v)
 	if len(nb) == 0 {
 		return
 	}
