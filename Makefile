@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-go figures list scenarios clean
+.PHONY: all build test vet race bench bench-go figures list scenarios golden cover clean
 
 all: build vet test
 
@@ -24,7 +24,16 @@ vet:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/sweep/... ./internal/experiment/... \
 		./internal/scenario/... ./internal/attack/... ./internal/defense/... ./internal/cli/... \
-		./internal/gossip/... ./internal/swarm/...
+		./internal/gossip/... ./internal/swarm/... ./internal/serve/...
+
+# Rewrite the golden CLI outputs after an intentional output change; review
+# the diff like code.
+golden:
+	$(GO) test ./internal/cli -run Golden -update
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Registry-driven scenario benchmarks (one per substrate plus a
 # 1000-replicate streaming-aggregation run) plus the kernel bench (ns/round

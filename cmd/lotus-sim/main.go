@@ -8,6 +8,7 @@
 //	lotus-sim figures -exp all -quality full        # regenerate every table and figure
 //	lotus-sim gossip -attack trade -fraction 0.22   # one BAR Gossip simulation
 //	lotus-sim scrip|swarm|token [flags]             # the other single-run simulators
+//	lotus-sim serve -addr localhost:8321            # the HTTP experiment service
 //
 // Invoking lotus-sim with plain flags (no subcommand) keeps the original
 // behavior of a single gossip run:
@@ -39,6 +40,8 @@ commands:
   run        run an experiment or scenario by name (-quality, -seed, -format,
              -set key=val ..., -spec file.json)
   scenarios  declarative scenarios: list | show <name> | run <name> | bench
+  serve      long-running HTTP experiment service with a content-addressed
+             result cache (-addr, -cache-bytes, -queue-depth, -workers)
   figures    regenerate the paper's tables and figures (-exp, -quality, -csv)
   gossip     run a single BAR Gossip simulation (default when given bare flags)
   scrip      run the scrip-economy simulator
@@ -59,6 +62,8 @@ func run(args []string) error {
 		return cli.RunExperiment(w, args[1:])
 	case "scenarios":
 		return cli.Scenarios(w, args[1:])
+	case "serve":
+		return cli.Serve(w, args[1:])
 	case "figures":
 		return cli.Figures(w, args[1:])
 	case "gossip":

@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden end-to-end CLI tests: the exact bytes of `scenarios list`,
+// `scenarios show`, and a small pinned `scenarios run` are checked in under
+// testdata/golden. After an intentional output change, regenerate with
+//
+//	go test ./internal/cli -run Golden -update
+//
+// and review the diff like any other code change. The run outputs double as
+// cross-PR determinism pins: same seed, same bytes, on any worker count.
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/cli -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from its golden file.\n--- got ---\n%s\n--- want ---\n%s\n(regenerate with -update if the change is intentional)", name, got, want)
+	}
+}
+
+// TestGoldenScenariosList: the whole catalogue table, byte for byte — a new
+// or renamed scenario shows up here as a reviewable diff.
+func TestGoldenScenariosList(t *testing.T) {
+	var b strings.Builder
+	if err := ScenariosList(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "scenarios-list.txt", []byte(b.String()))
+}
+
+// TestGoldenScenariosShow: one canned classic's spec JSON plus its metric
+// menu.
+func TestGoldenScenariosShow(t *testing.T) {
+	var b strings.Builder
+	if err := ScenariosShow(&b, []string{"gossip-trade"}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "scenarios-show-gossip-trade.txt", []byte(b.String()))
+}
+
+// TestGoldenScenariosRun: a small spec-file run pinned in both text and
+// JSON, exercising the same path `scenarios run -spec file.json` takes.
+func TestGoldenScenariosRun(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		var b strings.Builder
+		err := ScenariosRun(&b, []string{
+			"-spec", filepath.Join("testdata", "golden-tiny.json"),
+			"-seed", "7", "-format", format,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "scenarios-run-golden-tiny."+format, []byte(b.String()))
+	}
+}

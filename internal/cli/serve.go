@@ -1,0 +1,53 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"lotuseater/internal/serve"
+)
+
+// Serve implements `lotus-sim serve`: the long-running experiment service.
+// It listens on -addr and blocks until the listener fails; the process is
+// the unit of deployment (put a supervisor or a container around it).
+func Serve(w io.Writer, args []string) error {
+	srv, addr, err := buildServer(args)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "lotus-sim serve: listening on http://%s (version %s)\n", ln.Addr(), srv.Version())
+	fmt.Fprintf(w, "  POST /experiments · GET /jobs/{key} · GET /results/{key} · GET /scenarios · GET /healthz\n")
+	return (&http.Server{Handler: srv}).Serve(ln)
+}
+
+// buildServer parses the serve flags and constructs the service; split from
+// Serve so tests can exercise flag handling without binding a port.
+func buildServer(args []string) (*serve.Server, string, error) {
+	fs := flag.NewFlagSet("lotus-sim serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8321", "listen address")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "result cache budget in bytes (LRU eviction)")
+	queueDepth := fs.Int("queue-depth", 64, "max jobs waiting behind the executor; beyond it submissions get 503")
+	workers := fs.Int("workers", 0, "bound each run's in-flight replicates on the shared pool (0 = pool width; results never depend on it)")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+	if fs.NArg() > 0 {
+		return nil, "", fmt.Errorf("serve: unexpected argument %q", fs.Arg(0))
+	}
+	if *cacheBytes <= 0 || *queueDepth <= 0 {
+		return nil, "", fmt.Errorf("serve: -cache-bytes and -queue-depth must be positive")
+	}
+	return serve.New(serve.Config{
+		CacheBytes: *cacheBytes,
+		QueueDepth: *queueDepth,
+		Workers:    *workers,
+	}), *addr, nil
+}

@@ -1,0 +1,35 @@
+package cli
+
+import (
+	"testing"
+)
+
+// TestServeFlagValidation: bad serve flags fail before a port is bound.
+func TestServeFlagValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown flag":   {"-bogus"},
+		"stray arg":      {"extra"},
+		"zero cache":     {"-cache-bytes", "0"},
+		"negative queue": {"-queue-depth", "-1"},
+	} {
+		if _, _, err := buildServer(args); err == nil {
+			t.Errorf("%s: buildServer(%v) accepted bad flags", name, args)
+		}
+	}
+}
+
+// TestServeBuilds: good flags produce a configured server without
+// listening.
+func TestServeBuilds(t *testing.T) {
+	srv, addr, err := buildServer([]string{"-addr", "localhost:0", "-cache-bytes", "1024", "-queue-depth", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if addr != "localhost:0" {
+		t.Fatalf("addr = %q", addr)
+	}
+	if srv.Version() == "" {
+		t.Fatal("server has no code version")
+	}
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func addressedArtifact() *Artifact {
+	mean := &Series{Name: "mean"}
+	mean.Add(0, 0.5)
+	mean.Add(1, 0.25)
+	return &Artifact{
+		Name:   "addr-test",
+		Title:  "content addressing",
+		XLabel: "x",
+		Series: []*Series{mean},
+		Notes:  []string{"a note"},
+	}
+}
+
+// TestArtifactAddressStable: equal artifacts share canonical bytes and one
+// address; the address survives a JSON round trip; different content gets a
+// different address.
+func TestArtifactAddressStable(t *testing.T) {
+	a, b := addressedArtifact(), addressedArtifact()
+	ca, err := a.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("equal artifacts canonicalized differently:\n%s\n%s", ca, cb)
+	}
+	addr, err := a.Address()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(addr, "sha256:") || len(addr) != len("sha256:")+64 {
+		t.Fatalf("malformed address %q", addr)
+	}
+
+	// Round trip through the indented JSON encoding: same content, same
+	// address.
+	data, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backAddr, err := back.Address()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backAddr != addr {
+		t.Fatalf("address changed across JSON round trip: %s vs %s", backAddr, addr)
+	}
+
+	b.Notes = append(b.Notes, "changed")
+	changed, err := b.Address()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == addr {
+		t.Fatal("different content produced the same address")
+	}
+}

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -65,6 +67,35 @@ func (a *Artifact) CSV() string {
 // JSON encodes the artifact; DecodeArtifact inverts it.
 func (a *Artifact) JSON() ([]byte, error) {
 	return json.MarshalIndent(a, "", "  ")
+}
+
+// CanonicalJSON encodes the artifact in canonical form: the compact JSON
+// encoding, deterministic byte for byte (struct fields in declaration
+// order), so equal artifacts always serialize identically. This is the
+// content that Address hashes and the experiment service caches.
+func (a *Artifact) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(a)
+}
+
+// Address returns the artifact's content address, "sha256:<hex>" of its
+// canonical JSON. Two runs that produce bit-identical results share one
+// address — the experiment service exposes it as the ETag of a cached
+// result, so clients can detect that two different requests converged on
+// the same content.
+func (a *Artifact) Address() (string, error) {
+	data, err := a.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	return AddressBytes(data), nil
+}
+
+// AddressBytes returns the content address of an already-encoded canonical
+// JSON body — what Address computes, without re-encoding, for callers that
+// hold the bytes anyway.
+func AddressBytes(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return "sha256:" + hex.EncodeToString(sum[:])
 }
 
 // DecodeArtifact parses the output of Artifact.JSON.

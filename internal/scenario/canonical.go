@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Canonicalization gives every Spec a single byte representation so specs
+// can be content-addressed: the experiment service keys its result cache on
+// the canonical form, and two requests that mean the same run — whatever
+// their key order, whitespace, or spelled-out defaults — hash to the same
+// key and share one cached artifact.
+//
+// Canonical form is the compact JSON encoding of a normalized copy of the
+// spec. encoding/json already makes the bytes deterministic (struct fields
+// in declaration order, map keys sorted); normalization folds the aliases
+// that JSON cannot see:
+//
+//   - adversary.kind "" and "none" are the same attack → "none";
+//   - a defense that limits nothing (kind none, or ratelimit with a zero
+//     cap) is no defense → the empty DefenseSpec;
+//   - replicates <= 0 runs as 3 → 3;
+//   - with no sweep axis the from/to/points knobs are dead → zero SweepSpec;
+//     with an axis, points below the 2-point minimum run as 2 → 2;
+//   - metric "" is the substrate default → the default's name;
+//   - empty params and target lists → nil.
+//
+// Canonicalization is idempotent — the canonical form of a canonical spec
+// is itself — which is what makes Spec → canonical JSON → Spec → canonical
+// JSON byte-identical (pinned by tests). Population and horizon defaults
+// (nodes or rounds 0) live inside each substrate's build function and are
+// deliberately not expanded here; a spec that spells out the default
+// population is a different canonical spec, at worst one redundant cache
+// entry.
+
+// canonicalized returns a semantically equivalent copy in canonical form.
+func (s *Spec) canonicalized() *Spec {
+	c := s.Clone()
+	if c.Adversary.Kind == "" {
+		c.Adversary.Kind = "none"
+	}
+	if len(c.Adversary.Targets) == 0 {
+		c.Adversary.Targets = nil
+	}
+	if !c.Defense.enabled() {
+		c.Defense = DefenseSpec{}
+	}
+	if c.Replicates <= 0 {
+		c.Replicates = 3
+	}
+	if c.Sweep.Axis == "" {
+		c.Sweep = SweepSpec{}
+	} else if c.Sweep.Points < 2 {
+		c.Sweep.Points = 2
+	}
+	if c.Metric == "" {
+		if b := sub(c.Substrate); b != nil {
+			c.Metric = b.defaultMetric
+		}
+	}
+	if len(c.Params) == 0 {
+		c.Params = nil
+	}
+	return c
+}
+
+// CanonicalJSON encodes the spec in canonical form: compact JSON of the
+// normalized spec, deterministic byte for byte. Decoding the result and
+// canonicalizing again reproduces the same bytes.
+func (s *Spec) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(s.canonicalized())
+}
+
+// Hash returns the spec's stable content hash, "sha256:<hex>" of its
+// canonical JSON. Key-order and whitespace variants of the same spec, and
+// specs that differ only in spelled-out defaults, hash identically.
+func (s *Spec) Hash() (string, error) {
+	data, err := s.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}

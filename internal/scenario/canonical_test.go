@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCanonicalRoundTripStable: for every registered spec,
+// Spec → canonical JSON → Spec → canonical JSON is byte-identical, and the
+// hash is stable across the round trip.
+func TestCanonicalRoundTripStable(t *testing.T) {
+	for _, spec := range All() {
+		c1, err := spec.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("%s: canonical: %v", spec.Name, err)
+		}
+		h1, err := spec.Hash()
+		if err != nil {
+			t.Fatalf("%s: hash: %v", spec.Name, err)
+		}
+		back, err := Decode(c1)
+		if err != nil {
+			t.Fatalf("%s: canonical JSON does not decode: %v\n%s", spec.Name, err, c1)
+		}
+		c2, err := back.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("%s: re-canonical: %v", spec.Name, err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("%s: canonical form is not a fixed point:\n first: %s\nsecond: %s", spec.Name, c1, c2)
+		}
+		h2, err := back.Hash()
+		if err != nil {
+			t.Fatalf("%s: re-hash: %v", spec.Name, err)
+		}
+		if h1 != h2 {
+			t.Fatalf("%s: hash changed across round trip: %s vs %s", spec.Name, h1, h2)
+		}
+		if !strings.HasPrefix(h1, "sha256:") || len(h1) != len("sha256:")+64 {
+			t.Fatalf("%s: malformed hash %q", spec.Name, h1)
+		}
+	}
+}
+
+// reorderAndIndent rewrites a JSON document through map[string]any (which
+// re-sorts object keys alphabetically — a different order than the struct
+// encoding) and indents it, producing a key-order + whitespace variant of
+// the same spec.
+func reorderAndIndent(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("variant unmarshal: %v", err)
+	}
+	out, err := json.MarshalIndent(m, "  ", "\t")
+	if err != nil {
+		t.Fatalf("variant marshal: %v", err)
+	}
+	return append([]byte("  "), append(out, '\n', '\n')...)
+}
+
+// TestCanonicalVariantsHashEqual: key-order and whitespace variants of the
+// same spec, and alias spellings of the same defaults, all hash to the same
+// cache key.
+func TestCanonicalVariantsHashEqual(t *testing.T) {
+	for _, name := range []string{"gossip-trade", "gossip-ratelimit", "token-altruism", "x/trade-swarm+ratelimit"} {
+		spec, ok := Get(name)
+		if !ok {
+			t.Fatalf("scenario %s vanished from the registry", name)
+		}
+		want, err := spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := spec.JSON() // indented encoding, another whitespace variant
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, variant := range [][]byte{data, reorderAndIndent(t, data)} {
+			back, err := Decode(variant)
+			if err != nil {
+				t.Fatalf("%s variant %d: %v", name, i, err)
+			}
+			got, err := back.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s variant %d hashes to %s, want %s", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonicalAliasesFold: the normalization rules — kind aliases, dead
+// defense, replicate/point defaults, default metric — map spelled-out and
+// implied forms of the same run to one hash.
+func TestCanonicalAliasesFold(t *testing.T) {
+	base := &Spec{Name: "alias", Substrate: "gossip", Adversary: AdversarySpec{Kind: "none"}, Replicates: 3, Metric: "isolated-delivery"}
+	want, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []*Spec{
+		{Name: "alias", Substrate: "gossip"}, // kind "", replicates 0, metric ""
+		{Name: "alias", Substrate: "gossip", Defense: DefenseSpec{Kind: "none"}},
+		{Name: "alias", Substrate: "gossip", Defense: DefenseSpec{Kind: "ratelimit", RateLimit: 0}},
+		{Name: "alias", Substrate: "gossip", Sweep: SweepSpec{From: 1, To: 2, Points: 5}}, // dead knobs without an axis
+		{Name: "alias", Substrate: "gossip", Params: map[string]float64{}},
+	}
+	for i, v := range variants {
+		got, err := v.Hash()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if got != want {
+			cj, _ := v.CanonicalJSON()
+			t.Fatalf("variant %d hashes to %s, want %s (canonical %s)", i, got, want, cj)
+		}
+	}
+	// And the rules must not over-fold: a live defense, a real sweep, and a
+	// different metric are different runs.
+	distinct := []*Spec{
+		{Name: "alias", Substrate: "gossip", Defense: DefenseSpec{Kind: "ratelimit", RateLimit: 4}},
+		{Name: "alias", Substrate: "gossip", Sweep: SweepSpec{Axis: "nodes", From: 10, To: 20, Points: 2}},
+		{Name: "alias", Substrate: "gossip", Metric: "evictions"},
+		{Name: "alias2", Substrate: "gossip"},
+	}
+	for i, v := range distinct {
+		got, err := v.Hash()
+		if err != nil {
+			t.Fatalf("distinct %d: %v", i, err)
+		}
+		if got == want {
+			t.Fatalf("distinct spec %d collides with the base hash %s", i, want)
+		}
+	}
+}
+
+// TestCanonicalDoesNotMutate: canonicalization works on a clone; the
+// original spec keeps its short spellings.
+func TestCanonicalDoesNotMutate(t *testing.T) {
+	s := &Spec{Name: "keep", Substrate: "token", Defense: DefenseSpec{Kind: "none"}}
+	if _, err := s.CanonicalJSON(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Adversary.Kind != "" || s.Replicates != 0 || s.Metric != "" || s.Defense.Kind != "none" {
+		t.Fatalf("CanonicalJSON mutated its receiver: %+v", s)
+	}
+}

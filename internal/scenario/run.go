@@ -18,6 +18,45 @@ type RunOptions struct {
 	Replicates int
 	// Points overrides the sweep's point count when positive.
 	Points int
+	// Progress, when non-nil, is called after each replicate folds with the
+	// number completed so far across all sweep points and the run's total
+	// (points x replicates). Calls arrive in order from a single goroutine.
+	// Results never depend on it.
+	Progress func(done, total int)
+}
+
+// resolveCounts applies Run's defaulting to the spec and options: the
+// replicates folded per sweep point (overridden when positive, 3 when
+// unset) and the number of sweep points (1 without an axis, at least 2
+// with one).
+func resolveCounts(spec *Spec, opts RunOptions) (replicates, points int) {
+	replicates = spec.Replicates
+	if opts.Replicates > 0 {
+		replicates = opts.Replicates
+	}
+	if replicates <= 0 {
+		replicates = 3
+	}
+	points = 1
+	if spec.Sweep.Axis != "" {
+		points = spec.Sweep.Points
+		if opts.Points > 0 {
+			points = opts.Points
+		}
+		if points < 2 {
+			points = 2
+		}
+	}
+	return replicates, points
+}
+
+// TotalReplicates returns how many replicates a run of spec will fold in
+// total — sweep points times replicates per point, after the same
+// defaulting Run applies — which is the total a RunOptions.Progress
+// callback will report against.
+func TotalReplicates(spec *Spec, opts RunOptions) int {
+	replicates, points := resolveCounts(spec, opts)
+	return points * replicates
 }
 
 // Run executes the scenario and returns its artifact: one series per
@@ -29,24 +68,10 @@ func Run(spec *Spec, seed uint64, opts RunOptions) (*metrics.Artifact, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	replicates := spec.Replicates
-	if opts.Replicates > 0 {
-		replicates = opts.Replicates
-	}
-	if replicates <= 0 {
-		replicates = 3
-	}
-
+	replicates, points := resolveCounts(spec, opts)
 	xs := []float64{0}
 	xLabel := "x"
 	if spec.Sweep.Axis != "" {
-		points := spec.Sweep.Points
-		if opts.Points > 0 {
-			points = opts.Points
-		}
-		if points < 2 {
-			points = 2
-		}
 		xs = sweep.Range(spec.Sweep.From, spec.Sweep.To, points)
 		xLabel = spec.Sweep.Axis
 	}
@@ -60,7 +85,12 @@ func Run(spec *Spec, seed uint64, opts RunOptions) (*metrics.Artifact, error) {
 
 	root := simrng.New(seed)
 	runner := sim.Runner{Workers: opts.Workers}
+	total := len(xs) * replicates
 	for pi, x := range xs {
+		if opts.Progress != nil {
+			base := pi * replicates
+			runner.Progress = func(done, _ int) { opts.Progress(base+done, total) }
+		}
 		pt := spec.Clone()
 		if spec.Sweep.Axis != "" {
 			if err := pt.applyAxis(x); err != nil {

@@ -16,6 +16,7 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -172,6 +173,25 @@ func (s *Spec) Validate() error {
 	if s.Nodes < 0 || s.Rounds < 0 || s.Replicates < 0 {
 		return fmt.Errorf("scenario: nodes, rounds, and replicates must be non-negative")
 	}
+	// Specs must stay JSON-encodable (canonicalization, caching, `scenarios
+	// show` all re-encode them), and JSON has no NaN or infinity — a
+	// strconv-parsed "inf" override or a directly constructed spec could
+	// smuggle one in where Decode never can.
+	for name, v := range map[string]float64{
+		"adversary.fraction":        s.Adversary.Fraction,
+		"adversary.satiateFraction": s.Adversary.SatiateFraction,
+		"sweep.from":                s.Sweep.From,
+		"sweep.to":                  s.Sweep.To,
+	} {
+		if !isFinite(v) {
+			return fmt.Errorf("scenario: %s must be finite, got %g", name, v)
+		}
+	}
+	for k, v := range s.Params {
+		if !isFinite(v) {
+			return fmt.Errorf("scenario: params.%s must be finite, got %g", k, v)
+		}
+	}
 	if s.Sweep.Axis != "" {
 		if err := s.Clone().applyAxis(s.Sweep.From); err != nil {
 			return err
@@ -223,6 +243,11 @@ func Decode(data []byte) (*Spec, error) {
 		return nil, err
 	}
 	return &s, nil
+}
+
+// isFinite reports whether v is an ordinary number — not NaN, not ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // param returns a substrate knob with a default.
@@ -281,8 +306,10 @@ func (s *Spec) applyAxis(x float64) error {
 func (s *Spec) Set(key, value string) error {
 	number := func() (float64, error) {
 		v, err := strconv.ParseFloat(value, 64)
-		if err != nil {
-			return 0, fmt.Errorf("scenario: %s needs a number, got %q", key, value)
+		if err != nil || !isFinite(v) {
+			// ParseFloat accepts "inf" and "nan"; a spec holding one can
+			// never re-encode to JSON, so reject them here too.
+			return 0, fmt.Errorf("scenario: %s needs a finite number, got %q", key, value)
 		}
 		return v, nil
 	}

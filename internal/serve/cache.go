@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the bounded, content-addressed result store: request cache
+// key → canonical artifact JSON plus the artifact's own content address.
+// Eviction is LRU by total body bytes, so the bound tracks what actually
+// costs memory rather than an entry count; the hot path of the server is a
+// Get here.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int64 // byte budget; at least the newest entry is always kept
+	size    int64
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key     string
+	body    []byte // canonical artifact JSON
+	address string // metrics.Artifact content address (served as ETag)
+}
+
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{
+		max:     maxBytes,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body and artifact address for key, bumping its
+// recency. Callers must not mutate the returned body.
+func (c *resultCache) Get(key string) (body []byte, address string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, "", false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.body, e.address, true
+}
+
+// Put stores body under key and evicts least-recently-used entries until
+// the byte budget holds again. The newest entry always survives, even if it
+// alone exceeds the budget — a job's own result must be retrievable at
+// least once.
+func (c *resultCache) Put(key string, body []byte, address string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.size += int64(len(body)) - int64(len(e.body))
+		e.body, e.address = body, address
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&cacheEntry{key: key, body: body, address: address})
+		c.entries[key] = el
+		c.size += int64(len(body))
+	}
+	for c.size > c.max && c.ll.Len() > 1 {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.entries, e.key)
+		c.size -= int64(len(e.body))
+		c.evictions++
+	}
+}
+
+// cacheStats is the /healthz view of the cache.
+type cacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"maxBytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (c *resultCache) Stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.size,
+		MaxBytes:  c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestCacheLRUByBytes: eviction is by total body bytes in least-recently-
+// used order, Get bumps recency, and stats track hits/misses/evictions.
+func TestCacheLRUByBytes(t *testing.T) {
+	c := newResultCache(100)
+	body := func(n int) []byte { return bytes.Repeat([]byte{'x'}, n) }
+
+	c.Put("a", body(40), "addr-a")
+	c.Put("b", body(40), "addr-b")
+	if _, _, ok := c.Get("a"); !ok { // bump a: b is now the LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", body(40), "addr-c") // 120 > 100: evict b
+	if _, _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction despite being LRU")
+	}
+	if _, addr, ok := c.Get("a"); !ok || addr != "addr-a" {
+		t.Fatalf("a evicted out of order (ok=%v addr=%q)", ok, addr)
+	}
+	if _, _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 80 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("hit/miss accounting = %+v", st)
+	}
+}
+
+// TestCacheOversizeEntrySurvives: a single result larger than the whole
+// budget is still stored (and evicts everything else) so a finished job's
+// artifact is always retrievable at least once.
+func TestCacheOversizeEntrySurvives(t *testing.T) {
+	c := newResultCache(10)
+	c.Put("small", []byte("abc"), "a1")
+	c.Put("big", bytes.Repeat([]byte{'y'}, 50), "a2")
+	if _, _, ok := c.Get("small"); ok {
+		t.Fatal("small entry should have been evicted for the oversize one")
+	}
+	got, addr, ok := c.Get("big")
+	if !ok || len(got) != 50 || addr != "a2" {
+		t.Fatalf("oversize entry not retrievable: ok=%v len=%d addr=%q", ok, len(got), addr)
+	}
+}
+
+// TestCacheReplace: re-putting a key replaces the body and reuses the slot.
+func TestCacheReplace(t *testing.T) {
+	c := newResultCache(100)
+	c.Put("k", []byte("old-old-old"), "a1")
+	c.Put("k", []byte("new"), "a2")
+	got, addr, ok := c.Get("k")
+	if !ok || string(got) != "new" || addr != "a2" {
+		t.Fatalf("replace failed: %q %q %v", got, addr, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 3 {
+		t.Fatalf("stats after replace = %+v", st)
+	}
+}
+
+// TestCacheKeyVariants: the server derives identical keys for
+// canonicalization variants and distinct keys for different seeds,
+// versions, and replicate overrides.
+func TestCacheKeyVariants(t *testing.T) {
+	s := New(Config{Version: "v-test"})
+	defer s.Close()
+
+	key := func(body string, seed uint64) string {
+		spec, err := resolveSpec(&Request{Spec: []byte(body), Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := s.cacheKey(spec, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	base := key(tinySpec, 1)
+	if v := key(tinySpecVariant, 1); v != base {
+		t.Fatalf("variant keyed %s, want %s", v, base)
+	}
+	if v := key(tinySpec, 2); v == base {
+		t.Fatal("seed is not part of the key")
+	}
+
+	spec, err := resolveSpec(&Request{Spec: []byte(tinySpec), Replicates: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := s.cacheKey(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k == base {
+		t.Fatal("replicates override is not part of the key")
+	}
+
+	other := New(Config{Version: "v-other"})
+	defer other.Close()
+	spec2, err := resolveSpec(&Request{Spec: []byte(tinySpec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := other.cacheKey(spec2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 == base {
+		t.Fatal("code version is not part of the key")
+	}
+	if fmt.Sprintf("%.7s", base) != "sha256:" {
+		t.Fatalf("malformed key %q", base)
+	}
+}

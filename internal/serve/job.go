@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"sync"
+
+	"lotuseater/internal/scenario"
+)
+
+// Job states, in lifecycle order.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// job is one admitted simulation request. The jobs map keyed by cache key
+// is the singleflight layer: while a job for a key is queued or running,
+// every identical request joins it instead of enqueueing another run.
+type job struct {
+	key  string
+	spec *scenario.Spec
+	seed uint64
+
+	mu       sync.Mutex
+	state    string
+	done     int // replicates folded so far
+	total    int // replicates the run will fold (points x replicates)
+	errMsg   string
+	finished chan struct{} // closed when the job reaches done or failed
+}
+
+func newJob(key string, spec *scenario.Spec, seed uint64, total int) *job {
+	return &job{
+		key:      key,
+		spec:     spec,
+		seed:     seed,
+		state:    StateQueued,
+		total:    total,
+		finished: make(chan struct{}),
+	}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+}
+
+// progress is the scenario.RunOptions callback; it arrives in order from the
+// run's single folder goroutine.
+func (j *job) progress(done, total int) {
+	j.mu.Lock()
+	j.done, j.total = done, total
+	j.mu.Unlock()
+}
+
+func (j *job) finish() {
+	j.mu.Lock()
+	j.state = StateDone
+	j.done = j.total
+	j.mu.Unlock()
+	close(j.finished)
+}
+
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+	close(j.finished)
+}
+
+// jobStatus is the JSON shape of GET /jobs/<key>.
+type jobStatus struct {
+	Key             string `json:"key"`
+	Status          string `json:"status"`
+	ReplicatesDone  int    `json:"replicatesDone"`
+	ReplicatesTotal int    `json:"replicatesTotal"`
+	Error           string `json:"error,omitempty"`
+}
+
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatus{
+		Key:             j.key,
+		Status:          j.state,
+		ReplicatesDone:  j.done,
+		ReplicatesTotal: j.total,
+		Error:           j.errMsg,
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"lotuseater/internal/scenario"
+)
+
+// settleGoroutines waits for the goroutine count to come back down to base,
+// failing with a stack dump if it never does. The shared sim pool's workers
+// live for the process and are part of base; anything above it after a
+// server's lifecycle is a leak.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutines never settled to %d (now %d):\n%s", base, runtime.NumGoroutine(), buf)
+}
+
+// warmPool forces the process-wide sim pool (and anything else lazily
+// started by a first run) up before a leak baseline is taken.
+func warmPool(t *testing.T) {
+	t.Helper()
+	spec, err := scenario.Decode([]byte(tinySpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.Run(spec, 1, scenario.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerLifecycleNoGoroutineLeak: start a server, serve real traffic
+// over HTTP, shut down, and end with exactly the goroutines we started
+// with.
+func TestServerLifecycleNoGoroutineLeak(t *testing.T) {
+	warmPool(t)
+	base := runtime.NumGoroutine()
+
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	resp := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 41}`, tinySpec))
+	waitDone(t, ts.URL, resp.Key)
+	if code, _, _ := getBody(t, ts.URL+"/results/"+resp.Key); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestServerCloseIdempotent: Close twice (and concurrently with itself) is
+// safe, queued-but-unstarted jobs fail with "server closed", and a closed
+// server refuses new submissions.
+func TestServerCloseIdempotent(t *testing.T) {
+	s := New(Config{QueueDepth: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// One job through the full lifecycle so the executor has done real work.
+	resp := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 42}`, tinySpec))
+	waitDone(t, ts.URL, resp.Key)
+
+	done := make(chan error, 2)
+	go func() { done <- s.Close() }()
+	go func() { done <- s.Close() }()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("Close %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, data := postJSON(t, ts.URL+"/experiments", fmt.Sprintf(`{"spec": %s, "seed": 43}`, tinySpec))
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(data), "closed") {
+		t.Fatalf("submit after close: status %d: %s", code, data)
+	}
+}
+
+// TestServerCloseFailsQueuedJobs: jobs still waiting behind the executor at
+// Close fail fast with "server closed" instead of hanging forever.
+func TestServerCloseFailsQueuedJobs(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 4})
+
+	// A busy run holds the executor; two more distinct jobs wait behind it.
+	busy := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 51, "replicates": 30000}`, tinySpec))
+	b := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 52}`, tinySpec))
+	c := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 53}`, tinySpec))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-flight job may have finished or been failed depending on when
+	// the executor picked it up; the ones behind it must be failed or, if
+	// the executor got to them before Close flagged, done.
+	for _, key := range []string{b.Key, c.Key} {
+		code, _, data := getBody(t, ts.URL+"/jobs/"+key)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, data)
+		}
+		if !strings.Contains(string(data), StateFailed) && !strings.Contains(string(data), StateDone) {
+			t.Fatalf("queued job %s left in limbo after Close: %s", key, data)
+		}
+	}
+	_ = busy
+}

@@ -78,6 +78,9 @@ func (r Runner) Fold(seed uint64, n int, build Build, fold FoldFunc) error {
 						foldErrAt = rep
 					}
 				}
+				if r.Progress != nil {
+					r.Progress(rep+1, n)
+				}
 				mu.Lock()
 				cursor++
 				cond.Broadcast()

@@ -266,3 +266,44 @@ func TestParallelForNested(t *testing.T) {
 		}
 	}
 }
+
+// TestFoldProgress: Progress fires once per replicate, in order, as
+// done = 1..n out of n, for any worker bound — and error replicates still
+// count as completed.
+func TestFoldProgress(t *testing.T) {
+	const n = 60
+	for _, workers := range []int{1, 3, 0} {
+		var calls [][2]int
+		r := Runner{Workers: workers, Progress: func(done, total int) {
+			calls = append(calls, [2]int{done, total})
+		}}
+		err := r.Fold(7, n, buildCount, func(rep int, snap any) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(calls) != n {
+			t.Fatalf("workers=%d: %d progress calls, want %d", workers, len(calls), n)
+		}
+		for i, c := range calls {
+			if c[0] != i+1 || c[1] != n {
+				t.Fatalf("workers=%d: call %d = (%d,%d), want (%d,%d)", workers, i, c[0], c[1], i+1, n)
+			}
+		}
+	}
+
+	// A build error skips the fold but still advances progress to n.
+	var last int
+	r := Runner{Progress: func(done, total int) { last = done }}
+	err := r.Fold(7, 10, func(rep int, rng *simrng.Source, ws *Workspace) (Model, error) {
+		if rep == 4 {
+			return nil, errors.New("boom")
+		}
+		return buildCount(rep, rng, ws)
+	}, func(rep int, snap any) error { return nil })
+	if err == nil {
+		t.Fatal("want the replicate-4 build error")
+	}
+	if last != 10 {
+		t.Fatalf("progress stopped at %d, want 10", last)
+	}
+}
