@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-go figures list scenarios golden cover clean
+.PHONY: all build test vet race bench bench-go check-stats figures list scenarios golden cover clean
 
 all: build vet test
 
@@ -24,7 +24,14 @@ vet:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/sweep/... ./internal/experiment/... \
 		./internal/scenario/... ./internal/attack/... ./internal/defense/... ./internal/cli/... \
-		./internal/gossip/... ./internal/swarm/... ./internal/serve/...
+		./internal/gossip/... ./internal/swarm/... ./internal/serve/... ./internal/adaptive/...
+
+# Statistical self-tests for the adaptive stopping rule: Student-t golden
+# constants and the 1000-trial CI coverage check, uncached so the numbers
+# are actually recomputed.
+check-stats:
+	$(GO) test -count=1 -run 'TestStoppingRuleCoverage' -v ./internal/adaptive
+	$(GO) test -count=1 -run 'TestTCriticalGolden|TestTQuantileInvertsCDF|TestAccumulatorHalfWidth' ./internal/metrics
 
 # Rewrite the golden CLI outputs after an intentional output change; review
 # the diff like code.
@@ -36,12 +43,14 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -1
 
 # Registry-driven scenario benchmarks (one per substrate plus a
-# 1000-replicate streaming-aggregation run) plus the kernel bench (ns/round
-# and allocs/round for gossip and swarm at n in {10k, 100k, 1m}); emits
-# BENCH_scenarios.json and BENCH_kernel.json for the performance trajectory
-# across PRs. Raise -kernel-rounds locally for tighter kernel numbers.
+# 1000-replicate streaming-aggregation run), the adaptive bench (fixed
+# budget vs CI-targeted replication on the three *-auto scenarios), and the
+# kernel bench (ns/round and allocs/round for gossip and swarm at n in
+# {10k, 100k, 1m}); emits BENCH_scenarios.json, BENCH_adaptive.json, and
+# BENCH_kernel.json for the performance trajectory across PRs. Raise
+# -kernel-rounds locally for tighter kernel numbers.
 bench:
-	$(GO) run ./cmd/lotus-sim scenarios bench -out BENCH_scenarios.json -kernel-out BENCH_kernel.json
+	$(GO) run ./cmd/lotus-sim scenarios bench -out BENCH_scenarios.json -adaptive-out BENCH_adaptive.json -kernel-out BENCH_kernel.json
 
 bench-go:
 	$(GO) test -run '^$$' -bench 'BenchmarkRegistry' -benchmem ./

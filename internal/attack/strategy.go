@@ -67,7 +67,19 @@ func (s *Strategy) Place(n int, rng *simrng.Source) []int {
 		// node counts as isolated.
 		s.targeter = NewListTargeter(n, s.placed)
 	case s.TargetList != nil:
+		// An explicit target list is an out-of-band experiment tool (grid
+		// cuts, rare-resource holders): it satiates exactly the named nodes
+		// whether or not attackers are placed, and is exempt from the
+		// zero-attacker inertness below.
 		s.targeter = NewListTargeter(n, append(append([]int(nil), s.placed...), s.TargetList...))
+	case len(s.placed) == 0:
+		// Satiation is delivered by attacker nodes — out of protocol for
+		// the ideal attack, through exchanges for the trade attack. With
+		// zero attackers placed there is nobody to deliver it, so the
+		// attack is inert: no satiated set, no stats regrouping. This is
+		// what makes a fraction-0 ideal/trade spec bit-identical to the
+		// `none` baseline (pinned by the scenario invariant suite).
+		s.targeter = NewListTargeter(n, nil)
 	case s.RotatePeriod > 0:
 		s.targeter = NewRotatingTargeter(n, s.placed, s.SatiateFraction, s.RotatePeriod, trng)
 	default:

@@ -54,6 +54,32 @@ func TestStrategyTargets(t *testing.T) {
 	}
 }
 
+// TestStrategyZeroAttackersInert: with no attacker nodes placed there is
+// nobody to deliver satiation, so the fraction-driven ideal and trade
+// attacks — static or rotating — satiate nobody, exactly like the none
+// baseline. An explicit TargetList is the one exemption: it is an
+// out-of-band experiment tool and keeps satiating its named nodes.
+func TestStrategyZeroAttackersInert(t *testing.T) {
+	const n = 120
+	for _, s := range []*Strategy{
+		{Kind: Ideal, Fraction: 0, SatiateFraction: 0.7},
+		{Kind: Trade, Fraction: 0, SatiateFraction: 0.7},
+		{Kind: Ideal, Fraction: 0, SatiateFraction: 0.7, RotatePeriod: 5},
+	} {
+		if placed := s.Place(n, simrng.New(9)); len(placed) != 0 {
+			t.Fatalf("%v fraction 0 placed %d attackers", s.Kind, len(placed))
+		}
+		if got := Count(s.Targets(0)); got != 0 {
+			t.Fatalf("%v with zero attackers satiated %d nodes", s.Kind, got)
+		}
+	}
+	listed := &Strategy{Kind: Trade, Fraction: 0, TargetList: []int{3, 7, 11}}
+	listed.Place(n, simrng.New(9))
+	if got := Count(listed.Targets(0)); got != 3 {
+		t.Fatalf("explicit target list with zero attackers satiated %d nodes, want its 3", got)
+	}
+}
+
 // TestStrategyRotation: with a rotate period the satiated set is re-drawn
 // across epochs but stable within one.
 func TestStrategyRotation(t *testing.T) {

@@ -56,11 +56,14 @@ var benchSet = []string{
 // slice of the scenario registry plus one 1000-replicate streaming-
 // aggregation run, prints an aligned table, and writes the machine-readable
 // BENCH_scenarios.json for the performance trajectory. It then runs the
-// kernel bench — single-replicate ns/round and allocs/round for gossip and
-// swarm at n in {10k, 100k, 1m} — into BENCH_kernel.json.
+// adaptive bench — fixed-budget vs CI-targeted replication on the three
+// *-auto registry scenarios — into BENCH_adaptive.json, and the kernel
+// bench — single-replicate ns/round and allocs/round for gossip and swarm
+// at n in {10k, 100k, 1m} — into BENCH_kernel.json.
 func Bench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("lotus-sim scenarios bench", flag.ContinueOnError)
 	out := fs.String("out", "BENCH_scenarios.json", "output JSON path (empty = stdout only)")
+	adaptiveOut := fs.String("adaptive-out", "BENCH_adaptive.json", "adaptive-vs-fixed bench JSON path (empty = skip)")
 	kernelOut := fs.String("kernel-out", "BENCH_kernel.json", "kernel bench JSON path (empty = skip the kernel bench)")
 	kernelRounds := fs.Int("kernel-rounds", 3, "steady-state rounds measured per kernel bench point (low quality; raise locally)")
 	kernelSizes := fs.String("kernel-sizes", "", "comma-separated kernel bench populations (default 10000,100000,1000000)")
@@ -142,12 +145,155 @@ func Bench(w io.Writer, args []string) error {
 		}
 	}
 
+	if *adaptiveOut != "" {
+		if err := adaptiveBench(w, *seed, *adaptiveOut); err != nil {
+			return err
+		}
+	}
 	if *kernelOut != "" {
 		if err := kernelBench(w, *seed, *kernelRounds, sizes, *kernelOut); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// AdaptiveBenchResult is one fixed-vs-adaptive comparison in
+// BENCH_adaptive.json: the same scenario run once with the full
+// maxReps-per-point budget and once under its CI-targeted plan.
+type AdaptiveBenchResult struct {
+	// Name is the *-auto registry scenario.
+	Name string `json:"name"`
+	// Points and MaxReps describe the workload shape.
+	Points  int `json:"points"`
+	MaxReps int `json:"maxReps"`
+	// Fixed* is the full-budget arm; Adaptive* the CI-targeted arm.
+	FixedSeconds       float64 `json:"fixedSeconds"`
+	FixedReplicates    int     `json:"fixedReplicates"`
+	AdaptiveSeconds    float64 `json:"adaptiveSeconds"`
+	AdaptiveReplicates int     `json:"adaptiveReplicates"`
+	// PointsStoppedEarly counts sweep points resolved below the cap.
+	PointsStoppedEarly int `json:"pointsStoppedEarly"`
+	// ReplicateSavings is 1 - adaptive/fixed replicates; Speedup is
+	// fixed/adaptive wall clock.
+	ReplicateSavings float64 `json:"replicateSavings"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// adaptiveBenchFile is the schema of BENCH_adaptive.json.
+type adaptiveBenchFile struct {
+	GeneratedAt string                `json:"generatedAt"`
+	Seed        uint64                `json:"seed"`
+	Benchmarks  []AdaptiveBenchResult `json:"benchmarks"`
+}
+
+// adaptiveBenchSet names the *-auto scenarios timed fixed-vs-adaptive,
+// shrunk to CI-sized populations (the bench tracks the runner's overhead
+// and savings trajectory, not the paper's figures).
+var adaptiveBenchSet = []struct {
+	name string
+	sets []string
+}{
+	{"gossip-trade-auto", []string{"nodes=120", "rounds=40", "sweep.points=4"}},
+	{"token-trade-defended-auto", []string{"nodes=96", "rounds=60", "sweep.points=4"}},
+	{"scrip-trade-satiation-auto", []string{"nodes=120", "rounds=1500", "sweep.points=4"}},
+}
+
+// adaptiveBench times each *-auto scenario against its own fixed-budget
+// degeneration (precision stripped, replicates = maxReps) — same seed, so
+// the arms share replicate streams — and reports wall clock, replicate
+// counts, and how many points the stopping rule resolved early.
+func adaptiveBench(w io.Writer, seed uint64, out string) error {
+	var results []AdaptiveBenchResult
+	for _, entry := range adaptiveBenchSet {
+		spec, ok := scenario.Get(entry.name)
+		if !ok {
+			return unknownScenario(entry.name)
+		}
+		if err := spec.ApplySets(entry.sets); err != nil {
+			return fmt.Errorf("bench %s: %w", entry.name, err)
+		}
+		if spec.Precision == nil {
+			return fmt.Errorf("bench %s: not an adaptive scenario", entry.name)
+		}
+		maxReps := spec.Precision.MaxReps
+
+		fixed := spec.Clone()
+		fixed.Precision = nil
+		fixed.Replicates = maxReps
+		start := time.Now()
+		if _, err := scenario.Run(fixed, seed, scenario.RunOptions{}); err != nil {
+			return fmt.Errorf("bench %s (fixed arm): %w", entry.name, err)
+		}
+		fixedSecs := time.Since(start).Seconds()
+
+		start = time.Now()
+		a, err := scenario.Run(spec, seed, scenario.RunOptions{})
+		if err != nil {
+			return fmt.Errorf("bench %s (adaptive arm): %w", entry.name, err)
+		}
+		adaptiveSecs := time.Since(start).Seconds()
+
+		var reps *metrics.Series
+		for _, s := range a.Series {
+			if s.Name == "reps" {
+				reps = s
+			}
+		}
+		if reps == nil {
+			return fmt.Errorf("bench %s: adaptive artifact has no reps series", entry.name)
+		}
+		r := AdaptiveBenchResult{
+			Name:            entry.name,
+			Points:          len(reps.Points),
+			MaxReps:         maxReps,
+			FixedSeconds:    fixedSecs,
+			FixedReplicates: len(reps.Points) * maxReps,
+			AdaptiveSeconds: adaptiveSecs,
+		}
+		for _, p := range reps.Points {
+			r.AdaptiveReplicates += int(p.Y)
+			if int(p.Y) < maxReps {
+				r.PointsStoppedEarly++
+			}
+		}
+		if r.FixedReplicates > 0 {
+			r.ReplicateSavings = 1 - float64(r.AdaptiveReplicates)/float64(r.FixedReplicates)
+		}
+		if adaptiveSecs > 0 {
+			r.Speedup = fixedSecs / adaptiveSecs
+		}
+		results = append(results, r)
+	}
+
+	rows := [][]string{{"benchmark", "fixed s", "adaptive s", "speedup", "reps fixed", "reps adaptive", "stopped early"}}
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("%.3f", r.FixedSeconds),
+			fmt.Sprintf("%.3f", r.AdaptiveSeconds),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%d", r.FixedReplicates),
+			fmt.Sprintf("%d", r.AdaptiveReplicates),
+			fmt.Sprintf("%d/%d", r.PointsStoppedEarly, r.Points),
+		})
+	}
+	if _, err := io.WriteString(w, metrics.RenderRows(rows)); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(adaptiveBenchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        seed,
+		Benchmarks:  results,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "wrote %s\n", out)
+	return err
 }
 
 func timeScenario(spec *scenario.Spec, seed uint64, opts scenario.RunOptions) (BenchResult, error) {

@@ -198,11 +198,12 @@ func TestBenchWritesJSON(t *testing.T) {
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_scenarios.json")
+	adaptivePath := filepath.Join(dir, "BENCH_adaptive.json")
 	kernelPath := filepath.Join(dir, "BENCH_kernel.json")
 	var b strings.Builder
 	// A small population ladder keeps the kernel bench test-sized; the real
 	// 10k/100k/1m ladder is the flag default, exercised by `make bench`.
-	if err := Bench(&b, []string{"-out", path, "-kernel-out", kernelPath, "-kernel-sizes", "500,2000", "-kernel-rounds", "2"}); err != nil {
+	if err := Bench(&b, []string{"-out", path, "-adaptive-out", adaptivePath, "-kernel-out", kernelPath, "-kernel-sizes", "500,2000", "-kernel-rounds", "2"}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -229,6 +230,34 @@ func TestBenchWritesJSON(t *testing.T) {
 	for _, want := range []string{"x/trade-gossip", "x/trade-token", "x/ideal-swarm"} {
 		if _, ok := names[want]; !ok {
 			t.Fatalf("bench set missing %s", want)
+		}
+	}
+
+	// The adaptive artifact compares the three *-auto scenarios against
+	// their fixed-budget degenerations, with coherent replicate counting.
+	adata, err := os.ReadFile(adaptivePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptive struct {
+		Benchmarks []AdaptiveBenchResult `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(adata, &adaptive); err != nil {
+		t.Fatalf("adaptive bench JSON: %v", err)
+	}
+	if len(adaptive.Benchmarks) != len(adaptiveBenchSet) {
+		t.Fatalf("adaptive bench ran %d scenarios, want %d", len(adaptive.Benchmarks), len(adaptiveBenchSet))
+	}
+	for _, r := range adaptive.Benchmarks {
+		if r.FixedReplicates != r.Points*r.MaxReps {
+			t.Fatalf("%s: fixed arm ran %d replicates, want %d x %d", r.Name, r.FixedReplicates, r.Points, r.MaxReps)
+		}
+		if r.AdaptiveReplicates < 2*r.Points || r.AdaptiveReplicates > r.FixedReplicates {
+			t.Fatalf("%s: adaptive replicates %d outside [2 x points, fixed]", r.Name, r.AdaptiveReplicates)
+		}
+		if (r.PointsStoppedEarly > 0) != (r.AdaptiveReplicates < r.FixedReplicates) {
+			t.Fatalf("%s: early-stop count %d inconsistent with replicates %d/%d",
+				r.Name, r.PointsStoppedEarly, r.AdaptiveReplicates, r.FixedReplicates)
 		}
 	}
 

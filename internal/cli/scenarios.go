@@ -93,9 +93,10 @@ func ScenariosRun(w io.Writer, args []string) error {
 	specPath := fs.String("spec", "", "load the scenario from a JSON spec file instead of the registry")
 	seed := fs.Uint64("seed", 1, "random seed")
 	format := fs.String("format", "text", "output format: text|csv|json")
-	replicates := fs.Int("replicates", 0, "override replicates per sweep point (0 = spec value)")
+	replicates := fs.Int("replicates", 0, "override replicates per sweep point (0 = spec value; dead under -target-ci or an active precision plan)")
 	points := fs.Int("points", 0, "override sweep points (0 = spec value)")
 	workers := fs.Int("workers", 0, "bound in-flight replicates on the shared pool (0 = pool width; results never depend on it)")
+	targetCI := fs.Float64("target-ci", 0, "adaptive replication: stop each sweep point once the metric mean's 95% CI half-width is at most this (sugar for -set precision.halfWidth=...; 0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +107,9 @@ func ScenariosRun(w io.Writer, args []string) error {
 	spec, err := resolveSpec(name, *specPath)
 	if err != nil {
 		return err
+	}
+	if *targetCI != 0 {
+		sets = append(sets, fmt.Sprintf("precision.halfWidth=%g", *targetCI))
 	}
 	if err := spec.ApplySets(sets); err != nil {
 		return err

@@ -20,7 +20,12 @@ import (
 //   - adversary.kind "" and "none" are the same attack → "none";
 //   - a defense that limits nothing (kind none, or ratelimit with a zero
 //     cap) is no defense → the empty DefenseSpec;
-//   - replicates <= 0 runs as 3 → 3;
+//   - a precision block that can never stop early (halfWidth 0) is a fixed
+//     run of its maxReps → replicates takes the cap, precision goes nil;
+//     an active block gets its defaults spelled out (confidence 0.95,
+//     minReps 2, maxReps 256, batch 8) and kills the now-dead replicates
+//     knob → 0;
+//   - replicates <= 0 runs as 3 → 3 (fixed replication only);
 //   - with no sweep axis the from/to/points knobs are dead → zero SweepSpec;
 //     with an axis, points below the 2-point minimum run as 2 → 2;
 //   - metric "" is the substrate default → the default's name;
@@ -46,7 +51,26 @@ func (s *Spec) canonicalized() *Spec {
 	if !c.Defense.enabled() {
 		c.Defense = DefenseSpec{}
 	}
-	if c.Replicates <= 0 {
+	if c.Precision != nil && !c.Precision.active() {
+		// A plan that can never stop early is a fixed run of its cap.
+		if c.Precision.MaxReps > 0 {
+			c.Replicates = c.Precision.MaxReps
+		}
+		c.Precision = nil
+	}
+	if c.Precision != nil {
+		p := plan(c.Precision).WithDefaults()
+		c.Precision = &PrecisionSpec{
+			HalfWidth:  p.CI.HalfWidth,
+			Confidence: p.CI.Confidence,
+			Relative:   p.CI.Relative,
+			MinReps:    p.MinReps,
+			MaxReps:    p.MaxReps,
+			Batch:      p.Batch,
+		}
+		// Under an active plan the fixed replicate count is dead.
+		c.Replicates = 0
+	} else if c.Replicates <= 0 {
 		c.Replicates = 3
 	}
 	if c.Sweep.Axis == "" {

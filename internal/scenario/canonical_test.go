@@ -139,6 +139,78 @@ func TestCanonicalAliasesFold(t *testing.T) {
 	}
 }
 
+// TestCanonicalPrecisionFolds: the precision normalization rules — an
+// inert plan is a fixed run of its cap, an active plan spells out its
+// defaults and kills the dead replicates knob — map alias spellings of the
+// same run to one hash, without over-folding distinct plans.
+func TestCanonicalPrecisionFolds(t *testing.T) {
+	base := func() *Spec { return &Spec{Name: "p", Substrate: "gossip"} }
+	hash := func(t *testing.T, s *Spec) string {
+		t.Helper()
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	// Inert plan with a cap == the fixed run of that cap.
+	inert := base()
+	inert.Precision = &PrecisionSpec{MaxReps: 7}
+	fixed := base()
+	fixed.Replicates = 7
+	if hash(t, inert) != hash(t, fixed) {
+		t.Fatal("halfWidth=0 plan with maxReps 7 is not the 7-replicate fixed run")
+	}
+	// Inert plan without a cap == no plan at all.
+	empty := base()
+	empty.Precision = &PrecisionSpec{}
+	if hash(t, empty) != hash(t, base()) {
+		t.Fatal("empty precision block is not a no-op")
+	}
+
+	// Active plan: spelled-out defaults and an (ignored) replicates knob
+	// fold onto the terse spelling.
+	terse := base()
+	terse.Precision = &PrecisionSpec{HalfWidth: 0.01}
+	spelled := base()
+	spelled.Replicates = 9 // dead under an active plan
+	spelled.Precision = &PrecisionSpec{HalfWidth: 0.01, Confidence: 0.95, MinReps: 2, MaxReps: 256, Batch: 8}
+	want := hash(t, terse)
+	if got := hash(t, spelled); got != want {
+		cj, _ := spelled.CanonicalJSON()
+		t.Fatalf("spelled-out active plan hashes differently: %s vs %s (%s)", got, want, cj)
+	}
+
+	// minReps 1 and 2 execute identically (the engine never stops on a
+	// single sample), so they must share a cache key.
+	one := base()
+	one.Precision = &PrecisionSpec{HalfWidth: 0.01, MinReps: 1}
+	if got := hash(t, one); got != want {
+		t.Fatalf("minReps 1 hashes differently from the 2-replicate floor: %s vs %s", got, want)
+	}
+
+	// No over-folding: a different target, confidence, budget, or a
+	// relative reading are different runs — and so is no plan at all.
+	distinct := []*PrecisionSpec{
+		{HalfWidth: 0.02},
+		{HalfWidth: 0.01, Confidence: 0.99},
+		{HalfWidth: 0.01, MaxReps: 64},
+		{HalfWidth: 0.01, Relative: true},
+		nil,
+	}
+	for i, p := range distinct {
+		s := base()
+		s.Precision = p
+		if got := hash(t, s); got == want {
+			t.Fatalf("distinct plan %d collides with the active-plan hash", i)
+		}
+	}
+}
+
 // TestCanonicalDoesNotMutate: canonicalization works on a clone; the
 // original spec keeps its short spellings.
 func TestCanonicalDoesNotMutate(t *testing.T) {

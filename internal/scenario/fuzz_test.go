@@ -57,6 +57,16 @@ func FuzzDecode(f *testing.F) {
 		`{"name":"x","substrate":"token","metric":"nope"}`,
 		`{"name":"x","substrate":"swarm","params":{"pieces":1e100}}`,
 		`{"name":"x","substrate":"coding","rounds":9223372036854775807}`,
+		// Hostile precision plans: negative targets, impossible confidence,
+		// inverted budgets, single-replicate adaptive runs.
+		`{"name":"x","substrate":"gossip","precision":{"halfWidth":-0.01}}`,
+		`{"name":"x","substrate":"gossip","precision":{"halfWidth":1e308,"confidence":1}}`,
+		`{"name":"x","substrate":"gossip","precision":{"halfWidth":0.01,"confidence":1.5}}`,
+		`{"name":"x","substrate":"gossip","precision":{"halfWidth":0.01,"minReps":50,"maxReps":5}}`,
+		`{"name":"x","substrate":"gossip","precision":{"halfWidth":0.01,"maxReps":1}}`,
+		`{"name":"x","substrate":"gossip","precision":{"halfWidth":0.01,"batch":-4}}`,
+		`{"name":"x","substrate":"token","precision":{"halfWidth":0.01,"relative":true,"minReps":2,"maxReps":24,"batch":4}}`,
+		`{"name":"x","substrate":"scrip","replicates":9,"precision":{"maxReps":7}}`,
 	} {
 		f.Add([]byte(hostile))
 	}
@@ -110,6 +120,16 @@ func FuzzSet(f *testing.F) {
 		{"adversary.targets", "-1"},
 		{"defense.kind", "ratelimit"},
 		{"defense.rateLimit", "4"},
+		{"precision.halfWidth", "0.01"},
+		{"precision.halfWidth", "-1"},
+		{"precision.halfWidth", "inf"},
+		{"precision.confidence", "0.99"},
+		{"precision.confidence", "2"},
+		{"precision.relative", "true"},
+		{"precision.relative", "maybe"},
+		{"precision.minReps", "50"},
+		{"precision.maxReps", "5"},
+		{"precision.batch", "-4"},
 		{"sweep.axis", "params.push"},
 		{"sweep.axis", "params."},
 		{"sweep.from", "1e308"},

@@ -1,0 +1,227 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// The cross-substrate invariant suite: program-equivalence-style laws that
+// must hold for every attack.Kind on every substrate, whatever the worker
+// count. These are the properties that make concurrent, adaptively-stopped
+// runs trustworthy — if a zero-attacker spec, a fixed run, and an adaptive
+// run that cannot stop early are not literally the same program, no CI
+// target can be believed.
+//
+//	(a) zero attackers ≡ the none strategy, bit for bit;
+//	(b) raising attacker pressure never improves the substrate's
+//	    organic-delivery metric beyond accumulator tolerance (except where
+//	    the paper itself predicts the attack backfires — see
+//	    attackBackfires);
+//	(c) an adaptive plan that can never stop early ≡ the fixed run of the
+//	    same budget, byte for byte.
+
+var invariantKinds = []string{"none", "crash", "ideal", "trade"}
+
+// invariantSpec returns a small single-point copy of the cross-product
+// entry for kind x substrate, shrunk for test runtime exactly like the
+// determinism table.
+func invariantSpec(t *testing.T, kind, substrate string) *Spec {
+	t.Helper()
+	spec, ok := Get(fmt.Sprintf("x/%s-%s", kind, substrate))
+	if !ok {
+		t.Fatalf("x/%s-%s missing from the registry", kind, substrate)
+	}
+	spec.Sweep = SweepSpec{}
+	if substrate == "scrip" {
+		spec.Rounds = 1200
+	}
+	return spec
+}
+
+// dataBytes strips the headline (which necessarily spells the attack
+// label) and returns the rest of the artifact as canonical JSON.
+func dataBytes(t *testing.T, spec *Spec, seed uint64, opts RunOptions) []byte {
+	t.Helper()
+	a, err := Run(spec, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Name, a.Title = "", ""
+	data, err := a.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestInvariantZeroAttackersIsNone: with the attacker controlling zero
+// nodes there is nobody to crash, satiate, or trade — every attack kind
+// must reproduce the none baseline bit-identically, on every substrate,
+// under workers 1 and 8.
+func TestInvariantZeroAttackersIsNone(t *testing.T) {
+	for _, substrate := range Substrates {
+		for _, kind := range []string{"crash", "ideal", "trade"} {
+			t.Run(kind+"/"+substrate, func(t *testing.T) {
+				t.Parallel()
+				attacked := invariantSpec(t, kind, substrate)
+				attacked.Adversary.Fraction = 0
+				baseline := attacked.Clone()
+				baseline.Adversary.Kind = "none"
+				for _, workers := range []int{1, 8} {
+					opts := RunOptions{Workers: workers, Replicates: 2}
+					got := dataBytes(t, attacked, 7, opts)
+					want := dataBytes(t, baseline, 7, opts)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("workers %d: zero-attacker %s diverges from none:\n%s\nvs\n%s",
+							workers, kind, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// attackBackfires marks the kind x substrate pairs where the paper itself
+// predicts satiation helps rather than hurts: a seeded swarm treats an
+// ideal satiator as free upload capacity, and a trade lotus-eater holding
+// the full file is one more seeder (E5: "satiating leechers ... often
+// actually a net benefit"). For those pairs the invariant flips: the
+// attack must NOT collapse organic delivery.
+var attackBackfires = map[string]bool{
+	"ideal/swarm": true,
+	"trade/swarm": true,
+}
+
+// TestInvariantMonotoneHarm: raising the attacker-controlled fraction
+// never improves the substrate's organic-delivery metric beyond
+// accumulator tolerance (and for the backfiring pairs, never collapses
+// it). Common-random-numbers seeding pairs the sweep points — replicate i
+// sees the same streams at every fraction — so the per-point means are
+// directly comparable and the tolerance can stay tight.
+func TestInvariantMonotoneHarm(t *testing.T) {
+	const replicates = 3
+	for _, substrate := range Substrates {
+		for _, kind := range invariantKinds {
+			t.Run(kind+"/"+substrate, func(t *testing.T) {
+				t.Parallel()
+				spec := invariantSpec(t, kind, substrate)
+				spec.Sweep = SweepSpec{Axis: "adversary.fraction", From: 0, To: 0.4, Points: 3}
+				a, err := Run(spec, 17, RunOptions{Replicates: replicates})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mean, stddev := a.Series[0], a.Series[1]
+				tol := func(i, j int) float64 {
+					// Accumulator tolerance: two standard errors on each of
+					// the compared means, plus a floor for the paired-draw
+					// discreteness of tiny populations.
+					se := (stddev.Points[i].Y + stddev.Points[j].Y) / math.Sqrt(replicates)
+					return 0.02 + 2*se
+				}
+				if attackBackfires[kind+"/"+substrate] {
+					base := mean.Points[0].Y
+					for i := 1; i < len(mean.Points); i++ {
+						if mean.Points[i].Y < base-0.15 {
+							t.Fatalf("%s on %s should backfire, but collapsed delivery at fraction %.2f: %.4f vs baseline %.4f",
+								kind, substrate, mean.Points[i].X, mean.Points[i].Y, base)
+						}
+					}
+					return
+				}
+				for i := 1; i < len(mean.Points); i++ {
+					prev, cur := mean.Points[i-1].Y, mean.Points[i].Y
+					if cur > prev+tol(i-1, i) {
+						t.Fatalf("raising %s pressure improved %s delivery: %.4f at %.2f -> %.4f at %.2f (tol %.4f)",
+							kind, substrate, prev, mean.Points[i-1].X, cur, mean.Points[i].X, tol(i-1, i))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestInvariantAdaptiveDegeneratesToFixed: an adaptive run that can never
+// stop early is the fixed run. Two forms, both per attack x substrate and
+// per worker count:
+//
+//   - halfWidth 0 (an inert plan) must reproduce the fixed artifact byte
+//     for byte, headline included;
+//   - an active plan whose target is unreachably tight (so it runs its
+//     full MaxReps budget through the wave engine) must produce the same
+//     statistics series, value for value — the engine folds the same
+//     replicates in the same order.
+func TestInvariantAdaptiveDegeneratesToFixed(t *testing.T) {
+	const n = 4
+	for _, substrate := range Substrates {
+		for _, kind := range invariantKinds {
+			t.Run(kind+"/"+substrate, func(t *testing.T) {
+				t.Parallel()
+				fixed := invariantSpec(t, kind, substrate)
+				fixed.Replicates = n
+
+				inert := fixed.Clone()
+				inert.Replicates = 0
+				inert.Precision = &PrecisionSpec{HalfWidth: 0, MaxReps: n}
+
+				// A degenerate metric (zero sample variance — e.g. a swarm
+				// that completes at 1.0 in every replicate) legitimately
+				// meets ANY positive half-width target, so "unreachably
+				// tight" cannot force a full budget; MinReps = MaxReps can,
+				// while still routing through the active wave engine.
+				tight := fixed.Clone()
+				tight.Replicates = 0
+				tight.Precision = &PrecisionSpec{HalfWidth: 1e-300, MinReps: n, MaxReps: n, Batch: 2}
+
+				for _, workers := range []int{1, 8} {
+					opts := RunOptions{Workers: workers}
+					fa, err := Run(fixed, 23, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ia, err := Run(inert, 23, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fj, _ := fa.CanonicalJSON()
+					ij, _ := ia.CanonicalJSON()
+					if !bytes.Equal(fj, ij) {
+						t.Fatalf("workers %d: halfWidth=0 plan diverges from the fixed run:\n%s\nvs\n%s", workers, ij, fj)
+					}
+
+					ta, err := Run(tight, 23, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// The adaptive artifact adds reps/ci-halfwidth series and
+					// a plan headline; the five statistics series must match
+					// the fixed run exactly.
+					for si, fs := range fa.Series {
+						ts := ta.Series[si]
+						if fs.Name != ts.Name {
+							t.Fatalf("series %d: %q vs %q", si, fs.Name, ts.Name)
+						}
+						for pi := range fs.Points {
+							if fs.Points[pi] != ts.Points[pi] {
+								t.Fatalf("workers %d: series %s point %d: adaptive %v != fixed %v",
+									workers, fs.Name, pi, ts.Points[pi], fs.Points[pi])
+							}
+						}
+					}
+					// And the exhausted budget must be visible: every point
+					// ran exactly n replicates without meeting the target.
+					reps := ta.Series[5]
+					if reps.Name != "reps" {
+						t.Fatalf("series 5 is %q, want reps", reps.Name)
+					}
+					for _, p := range reps.Points {
+						if p.Y != n {
+							t.Fatalf("unreachable target stopped at %g reps, want %d", p.Y, n)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -192,6 +192,30 @@ func init() {
 	})
 
 	registerCrossProduct()
+	registerAutoVariants()
+}
+
+// registerAutoVariants derives adaptive-precision twins of the noisiest
+// trade scenarios: same substrate, same adversary, same sweep, but each
+// sweep point runs replicate waves until the metric mean's 95% CI
+// half-width drops to 0.01 (or the 24-replicate budget is spent) instead
+// of a fixed count. Quiet points — the x=0 baselines, the saturated tails —
+// stop at two replicates; the noisy shoulder of the curve gets the budget.
+func registerAutoVariants() {
+	for _, name := range []string{"gossip-trade", "token-trade-defended", "scrip-trade-satiation"} {
+		base, ok := Get(name)
+		if !ok {
+			panic(fmt.Sprintf("scenario: auto variant of unregistered %q", name))
+		}
+		base.Name += "-auto"
+		if base.Title != "" {
+			base.Title += " (adaptive)"
+		}
+		base.Description = "adaptive twin of " + name + ": CI-targeted replication, ±0.01 @ 95% per point"
+		base.Replicates = 0
+		base.Precision = &PrecisionSpec{HalfWidth: 0.01, MinReps: 2, MaxReps: 24, Batch: 4}
+		Register(base)
+	}
 }
 
 // registerCrossProduct generates the attack x substrate x defense grid: every

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"lotuseater/internal/adaptive"
 	"lotuseater/internal/metrics"
 	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
@@ -14,23 +15,39 @@ type RunOptions struct {
 	// Workers bounds the run's in-flight replicates on the shared pool
 	// (0 = pool width). Results never depend on it.
 	Workers int
-	// Replicates overrides the spec's replicate count when positive.
+	// Replicates overrides the spec's replicate count when positive. Dead
+	// under an active precision plan, whose minReps/maxReps govern instead.
 	Replicates int
 	// Points overrides the sweep's point count when positive.
 	Points int
 	// Progress, when non-nil, is called after each replicate folds with the
-	// number completed so far across all sweep points and the run's total
-	// (points x replicates). Calls arrive in order from a single goroutine.
-	// Results never depend on it.
+	// number completed so far across all sweep points and the run's total.
+	// For fixed runs the total is exact (points x replicates); under an
+	// active precision plan it is a monotone non-increasing estimate that
+	// starts at points x maxReps and sheds the unused budget of each point
+	// that stops early, converging on the true count as the run ends. Calls
+	// arrive in order from a single goroutine. Results never depend on it.
 	Progress func(done, total int)
+	// PointProgress, when non-nil under an active precision plan, is called
+	// after every replicate wave with the sweep point index, the replicates
+	// folded at that point so far, the current Student-t half-width, and
+	// whether the CI target is now met — the "reps-so-far / CI-so-far"
+	// readout services surface. Fixed runs never call it. Results never
+	// depend on it.
+	PointProgress func(point, reps int, halfWidth float64, met bool)
 }
 
 // resolveCounts applies Run's defaulting to the spec and options: the
 // replicates folded per sweep point (overridden when positive, 3 when
-// unset) and the number of sweep points (1 without an axis, at least 2
-// with one).
+// unset; an inert precision block's maxReps counts as the spec value) and
+// the number of sweep points (1 without an axis, at least 2 with one).
 func resolveCounts(spec *Spec, opts RunOptions) (replicates, points int) {
 	replicates = spec.Replicates
+	if spec.Precision != nil && !spec.Precision.active() && spec.Precision.MaxReps > 0 {
+		// A plan that can never stop early is a fixed run of its cap — the
+		// same fold, byte for byte (pinned by the invariant suite).
+		replicates = spec.Precision.MaxReps
+	}
 	if opts.Replicates > 0 {
 		replicates = opts.Replicates
 	}
@@ -50,20 +67,66 @@ func resolveCounts(spec *Spec, opts RunOptions) (replicates, points int) {
 	return replicates, points
 }
 
+// plan maps the declarative precision block onto the engine's plan type,
+// defaults unresolved.
+func plan(p *PrecisionSpec) adaptive.Plan {
+	return adaptive.Plan{
+		MinReps: p.MinReps,
+		MaxReps: p.MaxReps,
+		Batch:   p.Batch,
+		CI: adaptive.CI{
+			HalfWidth:  p.HalfWidth,
+			Confidence: p.Confidence,
+			Relative:   p.Relative,
+		},
+	}
+}
+
+// activePlan compiles the spec's precision block into the resolved
+// adaptive plan Run executes; ok is false for fixed-replication runs
+// (no block, or one whose halfWidth is zero).
+func (s *Spec) activePlan() (adaptive.Plan, bool) {
+	if !s.Precision.active() {
+		return adaptive.Plan{}, false
+	}
+	pl := plan(s.Precision).WithDefaults()
+	pl.CI.Metric = s.Metric
+	if pl.CI.Metric == "" {
+		if b := sub(s.Substrate); b != nil {
+			pl.CI.Metric = b.defaultMetric
+		}
+	}
+	return pl, true
+}
+
 // TotalReplicates returns how many replicates a run of spec will fold in
-// total — sweep points times replicates per point, after the same
-// defaulting Run applies — which is the total a RunOptions.Progress
-// callback will report against.
+// total, after the same defaulting Run applies — sweep points times
+// replicates per point for fixed runs, and the points x maxReps upper
+// bound under an active precision plan (adaptive points may stop earlier;
+// RunOptions.Progress totals shrink toward the true count as they do).
 func TotalReplicates(spec *Spec, opts RunOptions) int {
 	replicates, points := resolveCounts(spec, opts)
+	if pl, ok := spec.activePlan(); ok {
+		return points * pl.MaxReps
+	}
 	return points * replicates
 }
 
 // Run executes the scenario and returns its artifact: one series per
 // summary statistic (mean, stddev, min, max, p50) of the spec's metric
-// across the sweep axis. Replicates fold into streaming accumulators in
-// replicate order — nothing per-replicate is materialized, and the result
-// is bit-identical for any worker count.
+// across the sweep axis, plus per-point replicate counts and achieved CI
+// half-widths ("reps", "ci-halfwidth") under an active precision plan.
+// Replicates fold into streaming accumulators in replicate order — nothing
+// per-replicate is materialized, and the result is bit-identical for any
+// worker count.
+//
+// Seeding uses common random numbers: every sweep point folds replicate i
+// with the stream derived from (seed, i) alone, so the same replicate
+// index sees the same randomness at every point. Differences between
+// points (and between attack and defense arms run from one seed) are
+// paired comparisons with the replicate-to-replicate noise cancelled —
+// which is also what lets an adaptive run share its replicates
+// bit-identically with a fixed run of the same seed.
 func Run(spec *Spec, seed uint64, opts RunOptions) (*metrics.Artifact, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -83,14 +146,20 @@ func Run(spec *Spec, seed uint64, opts RunOptions) (*metrics.Artifact, error) {
 	maxS := &metrics.Series{Name: "max"}
 	p50 := &metrics.Series{Name: "p50"}
 
-	root := simrng.New(seed)
+	pl, adaptiveRun := spec.activePlan()
+	var repsS, hwS *metrics.Series
+	if adaptiveRun {
+		repsS = &metrics.Series{Name: "reps"}
+		hwS = &metrics.Series{Name: "ci-halfwidth"}
+	}
+
 	runner := sim.Runner{Workers: opts.Workers}
-	total := len(xs) * replicates
+	done := 0                       // replicates folded across finished points
+	estimate := points * replicates // fixed total, or the shrinking adaptive cap
+	if adaptiveRun {
+		estimate = points * pl.MaxReps
+	}
 	for pi, x := range xs {
-		if opts.Progress != nil {
-			base := pi * replicates
-			runner.Progress = func(done, _ int) { opts.Progress(base+done, total) }
-		}
 		pt := spec.Clone()
 		if spec.Sweep.Axis != "" {
 			if err := pt.applyAxis(x); err != nil {
@@ -101,25 +170,63 @@ func Run(spec *Spec, seed uint64, opts RunOptions) (*metrics.Artifact, error) {
 			}
 		}
 		st := metrics.NewStream()
-		pointSeed := root.ChildN("point", pi).Uint64()
-		err := runner.Fold(pointSeed, replicates,
-			func(rep int, rng *simrng.Source, ws *sim.Workspace) (sim.Model, error) {
-				adv, err := pt.Adversary.Strategy()
-				if err != nil {
-					return nil, err
-				}
-				return b.build(pt, rng, ws, adv, newDefense(pt, ws))
-			},
-			func(rep int, snap any) error {
-				y, err := b.metric(pt, snap)
-				if err != nil {
-					return err
-				}
-				st.Add(y)
-				return nil
-			})
-		if err != nil {
-			return nil, fmt.Errorf("scenario %s: point %s=%g: %w", spec.Name, xLabel, x, err)
+		build := sim.Build(func(rep int, rng *simrng.Source, ws *sim.Workspace) (sim.Model, error) {
+			adv, err := pt.Adversary.Strategy()
+			if err != nil {
+				return nil, err
+			}
+			return b.build(pt, rng, ws, adv, newDefense(pt, ws))
+		})
+		if adaptiveRun {
+			pr := runner
+			if opts.Progress != nil {
+				base, est := done, estimate
+				pr.Progress = func(d, _ int) { opts.Progress(base+d, est) }
+			}
+			var obs adaptive.Observer
+			if opts.PointProgress != nil {
+				obs = func(reps int, hw float64, met bool) { opts.PointProgress(pi, reps, hw, met) }
+			}
+			res, err := adaptive.Fold(pr, seed, pl, build,
+				func(rep int, snap any) (float64, error) {
+					y, err := b.metric(pt, snap)
+					if err != nil {
+						return 0, err
+					}
+					st.Add(y)
+					return y, nil
+				}, obs)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: point %s=%g: %w", spec.Name, xLabel, x, err)
+			}
+			done += res.Reps
+			estimate -= pl.MaxReps - res.Reps
+			if opts.Progress != nil {
+				// One settling call per point: the estimate just shed this
+				// point's unused budget, so totals stay monotone
+				// non-increasing and end equal to done.
+				opts.Progress(done, estimate)
+			}
+			repsS.Add(x, float64(res.Reps))
+			hwS.Add(x, res.HalfWidth)
+		} else {
+			r := runner
+			if opts.Progress != nil {
+				base, total := pi*replicates, estimate
+				r.Progress = func(d, _ int) { opts.Progress(base+d, total) }
+			}
+			err := r.Fold(seed, replicates, build,
+				func(rep int, snap any) error {
+					y, err := b.metric(pt, snap)
+					if err != nil {
+						return err
+					}
+					st.Add(y)
+					return nil
+				})
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: point %s=%g: %w", spec.Name, xLabel, x, err)
+			}
 		}
 		mean.Add(x, st.Acc.Mean())
 		std.Add(x, st.Acc.StdDev())
@@ -136,11 +243,22 @@ func Run(spec *Spec, seed uint64, opts RunOptions) (*metrics.Artifact, error) {
 	if title == "" {
 		title = spec.Name
 	}
+	headline := fmt.Sprintf("%s — %s/%s, metric %s (%d replicates/point)", title, spec.Substrate, adversaryLabel(spec), metricName, replicates)
+	series := []*metrics.Series{mean, std, minS, maxS, p50}
+	if adaptiveRun {
+		target := fmt.Sprintf("±%g", pl.CI.HalfWidth)
+		if pl.CI.Relative {
+			target = fmt.Sprintf("±%g·|mean|", pl.CI.HalfWidth)
+		}
+		headline = fmt.Sprintf("%s — %s/%s, metric %s (adaptive %d-%d replicates/point, CI %s @ %g%%)",
+			title, spec.Substrate, adversaryLabel(spec), metricName, pl.MinReps, pl.MaxReps, target, pl.CI.Confidence*100)
+		series = append(series, repsS, hwS)
+	}
 	return &metrics.Artifact{
 		Name:   spec.Name,
-		Title:  fmt.Sprintf("%s — %s/%s, metric %s (%d replicates/point)", title, spec.Substrate, adversaryLabel(spec), metricName, replicates),
+		Title:  headline,
 		XLabel: xLabel,
-		Series: []*metrics.Series{mean, std, minS, maxS, p50},
+		Series: series,
 	}, nil
 }
 

@@ -28,6 +28,12 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 		"sweep.points=4",
 		"replicates=9",
 		"metric=honest-delivery",
+		"precision.halfWidth=0.02",
+		"precision.confidence=0.9",
+		"precision.minReps=3",
+		"precision.maxReps=12",
+		"precision.batch=4",
+		"precision.relative=true",
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -48,6 +54,10 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 		back.Params["push"] != 7 || back.Sweep.Points != 4 ||
 		back.Replicates != 9 || back.Metric != "honest-delivery" {
 		t.Fatalf("overrides lost in round trip: %+v", back)
+	}
+	if p := back.Precision; p == nil || p.HalfWidth != 0.02 || p.Confidence != 0.9 ||
+		p.MinReps != 3 || p.MaxReps != 12 || p.Batch != 4 || !p.Relative {
+		t.Fatalf("precision overrides lost in round trip: %+v", back.Precision)
 	}
 }
 
@@ -70,6 +80,24 @@ func TestSpecSetErrors(t *testing.T) {
 	}
 	if err := spec.ApplySets([]string{"metric=not-a-metric"}); err == nil {
 		t.Fatal("unknown metric accepted")
+	}
+	for _, bad := range []string{
+		"precision.halfWidth=-0.5", // negative target
+		"precision.halfWidth=inf",  // non-finite target
+		"precision.confidence=1",   // certainty is not a CI
+		"precision.relative=maybe", // not a boolean
+		"precision.minReps=1.5",    // not an integer
+	} {
+		spec, _ := Get("x/trade-gossip")
+		if err := spec.ApplySets([]string{bad}); err == nil {
+			t.Fatalf("precision override %q accepted", bad)
+		}
+	}
+	// MinReps > MaxReps is rejected at validation, wherever the two come
+	// from.
+	spec, _ = Get("x/trade-gossip")
+	if err := spec.ApplySets([]string{"precision.halfWidth=0.1", "precision.minReps=9", "precision.maxReps=3"}); err == nil {
+		t.Fatal("inverted precision budget accepted")
 	}
 }
 
@@ -318,10 +346,10 @@ func TestStreamingMatchesBuffered(t *testing.T) {
 	}
 	b := sub(spec.Substrate)
 
-	// Buffered reference: materialize every snapshot, then reduce.
-	root := simrng.New(42)
-	pointSeed := root.ChildN("point", 0).Uint64()
-	snaps, err := sim.Runner{}.Replicates(pointSeed, replicates,
+	// Buffered reference: materialize every snapshot, then reduce. Run
+	// seeds the replicate streams directly from the run seed (common random
+	// numbers across sweep points), so the reference does the same.
+	snaps, err := sim.Runner{}.Replicates(42, replicates,
 		func(rep int, rng *simrng.Source, ws *sim.Workspace) (sim.Model, error) {
 			adv, err := spec.Adversary.Strategy()
 			if err != nil {
@@ -372,6 +400,113 @@ func gotAbs(x float64) float64 {
 	return x
 }
 
+// TestOverrideReplicates: an explicit replicate override must win over an
+// inert precision block (whose maxReps is just another spelling of the
+// fixed count), and stay dead under an active plan.
+func TestOverrideReplicates(t *testing.T) {
+	spec := &Spec{Name: "o", Substrate: "gossip", Precision: &PrecisionSpec{MaxReps: 24}}
+	spec.OverrideReplicates(50)
+	if spec.Precision != nil {
+		t.Fatal("inert precision block survived a replicates override")
+	}
+	if got := TotalReplicates(spec, RunOptions{}); got != 50 {
+		t.Fatalf("override shadowed: total %d, want 50", got)
+	}
+	active := &Spec{Name: "o", Substrate: "gossip", Precision: &PrecisionSpec{HalfWidth: 0.01, MaxReps: 24}}
+	active.OverrideReplicates(50)
+	if active.Precision == nil {
+		t.Fatal("active plan displaced by a replicates override")
+	}
+	if got := TotalReplicates(active, RunOptions{}); got != 24 {
+		t.Fatalf("active plan cap %d, want maxReps 24", got)
+	}
+}
+
+// TestAdaptiveRunStopsEarly: an adaptive sweep spends its budget where the
+// variance is — at least one point resolves below the cap — while the
+// progress stream reports a monotone non-increasing total that converges
+// on the replicates actually run, and the per-point readout stays sane.
+func TestAdaptiveRunStopsEarly(t *testing.T) {
+	spec := &Spec{
+		Name:      "adaptive-stop",
+		Substrate: "token",
+		Nodes:     48,
+		Rounds:    30,
+		Adversary: AdversarySpec{Kind: "trade", SatiateFraction: 0.6},
+		Sweep:     SweepSpec{Axis: "adversary.fraction", From: 0, To: 0.4, Points: 3},
+		Precision: &PrecisionSpec{HalfWidth: 0.02, MinReps: 2, MaxReps: 16, Batch: 2},
+		Params:    map[string]float64{"tokens": 8},
+	}
+	var dones, totals []int
+	var waves int
+	lastReps := map[int]int{}
+	a, err := Run(spec, 5, RunOptions{
+		Progress: func(done, total int) {
+			if n := len(dones); n > 0 && (done < dones[n-1] || total > totals[n-1]) {
+				t.Fatalf("progress regressed: (%d,%d) after (%d,%d)", done, total, dones[n-1], totals[n-1])
+			}
+			dones = append(dones, done)
+			totals = append(totals, total)
+		},
+		PointProgress: func(point, reps int, halfWidth float64, met bool) {
+			waves++
+			if reps <= lastReps[point] || halfWidth < 0 {
+				t.Fatalf("point %d wave readout regressed: reps %d after %d (hw %g)", point, reps, lastReps[point], halfWidth)
+			}
+			lastReps[point] = reps
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals[0] != 3*16 {
+		t.Fatalf("initial total %d, want the points x maxReps cap %d", totals[0], 3*16)
+	}
+	last := len(dones) - 1
+	if dones[last] != totals[last] {
+		t.Fatalf("final progress (%d,%d) did not converge", dones[last], totals[last])
+	}
+	if waves == 0 {
+		t.Fatal("PointProgress never fired")
+	}
+
+	series := map[string]*metrics.Series{}
+	for _, s := range a.Series {
+		series[s.Name] = s
+	}
+	reps, hw := series["reps"], series["ci-halfwidth"]
+	if reps == nil || hw == nil {
+		t.Fatalf("adaptive artifact missing reps/ci-halfwidth series: %v", a.Series)
+	}
+	total, early := 0, false
+	for i, p := range reps.Points {
+		r := int(p.Y)
+		if r < 2 || r > 16 {
+			t.Fatalf("point %d ran %d replicates, outside [2,16]", i, r)
+		}
+		if r < 16 {
+			early = true
+			// A point that stopped early must have met its target.
+			if hw.Points[i].Y > 0.02 {
+				t.Fatalf("point %d stopped at %d reps with half-width %g above target", i, r, hw.Points[i].Y)
+			}
+		}
+		total += r
+	}
+	if !early {
+		t.Fatal("no sweep point stopped before the 16-replicate cap")
+	}
+	if dones[last] != total {
+		t.Fatalf("progress counted %d replicates, reps series says %d", dones[last], total)
+	}
+	// The x=0 point has no attacker: with common random numbers its
+	// replicates are as quiet as the substrate gets, so the budget must not
+	// be spent there.
+	if int(reps.Points[0].Y) != 2 {
+		t.Fatalf("no-attack baseline point ran %g replicates, want the 2-rep minimum", reps.Points[0].Y)
+	}
+}
+
 // TestRunUnknowns: bad specs fail with actionable errors.
 func TestRunUnknowns(t *testing.T) {
 	if _, err := Run(&Spec{Name: "x", Substrate: "mainframe"}, 1, RunOptions{}); err == nil ||
@@ -402,6 +537,11 @@ func TestCannedScenariosRun(t *testing.T) {
 			// bench` exercises them at full width.
 			if spec.Nodes > 10_000 {
 				spec.Nodes = 2000
+			}
+			// Adaptive entries: validate the wave path, not the budget —
+			// two replicates per point keeps the sweep test-sized.
+			if spec.Precision != nil {
+				spec.Precision.MinReps, spec.Precision.MaxReps = 2, 2
 			}
 			if _, err := Run(spec, 1, RunOptions{Points: 2, Replicates: 1}); err != nil {
 				t.Fatal(err)

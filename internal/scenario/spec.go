@@ -102,6 +102,53 @@ func (d DefenseSpec) enabled() bool {
 	return d.Kind == "ratelimit" && d.RateLimit > 0
 }
 
+// PrecisionSpec is the declarative form of an adaptive.Plan: per sweep
+// point, run replicate waves until the Student-t confidence interval on the
+// metric's mean is at most HalfWidth wide (half-width), or MaxReps is
+// spent. HalfWidth 0 disables early stopping — the plan degenerates to a
+// fixed run of MaxReps replicates and canonicalizes away entirely. Under an
+// active plan (HalfWidth > 0) the spec's Replicates knob is dead: MinReps
+// and MaxReps govern the budget.
+type PrecisionSpec struct {
+	// HalfWidth is the CI half-width target (0 = no early stopping).
+	HalfWidth float64 `json:"halfWidth,omitempty"`
+	// Confidence is the two-sided CI level (0 = 0.95).
+	Confidence float64 `json:"confidence,omitempty"`
+	// Relative reads HalfWidth as a fraction of the mean's magnitude.
+	Relative bool `json:"relative,omitempty"`
+	// MinReps is the opening wave, always run before the rule is consulted
+	// (0 = 2; at least 2 so a variance estimate exists).
+	MinReps int `json:"minReps,omitempty"`
+	// MaxReps is the per-point budget (0 = 256).
+	MaxReps int `json:"maxReps,omitempty"`
+	// Batch is the wave size after the opening wave (0 = 8).
+	Batch int `json:"batch,omitempty"`
+}
+
+// Validate reports the first problem with the precision block, or nil. A
+// nil block is valid (fixed replication).
+func (p *PrecisionSpec) Validate() error {
+	if p == nil {
+		return nil
+	}
+	switch {
+	case !isFinite(p.HalfWidth) || p.HalfWidth < 0:
+		return fmt.Errorf("scenario: precision.halfWidth must be finite and non-negative, got %g", p.HalfWidth)
+	case !isFinite(p.Confidence) || p.Confidence < 0 || p.Confidence >= 1:
+		return fmt.Errorf("scenario: precision.confidence must be in [0,1) (0 = 0.95), got %g", p.Confidence)
+	case p.MinReps < 0 || p.MaxReps < 0 || p.Batch < 0:
+		return fmt.Errorf("scenario: precision minReps, maxReps, and batch must be non-negative")
+	case p.MaxReps > 0 && p.MinReps > p.MaxReps:
+		return fmt.Errorf("scenario: precision.minReps %d exceeds precision.maxReps %d", p.MinReps, p.MaxReps)
+	case p.HalfWidth > 0 && p.MaxReps == 1:
+		return fmt.Errorf("scenario: an adaptive plan needs precision.maxReps >= 2 (one replicate has no variance estimate)")
+	}
+	return nil
+}
+
+// active reports whether the plan can stop points early at all.
+func (p *PrecisionSpec) active() bool { return p != nil && p.HalfWidth > 0 }
+
 // SweepSpec describes the x axis of a scenario: which knob to sweep and
 // over what range. An empty Axis means a single point at x = 0.
 type SweepSpec struct {
@@ -140,6 +187,10 @@ type Spec struct {
 	Defense DefenseSpec `json:"defense,omitempty"`
 	// Sweep configures the x axis.
 	Sweep SweepSpec `json:"sweep,omitempty"`
+	// Precision, when present with a positive halfWidth, replaces the fixed
+	// Replicates count with adaptive, CI-targeted replication per sweep
+	// point (see PrecisionSpec).
+	Precision *PrecisionSpec `json:"precision,omitempty"`
 	// Metric names the per-run statistic folded into the accumulators; see
 	// `lotus-sim scenarios show` output or substrate.go for the per-
 	// substrate menu. Empty means the substrate default.
@@ -168,6 +219,9 @@ func (s *Spec) Validate() error {
 		return err
 	}
 	if err := s.Defense.Validate(); err != nil {
+		return err
+	}
+	if err := s.Precision.Validate(); err != nil {
 		return err
 	}
 	if s.Nodes < 0 || s.Rounds < 0 || s.Replicates < 0 {
@@ -221,6 +275,10 @@ func (s *Spec) Clone() *Spec {
 	if s.Adversary.Targets != nil {
 		out.Adversary.Targets = append([]int(nil), s.Adversary.Targets...)
 	}
+	if s.Precision != nil {
+		p := *s.Precision
+		out.Precision = &p
+	}
 	return &out
 }
 
@@ -256,6 +314,28 @@ func (s *Spec) param(key string, def float64) float64 {
 		return v
 	}
 	return def
+}
+
+// OverrideReplicates replaces the spec's fixed replicate count with n,
+// also displacing an inert precision block — whose maxReps is just another
+// spelling of the fixed count and would otherwise silently shadow the
+// override. An active plan is left untouched: its budget is
+// minReps/maxReps, and a fixed-count override is dead under it, exactly
+// like RunOptions.Replicates.
+func (s *Spec) OverrideReplicates(n int) {
+	s.Replicates = n
+	if s.Precision != nil && !s.Precision.active() {
+		s.Precision = nil
+	}
+}
+
+// precision returns the precision block, allocating it on first use so
+// `-set precision.halfWidth=0.01` works on specs without one.
+func (s *Spec) precision() *PrecisionSpec {
+	if s.Precision == nil {
+		s.Precision = &PrecisionSpec{}
+	}
+	return s.Precision
 }
 
 // setParam sets a substrate knob, allocating the map on first use.
@@ -301,7 +381,9 @@ func (s *Spec) applyAxis(x float64) error {
 // substrate, nodes, rounds, replicates, metric, adversary.kind,
 // adversary.fraction, adversary.satiateFraction, adversary.rotatePeriod,
 // adversary.targets (comma-separated node ids), defense.kind,
-// defense.rateLimit, sweep.axis, sweep.from, sweep.to, sweep.points, and
+// defense.rateLimit, precision.halfWidth, precision.confidence,
+// precision.relative, precision.minReps, precision.maxReps,
+// precision.batch, sweep.axis, sweep.from, sweep.to, sweep.points, and
 // params.<key>.
 func (s *Spec) Set(key, value string) error {
 	number := func() (float64, error) {
@@ -390,6 +472,42 @@ func (s *Spec) Set(key, value string) error {
 			return err
 		}
 		s.Defense.RateLimit = v
+	case "precision.halfWidth":
+		v, err := number()
+		if err != nil {
+			return err
+		}
+		s.precision().HalfWidth = v
+	case "precision.confidence":
+		v, err := number()
+		if err != nil {
+			return err
+		}
+		s.precision().Confidence = v
+	case "precision.relative":
+		v, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("scenario: %s needs a boolean, got %q", key, value)
+		}
+		s.precision().Relative = v
+	case "precision.minReps":
+		v, err := integer()
+		if err != nil {
+			return err
+		}
+		s.precision().MinReps = v
+	case "precision.maxReps":
+		v, err := integer()
+		if err != nil {
+			return err
+		}
+		s.precision().MaxReps = v
+	case "precision.batch":
+		v, err := integer()
+		if err != nil {
+			return err
+		}
+		s.precision().Batch = v
 	case "sweep.axis":
 		s.Sweep.Axis = value
 	case "sweep.from":

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sync"
 
 	"lotuseater/internal/scenario"
@@ -22,12 +23,17 @@ type job struct {
 	spec *scenario.Spec
 	seed uint64
 
-	mu       sync.Mutex
-	state    string
-	done     int // replicates folded so far
-	total    int // replicates the run will fold (points x replicates)
-	errMsg   string
-	finished chan struct{} // closed when the job reaches done or failed
+	mu    sync.Mutex
+	state string
+	done  int // replicates folded so far
+	total int // replicates the run will fold: exact for fixed runs, a
+	// monotone non-increasing cap estimate under adaptive precision plans
+	point     int     // current sweep point (adaptive runs)
+	pointReps int     // replicates folded at that point so far
+	pointHW   float64 // Student-t half-width at that point so far
+	adaptive  bool    // whether a per-point CI readout ever arrived
+	errMsg    string
+	finished  chan struct{} // closed when the job reaches done or failed
 }
 
 func newJob(key string, spec *scenario.Spec, seed uint64, total int) *job {
@@ -48,10 +54,24 @@ func (j *job) setRunning() {
 }
 
 // progress is the scenario.RunOptions callback; it arrives in order from the
-// run's single folder goroutine.
+// run's single folder goroutine. Fixed runs report a constant total;
+// adaptive runs report a shrinking cap estimate — stored as-is, so the
+// status endpoint shows totals that only ever move down.
 func (j *job) progress(done, total int) {
 	j.mu.Lock()
 	j.done, j.total = done, total
+	j.mu.Unlock()
+}
+
+// pointProgress is the scenario.RunOptions per-wave callback of adaptive
+// runs: the "reps-so-far / CI-so-far" readout for the current sweep point.
+func (j *job) pointProgress(point, reps int, halfWidth float64, met bool) {
+	j.mu.Lock()
+	j.adaptive = true
+	j.point, j.pointReps = point, reps
+	if !math.IsInf(halfWidth, 0) && !math.IsNaN(halfWidth) {
+		j.pointHW = halfWidth
+	}
 	j.mu.Unlock()
 }
 
@@ -71,23 +91,38 @@ func (j *job) fail(err error) {
 	close(j.finished)
 }
 
-// jobStatus is the JSON shape of GET /jobs/<key>.
+// jobStatus is the JSON shape of GET /jobs/<key>. ReplicatesTotal is exact
+// for fixed runs; under an adaptive precision plan it is the points x
+// maxReps cap shrinking toward the true count as points stop early (never
+// increasing). The Point* fields appear only for adaptive runs: the sweep
+// point currently folding, its replicates so far, and the Student-t
+// half-width achieved there so far.
 type jobStatus struct {
-	Key             string `json:"key"`
-	Status          string `json:"status"`
-	ReplicatesDone  int    `json:"replicatesDone"`
-	ReplicatesTotal int    `json:"replicatesTotal"`
-	Error           string `json:"error,omitempty"`
+	Key             string   `json:"key"`
+	Status          string   `json:"status"`
+	ReplicatesDone  int      `json:"replicatesDone"`
+	ReplicatesTotal int      `json:"replicatesTotal"`
+	Point           *int     `json:"point,omitempty"`
+	PointReplicates int      `json:"pointReplicates,omitempty"`
+	PointHalfWidth  *float64 `json:"pointHalfWidth,omitempty"`
+	Error           string   `json:"error,omitempty"`
 }
 
 func (j *job) status() jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return jobStatus{
+	st := jobStatus{
 		Key:             j.key,
 		Status:          j.state,
 		ReplicatesDone:  j.done,
 		ReplicatesTotal: j.total,
 		Error:           j.errMsg,
 	}
+	if j.adaptive {
+		point, hw := j.point, j.pointHW
+		st.Point = &point
+		st.PointReplicates = j.pointReps
+		st.PointHalfWidth = &hw
+	}
+	return st
 }

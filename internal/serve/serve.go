@@ -160,8 +160,9 @@ func (s *Server) runJob(j *job) {
 	j.setRunning()
 	s.runs.Add(1)
 	a, err := scenario.Run(j.spec, j.seed, scenario.RunOptions{
-		Workers:  s.cfg.Workers,
-		Progress: j.progress,
+		Workers:       s.cfg.Workers,
+		Progress:      j.progress,
+		PointProgress: j.pointProgress,
 	})
 	if err != nil {
 		j.fail(err)
@@ -254,7 +255,7 @@ func resolveSpec(req *Request) (*scenario.Spec, error) {
 		return nil, errors.New("serve: replicates and points overrides must be non-negative")
 	}
 	if req.Replicates > 0 {
-		spec.Replicates = req.Replicates
+		spec.OverrideReplicates(req.Replicates)
 	}
 	if req.Points > 0 && spec.Sweep.Axis != "" {
 		spec.Sweep.Points = req.Points

@@ -93,11 +93,14 @@ func submit(t *testing.T, base, body string) submitResponse {
 }
 
 // waitDone polls the status endpoint until the job reports done, asserting
-// the progress counters only ever move forward.
+// the progress matrix: done counters only ever move forward, and totals —
+// exact for fixed runs, a shrinking cap estimate for adaptive ones — only
+// ever move down.
 func waitDone(t *testing.T, base, key string) jobStatus {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	lastDone := -1
+	lastTotal := 0
 	for time.Now().Before(deadline) {
 		code, _, data := getBody(t, base+"/jobs/"+key)
 		if code != http.StatusOK {
@@ -106,6 +109,12 @@ func waitDone(t *testing.T, base, key string) jobStatus {
 		var st jobStatus
 		if err := json.Unmarshal(data, &st); err != nil {
 			t.Fatalf("job status: %v\n%s", err, data)
+		}
+		if st.ReplicatesTotal > 0 {
+			if lastTotal > 0 && st.ReplicatesTotal > lastTotal {
+				t.Fatalf("replicatesTotal grew: %d after %d", st.ReplicatesTotal, lastTotal)
+			}
+			lastTotal = st.ReplicatesTotal
 		}
 		switch st.Status {
 		case StateQueued, StateRunning:
@@ -262,6 +271,102 @@ func TestServeProgress(t *testing.T) {
 	code, _, bad := getBody(t, ts.URL+"/results/"+resp.Key+"?format=yaml")
 	if code != http.StatusBadRequest {
 		t.Fatalf("yaml format: status %d: %s", code, bad)
+	}
+}
+
+// tinyAdaptiveSpec is a sweep under a loose adaptive plan: a bounded
+// metric meets a 0.75 half-width by six replicates at the latest, so every
+// point stops far below the 64-replicate cap.
+const tinyAdaptiveSpec = `{
+  "name": "tiny-auto",
+  "substrate": "coding",
+  "nodes": 24,
+  "rounds": 8,
+  "adversary": {"kind": "ideal", "fraction": 0.2},
+  "sweep": {"axis": "adversary.satiateFraction", "from": 0, "to": 0.5, "points": 3},
+  "precision": {"halfWidth": 0.75, "minReps": 2, "maxReps": 64, "batch": 4},
+  "params": {"symbols": 4, "payload": 8}
+}`
+
+// TestServeAdaptiveProgress pins the fix for fixed-product totals: under
+// an adaptive plan the job's ReplicatesTotal starts at the points x
+// maxReps cap, only ever shrinks (waitDone asserts that on every poll),
+// and lands exactly on the replicates actually run — plus the per-point
+// reps-so-far/CI-so-far readout and the reps series in the artifact.
+func TestServeAdaptiveProgress(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 9}`, tinyAdaptiveSpec))
+	st := waitDone(t, ts.URL, resp.Key)
+
+	const cap = 3 * 64
+	if st.ReplicatesTotal >= cap {
+		t.Fatalf("final total %d never shrank from the %d cap — totals are still a fixed product", st.ReplicatesTotal, cap)
+	}
+	if st.ReplicatesDone != st.ReplicatesTotal {
+		t.Fatalf("done %d != total %d after convergence", st.ReplicatesDone, st.ReplicatesTotal)
+	}
+	if st.Point == nil || st.PointHalfWidth == nil {
+		t.Fatalf("adaptive job status missing the per-point readout: %+v", st)
+	}
+	if *st.Point != 2 {
+		t.Fatalf("final point index %d, want the last sweep point 2", *st.Point)
+	}
+	if st.PointReplicates < 2 || *st.PointHalfWidth > 0.75 {
+		t.Fatalf("per-point readout implausible: %d reps, half-width %g", st.PointReplicates, *st.PointHalfWidth)
+	}
+
+	// The artifact carries the per-point replicate counts, all below the cap.
+	code, _, body := getBody(t, ts.URL+"/results/"+resp.Key)
+	if code != http.StatusOK {
+		t.Fatalf("result: status %d: %s", code, body)
+	}
+	var art struct {
+		Series []struct {
+			Name   string `json:"name"`
+			Points []struct {
+				Y float64 `json:"y"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(body, &art); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	found := false
+	for _, s := range art.Series {
+		if s.Name != "reps" {
+			continue
+		}
+		found = true
+		for i, p := range s.Points {
+			if p.Y < 2 || p.Y >= 64 {
+				t.Fatalf("point %d ran %g replicates, want an early stop in [2,64)", i, p.Y)
+			}
+			sum += int(p.Y)
+		}
+	}
+	if !found {
+		t.Fatalf("adaptive artifact has no reps series: %s", body)
+	}
+	if sum != st.ReplicatesDone {
+		t.Fatalf("artifact reps sum %d != reported done %d", sum, st.ReplicatesDone)
+	}
+
+	// A fixed-run job must NOT grow the per-point readout.
+	fixed := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 9}`, tinySpec))
+	fst := waitDone(t, ts.URL, fixed.Key)
+	if fst.Point != nil || fst.PointHalfWidth != nil {
+		t.Fatalf("fixed run grew an adaptive readout: %+v", fst)
+	}
+
+	// A request-level replicates override beats an inert precision block
+	// (halfWidth 0, maxReps just a spelling of the fixed count) instead of
+	// being silently shadowed by it.
+	inert := strings.Replace(tinyAdaptiveSpec, `"halfWidth": 0.75`, `"halfWidth": 0`, 1)
+	over := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 9, "replicates": 5}`, inert))
+	ost := waitDone(t, ts.URL, over.Key)
+	if ost.ReplicatesTotal != 3*5 {
+		t.Fatalf("replicates override shadowed by inert precision: total %d, want %d", ost.ReplicatesTotal, 3*5)
 	}
 }
 

@@ -27,6 +27,25 @@ type FoldFunc func(rep int, snap any) error
 // by replicate order) after all replicates finish; a fold error stops
 // folding (later snapshots are discarded) and is returned likewise.
 func (r Runner) Fold(seed uint64, n int, build Build, fold FoldFunc) error {
+	return r.FoldRange(seed, 0, n, build, fold)
+}
+
+// FoldRange is Fold over the replicate index window [start, start+n):
+// build and fold see global replicate indices, and replicate start+i draws
+// the stream ChildN("replicate", start+i) from seed — exactly the stream
+// Fold(seed, start+n, ...) hands the same index. Replicate streams are a
+// pure function of (seed, replicate index), never of how a run is split
+// into ranges, so a run executed as consecutive waves (the adaptive
+// precision engine's batched stopping rule) folds bit-identical models in
+// bit-identical order to one fixed-count call covering the same indices.
+//
+// Progress, when set, reports this call's local completion (done in 1..n),
+// not global indices; callers running waves translate. Error messages carry
+// the global replicate index.
+func (r Runner) FoldRange(seed uint64, start, n int, build Build, fold FoldFunc) error {
+	if start < 0 {
+		return fmt.Errorf("sim: FoldRange start must be non-negative, got %d", start)
+	}
 	if n <= 0 {
 		return nil
 	}
@@ -44,12 +63,12 @@ func (r Runner) Fold(seed uint64, n int, build Build, fold FoldFunc) error {
 	}
 	var (
 		mu     sync.Mutex
-		cursor int // next replicate to fold; owned by the folder
+		cursor int // next replicate to fold (local index); owned by the folder
 	)
 	cond := sync.NewCond(&mu)
 
 	type done struct {
-		rep  int
+		rep  int // local index
 		snap any
 	}
 	results := make(chan done, window)
@@ -73,8 +92,8 @@ func (r Runner) Fold(seed uint64, n int, build Build, fold FoldFunc) error {
 				rep := cursor
 				mu.Unlock()
 				if errs[rep] == nil && foldErr == nil {
-					if err := fold(rep, snap); err != nil {
-						foldErr = fmt.Errorf("replicate %d: fold: %w", rep, err)
+					if err := fold(start+rep, snap); err != nil {
+						foldErr = fmt.Errorf("replicate %d: fold: %w", start+rep, err)
 						foldErrAt = rep
 					}
 				}
@@ -95,16 +114,16 @@ func (r Runner) Fold(seed uint64, n int, build Build, fold FoldFunc) error {
 			cond.Wait()
 		}
 		mu.Unlock()
-		rng := root.ChildN("replicate", rep)
-		m, err := build(rep, rng, ws)
+		rng := root.ChildN("replicate", start+rep)
+		m, err := build(start+rep, rng, ws)
 		if err != nil {
-			errs[rep] = fmt.Errorf("replicate %d: %w", rep, err)
+			errs[rep] = fmt.Errorf("replicate %d: %w", start+rep, err)
 			results <- done{rep: rep}
 			return
 		}
 		snap, err := Drive(m)
 		if err != nil {
-			errs[rep] = fmt.Errorf("replicate %d: %w", rep, err)
+			errs[rep] = fmt.Errorf("replicate %d: %w", start+rep, err)
 			results <- done{rep: rep}
 			return
 		}

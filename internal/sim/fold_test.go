@@ -57,6 +57,72 @@ func TestFoldMatchesReplicates(t *testing.T) {
 	}
 }
 
+// TestFoldRangeMatchesFold: splitting a run into consecutive ranges folds
+// exactly the snapshots one Fold call covering the same indices folds —
+// global indices, per-index streams, fold order — for any worker bound and
+// any split. This is the wave contract the adaptive precision engine
+// stands on.
+func TestFoldRangeMatchesFold(t *testing.T) {
+	const n = 60
+	var want []any
+	if err := (Runner{}).Fold(41, n, buildCount, func(rep int, snap any) error {
+		want = append(want, snap)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, splits := range [][]int{{17, n - 17}, {1, 1, n - 2}, {n}, {30, 0, 30}} {
+		for _, workers := range []int{1, 3, 0} {
+			var got []any
+			start := 0
+			for _, size := range splits {
+				err := Runner{Workers: workers}.FoldRange(41, start, size, buildCount, func(rep int, snap any) error {
+					if rep != len(got) {
+						t.Fatalf("splits=%v workers=%d: fold saw replicate %d, want %d", splits, workers, rep, len(got))
+					}
+					got = append(got, snap)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				start += size
+			}
+			if len(got) != n {
+				t.Fatalf("splits=%v: folded %d snapshots, want %d", splits, len(got), n)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("splits=%v workers=%d: snapshot %d = %v, want %v", splits, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFoldRangeErrors: error messages carry the global replicate index,
+// and a negative start is rejected before any model runs.
+func TestFoldRangeErrors(t *testing.T) {
+	boom := errors.New("boom")
+	err := Runner{}.FoldRange(1, 40, 10, func(rep int, rng *simrng.Source, _ *Workspace) (Model, error) {
+		if rep == 45 {
+			return nil, boom
+		}
+		return &countModel{}, nil
+	}, func(rep int, snap any) error { return nil })
+	if err == nil || !errors.Is(err, boom) || err.Error() != "replicate 45: boom" {
+		t.Fatalf("global index lost: %v", err)
+	}
+	ran := false
+	err = Runner{}.FoldRange(1, -1, 5, func(rep int, rng *simrng.Source, _ *Workspace) (Model, error) {
+		ran = true
+		return &countModel{}, nil
+	}, func(rep int, snap any) error { return nil })
+	if err == nil || ran {
+		t.Fatalf("negative start accepted (err=%v, ran=%v)", err, ran)
+	}
+}
+
 // TestFoldBuildError: a failing replicate is skipped by fold and reported
 // as the first error by replicate order.
 func TestFoldBuildError(t *testing.T) {
