@@ -25,6 +25,12 @@ race:
 	$(GO) test -race ./internal/sim/... ./internal/sweep/... ./internal/experiment/... \
 		./internal/scenario/... ./internal/attack/... ./internal/defense/... ./internal/cli/... \
 		./internal/gossip/... ./internal/swarm/... ./internal/serve/... ./internal/adaptive/...
+	# The swarm's widened ParallelFor passes (sharded unchoke scoring, the
+	# leecher scans, the reverse-position/rarity builds) only fan out above
+	# ~32k nodes; these tests force that scale and shard split under -race.
+	$(GO) test -race -count=1 \
+		-run 'TestShardedPassesRace|TestEvalParallelBitIdentical|TestIncrementalRarityMatchesRescan' \
+		./internal/swarm
 
 # Statistical self-tests for the adaptive stopping rule: Student-t golden
 # constants and the 1000-trial CI coverage check, uncached so the numbers

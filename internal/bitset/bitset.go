@@ -20,6 +20,24 @@ func New(n int) *Set {
 	return &Set{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// NewArena returns count independent empty sets of capacity n whose word
+// storage shares one contiguous backing array, in index order. Simulators
+// holding one set per agent use this so that scanning agents in index order
+// walks packed memory instead of chasing count separate heap objects. It
+// panics if count or n is negative.
+func NewArena(count, n int) []Set {
+	if count < 0 || n < 0 {
+		panic("bitset: negative arena size")
+	}
+	wpn := (n + 63) / 64
+	words := make([]uint64, count*wpn)
+	sets := make([]Set, count)
+	for i := range sets {
+		sets[i] = Set{words: words[i*wpn : (i+1)*wpn : (i+1)*wpn], n: n}
+	}
+	return sets
+}
+
 // Cap returns the capacity the set was created with.
 func (s *Set) Cap() int { return s.n }
 
@@ -182,11 +200,25 @@ func (s *Set) HasDiff(other *Set) bool {
 
 // Missing returns the clear bits in ascending order.
 func (s *Set) Missing() []int {
-	out := make([]int, 0, s.n-s.count)
-	for i := 0; i < s.n; i++ {
-		if !s.Has(i) {
-			out = append(out, i)
+	return s.AppendMissing(make([]int, 0, s.n-s.count))
+}
+
+// AppendMissing appends the clear bits in [0, Cap) to buf in ascending order
+// and returns the extended slice. Like AppendDiff it exists for hot loops
+// that reuse buf to stay allocation-free.
+func (s *Set) AppendMissing(buf []int) []int {
+	for wi, w := range s.words {
+		w = ^w
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			i := base + b
+			if i >= s.n {
+				break
+			}
+			buf = append(buf, i)
+			w &= w - 1
 		}
 	}
-	return out
+	return buf
 }

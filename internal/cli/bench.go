@@ -67,6 +67,8 @@ func Bench(w io.Writer, args []string) error {
 	kernelOut := fs.String("kernel-out", "BENCH_kernel.json", "kernel bench JSON path (empty = skip the kernel bench)")
 	kernelRounds := fs.Int("kernel-rounds", 3, "steady-state rounds measured per kernel bench point (low quality; raise locally)")
 	kernelSizes := fs.String("kernel-sizes", "", "comma-separated kernel bench populations (default 10000,100000,1000000)")
+	kernelBaseline := fs.String("kernel-baseline", "", "baseline BENCH_kernel.json to gate ns/round against (empty = no gate)")
+	kernelRegress := fs.Float64("kernel-regress", 0.25, "fail when ns/round exceeds the baseline by this fraction")
 	seed := fs.Uint64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,8 +153,14 @@ func Bench(w io.Writer, args []string) error {
 		}
 	}
 	if *kernelOut != "" {
-		if err := kernelBench(w, *seed, *kernelRounds, sizes, *kernelOut); err != nil {
+		entries, err := kernelBench(w, *seed, *kernelRounds, sizes, *kernelOut)
+		if err != nil {
 			return err
+		}
+		if *kernelBaseline != "" {
+			if err := checkKernelBaseline(entries, *kernelBaseline, *kernelRegress); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

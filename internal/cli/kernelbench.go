@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"lotuseater/internal/attack"
@@ -34,6 +35,10 @@ type KernelBenchResult struct {
 	BytesPerRound float64 `json:"bytesPerRound"`
 	// BuildSeconds is the one-time model construction cost.
 	BuildSeconds float64 `json:"buildSeconds"`
+	// Phases attributes NsPerRound to the substrate's tick phases
+	// (nanoseconds per round, keys from the substrate's phase taxonomy).
+	// Only substrates with phase instrumentation (swarm) emit it.
+	Phases map[string]float64 `json:"phasesNsPerRound,omitempty"`
 }
 
 // kernelBenchFile is the schema of BENCH_kernel.json.
@@ -48,16 +53,17 @@ type kernelBenchFile struct {
 var kernelBenchSizes = []int{10_000, 100_000, 1_000_000}
 
 // kernelBench measures ns/round and allocs/round for one replicate of the
-// gossip and swarm substrates at each of the given population sizes.
+// gossip and swarm substrates at each of the given population sizes, and
+// returns the entries so the caller can gate them against a baseline.
 // rounds is the measured steady-state round count (the CI default is low;
 // raise it locally for tighter numbers).
-func kernelBench(w io.Writer, seed uint64, rounds int, sizes []int, out string) error {
+func kernelBench(w io.Writer, seed uint64, rounds int, sizes []int, out string) ([]KernelBenchResult, error) {
 	var entries []KernelBenchResult
 	for _, n := range sizes {
 		for _, sub := range []string{"gossip", "swarm"} {
 			r, err := kernelBenchOne(sub, n, rounds, seed)
 			if err != nil {
-				return fmt.Errorf("kernel bench %s/n=%d: %w", sub, n, err)
+				return nil, fmt.Errorf("kernel bench %s/n=%d: %w", sub, n, err)
 			}
 			entries = append(entries, r)
 		}
@@ -73,9 +79,21 @@ func kernelBench(w io.Writer, seed uint64, rounds int, sizes []int, out string) 
 			fmt.Sprintf("%.0f", r.AllocsPerRound),
 			fmt.Sprintf("%.2f", r.BytesPerRound/1e6),
 		})
+		// Phase attribution as indented sub-rows, in tick order, so a
+		// regression is immediately localizable to the phase that moved.
+		for _, name := range swarm.PhaseOrder() {
+			ns, ok := r.Phases[name]
+			if !ok {
+				continue
+			}
+			rows = append(rows, []string{
+				"  · " + name, "", "",
+				fmt.Sprintf("%.2f", ns/1e6), "", "",
+			})
+		}
 	}
 	if _, err := io.WriteString(w, metrics.RenderRows(rows)); err != nil {
-		return err
+		return nil, err
 	}
 
 	if out != "" {
@@ -85,24 +103,27 @@ func kernelBench(w io.Writer, seed uint64, rounds int, sizes []int, out string) 
 			Entries:     entries,
 		}, "", "  ")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-			return err
+			return nil, err
 		}
 		if _, err := fmt.Fprintf(w, "wrote %s\n", out); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return entries, nil
 }
 
 // kernelBenchOne builds one model, steps it past its warmup so every pool
 // and freelist is primed, then times `rounds` steady-state rounds with the
-// allocator's counters bracketing the loop.
+// allocator's counters bracketing the loop. Substrates with phase
+// instrumentation additionally attribute the steady-state time to tick
+// phases (the profile is reset after warmup so it covers exactly the
+// measured rounds).
 func kernelBenchOne(substrate string, n, rounds int, seed uint64) (KernelBenchResult, error) {
 	buildStart := time.Now()
-	model, warmup, err := kernelBenchModel(substrate, n, rounds, seed)
+	model, warmup, prof, err := kernelBenchModel(substrate, n, rounds, seed)
 	if err != nil {
 		return KernelBenchResult{}, err
 	}
@@ -112,6 +133,9 @@ func kernelBenchOne(substrate string, n, rounds int, seed uint64) (KernelBenchRe
 		if err := model.Step(); err != nil {
 			return KernelBenchResult{}, err
 		}
+	}
+	if prof != nil {
+		prof.Reset()
 	}
 
 	runtime.GC()
@@ -126,7 +150,7 @@ func kernelBenchOne(substrate string, n, rounds int, seed uint64) (KernelBenchRe
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 
-	return KernelBenchResult{
+	r := KernelBenchResult{
 		Substrate:      substrate,
 		Nodes:          n,
 		Rounds:         rounds,
@@ -134,13 +158,21 @@ func kernelBenchOne(substrate string, n, rounds int, seed uint64) (KernelBenchRe
 		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(rounds),
 		BytesPerRound:  float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds),
 		BuildSeconds:   buildSeconds,
-	}, nil
+	}
+	if prof != nil {
+		r.Phases = make(map[string]float64, len(swarm.PhaseOrder()))
+		for name, ns := range prof.Phases() {
+			r.Phases[name] = ns / float64(rounds)
+		}
+	}
+	return r, nil
 }
 
 // kernelBenchModel builds the benchmark replicate: the same shapes the
 // gossip-1m / swarm-1m registry scenarios use, horizon stretched to cover
-// warmup plus the measured rounds.
-func kernelBenchModel(substrate string, n, rounds int, seed uint64) (sim.Model, int, error) {
+// warmup plus the measured rounds. The returned PhaseProfile is non-nil
+// only for substrates with phase instrumentation (swarm).
+func kernelBenchModel(substrate string, n, rounds int, seed uint64) (sim.Model, int, *swarm.PhaseProfile, error) {
 	switch substrate {
 	case "gossip":
 		cfg := gossip.DefaultConfig()
@@ -156,7 +188,7 @@ func kernelBenchModel(substrate string, n, rounds int, seed uint64) (sim.Model, 
 		cfg.Warmup = 0
 		adv := &attack.Strategy{Kind: attack.Ideal, Fraction: 0.02, SatiateFraction: 0.30}
 		e, err := gossip.New(cfg, seed, gossip.WithAdversary(adv))
-		return e, warmup, err
+		return e, warmup, nil, err
 	case "swarm":
 		cfg := swarm.DefaultConfig()
 		cfg.Leechers = n
@@ -166,9 +198,54 @@ func kernelBenchModel(substrate string, n, rounds int, seed uint64) (sim.Model, 
 		warmup := cfg.RotateInterval + 1
 		cfg.Ticks = warmup + rounds + 1
 		adv := &attack.Strategy{Kind: attack.Ideal, Fraction: 0.01, SatiateFraction: 0.10}
-		s, err := swarm.New(cfg, seed, swarm.WithAdversary(adv))
-		return s, warmup, err
+		prof := &swarm.PhaseProfile{}
+		s, err := swarm.New(cfg, seed, swarm.WithAdversary(adv), swarm.WithPhaseProfile(prof))
+		return s, warmup, prof, err
 	default:
-		return nil, 0, fmt.Errorf("cli: unknown kernel bench substrate %q", substrate)
+		return nil, 0, nil, fmt.Errorf("cli: unknown kernel bench substrate %q", substrate)
 	}
+}
+
+// checkKernelBaseline compares the fresh kernel bench entries against the
+// checked-in baseline file (same schema as BENCH_kernel.json) and returns
+// an error naming every (substrate, nodes) point whose ns/round regressed
+// by more than tolerance (0.25 = fail when more than 25% slower). Points
+// missing from either side are ignored, so the baseline can lag behind
+// newly added sizes. Phase attributions are informational and not gated:
+// wall-clock noise at phase granularity would make the guard flaky.
+func checkKernelBaseline(entries []KernelBenchResult, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("cli: kernel baseline: %w", err)
+	}
+	var base kernelBenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("cli: kernel baseline %s: %w", path, err)
+	}
+	type key struct {
+		substrate string
+		nodes     int
+	}
+	ref := make(map[key]float64, len(base.Entries))
+	for _, e := range base.Entries {
+		ref[key{e.Substrate, e.Nodes}] = e.NsPerRound
+	}
+	var regressions []string
+	for _, e := range entries {
+		want, ok := ref[key{e.Substrate, e.Nodes}]
+		if !ok || want <= 0 {
+			continue
+		}
+		if e.NsPerRound > want*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s/n=%d: %.2f ms/round vs baseline %.2f ms/round (%+.0f%%, limit +%.0f%%)",
+				e.Substrate, e.Nodes, e.NsPerRound/1e6, want/1e6,
+				100*(e.NsPerRound/want-1), 100*tolerance))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("cli: kernel bench regression vs %s:\n  %s",
+			path, strings.Join(regressions, "\n  "))
+	}
+	return nil
 }

@@ -216,6 +216,22 @@ func registerAutoVariants() {
 		base.Precision = &PrecisionSpec{HalfWidth: 0.01, MinReps: 2, MaxReps: 24, Batch: 4}
 		Register(base)
 	}
+
+	// The million-leecher swarm joins the adaptive family now that a
+	// replicate costs seconds rather than minutes: a sweep-less spec is a
+	// single point, so the plan just runs waves at n=10^6 until the metric
+	// CI tightens. The budget is deliberately small — each extra replicate
+	// is a full million-node run.
+	swarm1m, ok := Get("swarm-1m")
+	if !ok {
+		panic(`scenario: auto variant of unregistered "swarm-1m"`)
+	}
+	swarm1m.Name += "-auto"
+	swarm1m.Title += " (adaptive)"
+	swarm1m.Description = "adaptive twin of swarm-1m: CI-targeted replication, ±0.005 @ 95%, max 6 reps"
+	swarm1m.Replicates = 0
+	swarm1m.Precision = &PrecisionSpec{HalfWidth: 0.005, MinReps: 2, MaxReps: 6, Batch: 2}
+	Register(swarm1m)
 }
 
 // registerCrossProduct generates the attack x substrate x defense grid: every

@@ -1,0 +1,18 @@
+//go:build linux
+
+package sim
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// adviseHugePages issues MADV_HUGEPAGE for the byte range. Errors are
+// ignored: the hint is best-effort and the simulation is correct either way.
+func adviseHugePages(p unsafe.Pointer, n uintptr) {
+	if n == 0 {
+		return
+	}
+	b := unsafe.Slice((*byte)(p), n)
+	_ = syscall.Madvise(b, syscall.MADV_HUGEPAGE)
+}

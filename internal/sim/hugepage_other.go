@@ -1,0 +1,9 @@
+//go:build !linux
+
+package sim
+
+import "unsafe"
+
+// adviseHugePages is a no-op where transparent huge pages (or madvise) are
+// unavailable.
+func adviseHugePages(unsafe.Pointer, uintptr) {}

@@ -1,0 +1,29 @@
+package swarm
+
+import (
+	"testing"
+
+	"lotuseater/internal/attack"
+)
+
+// BenchmarkMillionTicks is the headline single-replicate measurement: one
+// full swarm-1m-shaped run (10^6 leechers, 32 pieces, ideal adversary) per
+// iteration, construction included. Opt-in via -bench; use
+// `-benchtime 1x -count n` for wall-clock comparisons — the run is
+// memory-latency-bound, so numbers are strongly hardware-dependent (see
+// the README's Performance section for the measured trajectory).
+func BenchmarkMillionTicks(b *testing.B) {
+	cfg := bigSwarmConfig(1_000_000)
+	cfg.Ticks = 30
+	cfg.AttackerUplink = 4096
+	adv := &attack.Strategy{Kind: attack.Ideal, Fraction: 0.01, SatiateFraction: 0.10}
+	for i := 0; i < b.N; i++ {
+		s, err := New(cfg, 11, WithAdversary(adv))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package swarm
+
+import (
+	"fmt"
+	"testing"
+
+	"lotuseater/internal/attack"
+	"lotuseater/internal/sim"
+	"lotuseater/internal/simrng"
+)
+
+// checkRarityParity asserts the incrementally maintained rarity state — every
+// node's per-piece neighbor-view counters and the global holder counts —
+// equals a from-scratch recount of the current swarm state.
+func checkRarityParity(t *testing.T, s *Sim) {
+	t.Helper()
+	row := make([]uint16, s.cfg.Pieces)
+	for v := 0; v < s.n; v++ {
+		s.recountRarityRow(v, row)
+		live := s.rarityRow(v)
+		for p := range row {
+			if live[p] != row[p] {
+				t.Fatalf("tick %d node %d piece %d: maintained rarity %d, recount %d",
+					s.tick, v, p, live[p], row[p])
+			}
+		}
+	}
+	holders := make([]int32, s.cfg.Pieces)
+	s.recountHolders(holders)
+	for p := range holders {
+		if s.holders[p] != holders[p] {
+			t.Fatalf("tick %d piece %d: maintained holders %d, recount %d",
+				s.tick, p, s.holders[p], holders[p])
+		}
+	}
+}
+
+// runWithParityChecks steps the sim to completion, validating the rarity
+// invariant at every tick boundary, and returns the Result.
+func runWithParityChecks(t *testing.T, cfg Config, seed uint64, opts ...Option) Result {
+	t.Helper()
+	s, err := New(cfg, seed, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRarityParity(t, s)
+	for !s.Finished() {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		checkRarityParity(t, s)
+	}
+	return s.finish()
+}
+
+// TestIncrementalRarityMatchesRescan is the incremental-vs-rescan parity
+// suite: for every attack kind (both the strategy layer's attack.Kind and
+// the swarm's Config.Attack targeting rules), both piece-selection
+// policies, and both evaluation paths (sequential and sharded — the
+// workers-1 vs workers-8 split on a multicore box), the delta-maintained
+// rarity counters must equal a from-scratch recount at every tick boundary.
+// The configs exercise every mutation source the deltas must cover: protocol
+// transfers, endgame pulls, attacker fills, completion departures
+// (SeedAfterComplete=false), and seed departure.
+func TestIncrementalRarityMatchesRescan(t *testing.T) {
+	base := func() Config {
+		cfg := DefaultConfig()
+		cfg.Leechers = 48
+		cfg.Pieces = 40
+		cfg.PeerSetSize = 12
+		cfg.Ticks = 150
+		cfg.SeedDepartTick = 12
+		cfg.SeedAfterComplete = false
+		return cfg
+	}
+	type advCase struct {
+		name string
+		cfg  func() Config
+		adv  func() sim.Adversary
+	}
+	cases := []advCase{
+		{"adv-none", base, nil},
+		{"adv-crash", base, func() sim.Adversary {
+			return &attack.Strategy{Kind: attack.Crash, Fraction: 0.10}
+		}},
+		{"adv-ideal", base, func() sim.Adversary {
+			return &attack.Strategy{Kind: attack.Ideal, Fraction: 0.05, SatiateFraction: 0.35}
+		}},
+		{"adv-trade", base, func() sim.Adversary {
+			return &attack.Strategy{Kind: attack.Trade, Fraction: 0.10, SatiateFraction: 0.30, RotatePeriod: 7}
+		}},
+		{"cfg-attack-top", func() Config {
+			cfg := base()
+			cfg.Attack = AttackTopUploaders
+			cfg.AttackerUplink = 12
+			cfg.AttackTargets = 4
+			return cfg
+		}, nil},
+		{"cfg-attack-rare", func() Config {
+			cfg := base()
+			cfg.Attack = AttackRarePieceHolders
+			cfg.AttackerUplink = 8
+			cfg.AttackTargets = 3
+			cfg.AttackStartTick = 4
+			cfg.AttackStopTick = 60
+			return cfg
+		}, nil},
+	}
+	for _, c := range cases {
+		for _, sel := range []Selection{SelectRandom, SelectRarestFirst} {
+			for _, par := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%v/parallel=%v", c.name, sel, par)
+				t.Run(name, func(t *testing.T) {
+					cfg := c.cfg()
+					cfg.Selection = sel
+					opts := []Option{WithEvalParallel(par)}
+					if c.adv != nil {
+						opts = append(opts, WithAdversary(c.adv()))
+					}
+					runWithParityChecks(t, cfg, 42, opts...)
+				})
+			}
+		}
+	}
+}
+
+// TestIncrementalRarityProperty is the property-test half of the parity
+// suite: random small configurations — population, piece count, peer-set
+// size, rotation, endgame, departure behavior, attack choice — each run to
+// completion with the rarity invariant recounted at every tick boundary,
+// and with the sequential and sharded evaluation paths required to agree on
+// the final Result.
+func TestIncrementalRarityProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	rng := simrng.New(2026)
+	for trial := 0; trial < 25; trial++ {
+		cfg := DefaultConfig()
+		cfg.Leechers = 10 + rng.IntN(60)
+		cfg.Pieces = 1 + rng.IntN(70)
+		cfg.UploadSlots = 1 + rng.IntN(5)
+		cfg.RotateInterval = 1 + rng.IntN(5)
+		cfg.PeerSetSize = 2 + rng.IntN(14)
+		cfg.Ticks = 40 + rng.IntN(120)
+		cfg.Selection = SelectRandom
+		if rng.Bool(0.5) {
+			cfg.Selection = SelectRarestFirst
+		}
+		cfg.RandomFirstCount = rng.IntN(4)
+		cfg.Endgame = rng.Bool(0.7)
+		cfg.EndgameThreshold = 1 + rng.IntN(4)
+		if rng.Bool(0.5) {
+			cfg.SeedDepartTick = 1 + rng.IntN(30)
+		}
+		cfg.SeedAfterComplete = rng.Bool(0.5)
+
+		var mkAdv func() sim.Adversary
+		switch rng.IntN(6) {
+		case 1:
+			cfg.Attack = AttackTopUploaders
+			cfg.AttackerUplink = 1 + rng.IntN(16)
+			cfg.AttackTargets = 1 + rng.IntN(5)
+			cfg.AttackStartTick = rng.IntN(10)
+		case 2:
+			cfg.Attack = AttackRarePieceHolders
+			cfg.AttackerUplink = 1 + rng.IntN(16)
+			cfg.AttackTargets = 1 + rng.IntN(5)
+			cfg.AttackStartTick = rng.IntN(10)
+			cfg.AttackStopTick = cfg.AttackStartTick + 20 + rng.IntN(40)
+		case 3:
+			mkAdv = func() sim.Adversary {
+				return &attack.Strategy{Kind: attack.Crash, Fraction: 0.15}
+			}
+		case 4:
+			mkAdv = func() sim.Adversary {
+				return &attack.Strategy{Kind: attack.Ideal, Fraction: 0.08, SatiateFraction: 0.4}
+			}
+		case 5:
+			// Drawn outside the closure: mkAdv runs once per evaluation
+			// path, and both paths must face the identical adversary.
+			rotate := 1 + rng.IntN(8)
+			mkAdv = func() sim.Adversary {
+				return &attack.Strategy{Kind: attack.Trade, Fraction: 0.12, SatiateFraction: 0.3, RotatePeriod: rotate}
+			}
+		}
+		seed := rng.Uint64()
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			var results [2]Result
+			for i, par := range []bool{false, true} {
+				opts := []Option{WithEvalParallel(par)}
+				if mkAdv != nil {
+					opts = append(opts, WithAdversary(mkAdv()))
+				}
+				results[i] = runWithParityChecks(t, cfg, seed, opts...)
+			}
+			if results[0] != results[1] {
+				t.Fatalf("sharded evaluation diverged from sequential:\n%+v\nvs\n%+v", results[0], results[1])
+			}
+		})
+	}
+}

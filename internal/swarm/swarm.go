@@ -17,14 +17,46 @@
 // pluggable selection policy (random, random-first + rarest-first). A
 // simplified endgame mode lets nearly finished leechers pull their last
 // pieces from any peer-set member holding them.
+//
+// # Performance architecture
+//
+// The hot loop is built for million-leecher populations around three
+// mechanically independent optimizations, each pinned bit-identical to the
+// straightforward implementation by the parity and golden suites:
+//
+//   - Incremental rarity. Every node's local piece-rarity view (how many of
+//     its non-departed neighbors hold each piece) and the global per-piece
+//     holder count are maintained as counters updated on piece-gain and
+//     departure deltas — O(degree) per transferred piece — instead of being
+//     rescanned from neighbor bitsets every tick (O(degree·pieces) per
+//     receiver per tick). See gainPiece, departNode, and the tick-tagged
+//     snapshot in snapFor that reproduces the rescan's lazy per-tick
+//     semantics exactly.
+//
+//   - Struct-of-arrays agent layout. Piece bitsets are raw words in one
+//     contiguous arena (no per-node set headers to chase on random probes),
+//     the peer graph is flattened into int32 adjacency and reverse-position
+//     arrays indexed by degree prefix sums, all per-node ragged state
+//     (window reciprocation counts, interested lists, unchoke sets) lives
+//     in packed backing arrays, and the reciprocation ranking uses an
+//     allocation-free bounded sort — so the score and transfer passes are
+//     linear scans over packed memory with no per-node heap objects.
+//
+//   - Sharded pure-read passes. Unchoke scoring, the endgame and lifecycle
+//     candidate scans, and the initial rarity build are pure reads of swarm
+//     state and run on sim.ParallelFor for large populations; every
+//     RNG-consuming or state-mutating pass stays sequential in node order,
+//     so results are bit-identical for any worker count.
 package swarm
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"slices"
 	"sort"
+	"time"
 
-	"lotuseater/internal/bitset"
 	"lotuseater/internal/graph"
 	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
@@ -258,49 +290,101 @@ type Sim struct {
 	advUplink  int
 	isAttacker []bool
 
-	n         int // leechers + 1 initial seed (node n-1)
-	seedID    int
-	pieces    []*bitset.Set
+	n      int // leechers + 1 initial seed (node n-1)
+	seedID int
+
+	// Struct-of-arrays agent layout. adjOff holds degree prefix sums over
+	// the (sorted) peer graph: node v's peer-set slots occupy
+	// [adjOff[v], adjOff[v+1]) of every adjacency-shaped packed array, and
+	// within that window index k refers to v's k-th neighbor. adjFlat is
+	// the flattened adjacency itself; revPos[adjOff[v]+k] is v's own
+	// position in that k-th neighbor's peer set, precomputed so the
+	// transfer pass bumps the receiver's reciprocation counter without a
+	// binary search. Keying reciprocation state by peer-set position keeps
+	// it O(n·degree), not O(n²), and flattening the ragged per-node slices
+	// into single backing arrays makes the hot passes linear scans over
+	// packed memory.
+	adjOff  []int
+	adjFlat []int32
+	revPos  []int32
+
+	// Piece bitsets as raw words: node v's holdings are the wpn words at
+	// pieceWords[v*wpn], and pieceCnt[v] counts them. Raw words instead of
+	// per-node set objects matter on the random probes the score and
+	// transfer passes make — one load per probe instead of a header chase —
+	// and keep the whole swarm's holdings in one contiguous arena.
+	pieceWords []uint64
+	pieceCnt   []int32
+	wpn        int // words per node: ceil(Pieces / 64)
+
 	nodeState []state
 	finished  []int // tick completed, -1 otherwise
-	// recvCnt[v][k] counts pieces v received this unchoke window from its
-	// k-th peer (aligned with peers.AdjList(v)). Keying by peer-set position
-	// instead of node id keeps reciprocation state O(n·degree), not O(n²) —
-	// the representation that makes million-leecher swarms possible.
-	recvCnt  [][]int32
-	uploaded []int   // total pieces uploaded, per node
-	fromAtk  []int   // pieces received from the attacker, per node
-	unchoked [][]int // sender -> receivers; backing arrays reused per window
+	// recvCnt[adjOff[v]+k] counts pieces v received this unchoke window
+	// from its k-th peer.
+	recvCnt  []int32
+	uploaded []int // total pieces uploaded, per node
+	fromAtk  []int // pieces received from the attacker, per node
 
-	// interested[v] is per-node scratch for unchoke recomputation: the
-	// peer-set positions of v's interested leechers, ranked for leechers.
-	// Building it is a pure read of swarm state, so large populations shard
-	// it across the worker pool (see WithEvalParallel).
-	interested [][]int32
-	// countsBuf[v] caches v's local piece-rarity view; countsTick tags the
-	// tick it was computed for, reproducing the lazy per-tick snapshot the
-	// map-based implementation took without reallocating it every tick.
-	countsBuf  [][]uint16
-	countsTick []int32
-	permBuf    []int
-	candBuf    []int // selectPiece candidate scratch (transfers run sequentially)
+	// interested[adjOff[v] : adjOff[v]+intCnt[v]] is v's unchoke-scoring
+	// output: the peer-set positions of v's interested leechers, ranked by
+	// reciprocation for leechers. Building it is a pure read of swarm
+	// state, so large populations shard it across the worker pool (see
+	// WithEvalParallel).
+	interested []int32
+	intCnt     []int32
+	// unchoked[v*slotStride : v*slotStride+unchokedCnt[v]] holds the
+	// peer-set positions v currently unchokes. slotStride is
+	// min(UploadSlots, max degree), the tight per-node bound.
+	unchoked    []int32
+	unchokedCnt []int32
+	slotStride  int
 
-	// evalParallel > 0 forces sharded peer scoring, < 0 forces sequential,
-	// 0 picks by population size.
+	// Incremental rarity state. rarity[v*Pieces+p] is the number of v's
+	// non-departed neighbors holding piece p, and holders[p] the number of
+	// present nodes holding p — both maintained by piece-gain and
+	// departure deltas (gainPiece, departNode) instead of per-tick
+	// rescans. snap/snapTick implement the per-receiver per-tick snapshot
+	// the transfer pass reads (see snapFor): rarity judged from the local
+	// view a receiver froze at its first transfer of the tick, exactly the
+	// lazy semantics of the rescan implementation.
+	rarity   []uint16
+	snap     []uint16
+	snapTick []int32
+	holders  []int32
+
+	// leeching counts nodes in [0, Leechers) still in stateLeeching, so
+	// the done check is O(1) instead of an O(n) scan per tick.
+	leeching int
+
+	permBuf   []int
+	missBuf   []int // pooled missing-piece scratch for attack/endgame fills
+	targetBuf []int // pickTargets candidate scratch
+	rareScore []int32
+	// scanBuf and shardBufs back scanLeechers, the sharded pure-read
+	// candidate scan the endgame and lifecycle passes run.
+	scanBuf   []int32
+	shardBufs [][]int32
+
+	// evalParallel > 0 forces sharded pure-read passes, < 0 forces
+	// sequential, 0 picks by population size.
 	evalParallel int
+
+	prof *PhaseProfile
 
 	tick int
 	res  Result
 }
 
-// evalParallelMinNodes is the population size at which unchoke scoring
-// shards across the worker pool by default.
+// evalParallelMinNodes is the population size at which the pure-read passes
+// (unchoke scoring, the endgame/lifecycle candidate scans, the initial
+// rarity build) shard across the worker pool by default.
 const evalParallelMinNodes = 1 << 15
 
-// WithEvalParallel forces the peer-scoring pass of unchoke recomputation —
-// a pure read of swarm state — on or off the sharded sim.ParallelFor path.
-// Results are bit-identical either way (tested); by default sharding engages
-// for populations of evalParallelMinNodes and up.
+// WithEvalParallel forces the pure-read passes — unchoke scoring, the
+// endgame and lifecycle candidate scans, the initial rarity build — on or
+// off the sharded sim.ParallelFor path. Results are bit-identical either
+// way (tested); by default sharding engages for populations of
+// evalParallelMinNodes and up.
 func WithEvalParallel(on bool) Option {
 	return func(s *Sim) {
 		if on {
@@ -311,6 +395,11 @@ func WithEvalParallel(on bool) Option {
 	}
 }
 
+// sharded reports whether the pure-read passes run on the worker pool.
+func (s *Sim) sharded() bool {
+	return s.evalParallel > 0 || (s.evalParallel == 0 && s.n >= evalParallelMinNodes)
+}
+
 // New builds a Sim, deterministic in (cfg, seed). Node ids 0..Leechers-1
 // are leechers; node Leechers is the initial seed.
 func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
@@ -319,20 +408,14 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 	}
 	n := cfg.Leechers + 1
 	s := &Sim{
-		cfg:        cfg,
-		rng:        simrng.New(seed),
-		n:          n,
-		seedID:     n - 1,
-		pieces:     make([]*bitset.Set, n),
-		nodeState:  make([]state, n),
-		finished:   make([]int, n),
-		recvCnt:    make([][]int32, n),
-		uploaded:   make([]int, n),
-		fromAtk:    make([]int, n),
-		unchoked:   make([][]int, n),
-		interested: make([][]int32, n),
-		countsBuf:  make([][]uint16, n),
-		countsTick: make([]int32, n),
+		cfg:       cfg,
+		rng:       simrng.New(seed),
+		n:         n,
+		seedID:    n - 1,
+		nodeState: make([]state, n),
+		finished:  make([]int, n),
+		uploaded:  make([]int, n),
+		fromAtk:   make([]int, n),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -345,14 +428,75 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 		deg = 1
 	}
 	s.peers = graph.RandomRegularish(n, deg, s.rng.Child("peers"))
+
+	// Freeze the packed layout: degree prefix sums, the flat int32
+	// adjacency, adjacency-shaped per-node arrays, the piece-word arena,
+	// and the rarity counters.
+	s.adjOff = make([]int, n+1)
+	sim.AdviseHugePages(s.adjOff)
+	maxDeg := 0
 	for v := 0; v < n; v++ {
-		s.pieces[v] = bitset.New(cfg.Pieces)
+		d := len(s.peers.AdjList(v))
+		if d > maxDeg {
+			maxDeg = d
+		}
+		s.adjOff[v+1] = s.adjOff[v] + d
+	}
+	total := s.adjOff[n]
+	s.adjFlat = make([]int32, total)
+	// Advise before first touch: with THP in madvise mode the kernel only
+	// installs 2MB pages on fault, so the hint must precede the fill.
+	sim.AdviseHugePages(s.adjFlat)
+	for v := 0; v < n; v++ {
+		base := s.adjOff[v]
+		for k, w := range s.peers.AdjList(v) {
+			s.adjFlat[base+k] = int32(w)
+		}
+	}
+	s.revPos = make([]int32, total)
+	s.recvCnt = make([]int32, total)
+	s.interested = make([]int32, total)
+	s.intCnt = make([]int32, n)
+	s.slotStride = cfg.UploadSlots
+	if s.slotStride > maxDeg {
+		// A node can never unchoke more peers than it has, so the packed
+		// unchoke array only needs min(UploadSlots, max degree) slots each.
+		s.slotStride = maxDeg
+	}
+	if s.slotStride < 1 {
+		s.slotStride = 1
+	}
+	s.unchoked = make([]int32, n*s.slotStride)
+	s.unchokedCnt = make([]int32, n)
+	s.wpn = (cfg.Pieces + 63) / 64
+	s.pieceWords = make([]uint64, n*s.wpn)
+	s.pieceCnt = make([]int32, n)
+	s.rarity = make([]uint16, n*cfg.Pieces)
+	s.snap = make([]uint16, n*cfg.Pieces)
+	s.snapTick = make([]int32, n)
+	s.holders = make([]int32, cfg.Pieces)
+	// The rarity increments, piece-word probes, and reciprocation bumps hit
+	// these arenas at random node offsets; at million-node scale that is a
+	// TLB walk per probe on 4K pages, which serializes ahead of the cache
+	// miss itself. Huge pages make the walks free (hint only — results are
+	// identical without it).
+	sim.AdviseHugePages(s.rarity)
+	sim.AdviseHugePages(s.snap)
+	sim.AdviseHugePages(s.pieceWords)
+	sim.AdviseHugePages(s.pieceCnt)
+	sim.AdviseHugePages(s.revPos)
+	sim.AdviseHugePages(s.recvCnt)
+	sim.AdviseHugePages(s.interested)
+	sim.AdviseHugePages(s.nodeState)
+	sim.AdviseHugePages(s.snapTick)
+	sim.AdviseHugePages(s.unchoked)
+
+	for v := 0; v < n; v++ {
 		s.nodeState[v] = stateLeeching
 		s.finished[v] = -1
-		s.recvCnt[v] = make([]int32, len(s.peers.AdjList(v)))
-		s.countsTick[v] = -1
+		s.snapTick[v] = -1
 	}
-	s.pieces[s.seedID].Fill()
+	s.fillPieces(s.seedID)
 	s.nodeState[s.seedID] = stateSeeding
 	s.finished[s.seedID] = 0
 	if s.adv != nil {
@@ -371,7 +515,7 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 			s.finished[a] = 0
 			if s.advTrades {
 				// Trade attackers hold the full file and seed selectively.
-				s.pieces[a].Fill()
+				s.fillPieces(a)
 				s.nodeState[a] = stateSeeding
 			} else {
 				// Crash and ideal attacker nodes leave the protocol: no
@@ -380,7 +524,203 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 			}
 		}
 	}
+	if cfg.Attack == AttackRarePieceHolders {
+		s.rareScore = make([]int32, n)
+	}
+	for v := 0; v < cfg.Leechers; v++ {
+		if s.nodeState[v] == stateLeeching {
+			s.leeching++
+		}
+	}
+	// The reverse-position table and the initial rarity rows are pure
+	// reads of frozen structure; both build sharded for large populations.
+	buildRev := func(start, end int) {
+		for v := start; v < end; v++ {
+			for e := s.adjOff[v]; e < s.adjOff[v+1]; e++ {
+				s.revPos[e] = int32(s.posIn(int(s.adjFlat[e]), v))
+			}
+		}
+	}
+	if s.sharded() {
+		sim.ParallelFor(s.n, 0, func(_, start, end int) { buildRev(start, end) })
+	} else {
+		buildRev(0, s.n)
+	}
+	s.rebuildRarity()
 	return s, nil
+}
+
+// posIn returns the position of node u in v's sorted peer set, or -1.
+func (s *Sim) posIn(v, u int) int {
+	lo, hi := s.adjOff[v], s.adjOff[v+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(s.adjFlat[mid]) < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < s.adjOff[v+1] && int(s.adjFlat[lo]) == u {
+		return lo - s.adjOff[v]
+	}
+	return -1
+}
+
+// adj returns v's packed neighbor window of the flat adjacency.
+func (s *Sim) adj(v int) []int32 {
+	return s.adjFlat[s.adjOff[v]:s.adjOff[v+1]]
+}
+
+// hasPiece reports whether v holds p.
+func (s *Sim) hasPiece(v, p int) bool {
+	return s.pieceWords[v*s.wpn+p>>6]&(1<<(uint(p)&63)) != 0
+}
+
+// pieceLen returns how many pieces v holds.
+func (s *Sim) pieceLen(v int) int { return int(s.pieceCnt[v]) }
+
+// fillPieces gives v the complete file.
+func (s *Sim) fillPieces(v int) {
+	base := v * s.wpn
+	for i := 0; i < s.wpn; i++ {
+		s.pieceWords[base+i] = ^uint64(0)
+	}
+	if rem := s.cfg.Pieces % 64; rem != 0 {
+		s.pieceWords[base+s.wpn-1] = (1 << rem) - 1
+	}
+	s.pieceCnt[v] = int32(s.cfg.Pieces)
+}
+
+// forEachPiece calls fn for every piece v holds, in ascending order.
+func (s *Sim) forEachPiece(v int, fn func(p int)) {
+	base := v * s.wpn
+	for i := 0; i < s.wpn; i++ {
+		w := s.pieceWords[base+i]
+		for w != 0 {
+			fn(i*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// appendMissing appends the pieces v lacks to buf in ascending order.
+func (s *Sim) appendMissing(v int, buf []int) []int {
+	base := v * s.wpn
+	P := s.cfg.Pieces
+	for i := 0; i < s.wpn; i++ {
+		w := ^s.pieceWords[base+i]
+		wordBase := i * 64
+		for w != 0 {
+			p := wordBase + bits.TrailingZeros64(w)
+			if p >= P {
+				break
+			}
+			buf = append(buf, p)
+			w &= w - 1
+		}
+	}
+	return buf
+}
+
+// rebuildRarity recomputes every rarity row and the global holder counters
+// from scratch, establishing the invariant the incremental deltas maintain.
+// The per-node rows are a pure read of neighbor state, so the build shards
+// across the worker pool for large populations.
+func (s *Sim) rebuildRarity() {
+	rebuild := func(start, end int) {
+		for v := start; v < end; v++ {
+			s.recountRarityRow(v, s.rarityRow(v))
+		}
+	}
+	if s.sharded() {
+		sim.ParallelFor(s.n, 0, func(_, start, end int) { rebuild(start, end) })
+	} else {
+		rebuild(0, s.n)
+	}
+	s.recountHolders(s.holders)
+}
+
+// rarityRow returns v's live rarity counter row.
+func (s *Sim) rarityRow(v int) []uint16 {
+	P := s.cfg.Pieces
+	return s.rarity[v*P : (v+1)*P]
+}
+
+// recountRarityRow writes a from-scratch recount of v's local rarity view —
+// per piece, the number of v's non-departed neighbors holding it — into
+// dst. This is the reference implementation the incremental counters are
+// parity-tested against; the hot path never calls it after construction.
+func (s *Sim) recountRarityRow(v int, dst []uint16) {
+	clear(dst)
+	for _, nb := range s.adj(v) {
+		if s.nodeState[nb] == stateDeparted {
+			continue
+		}
+		s.forEachPiece(int(nb), func(p int) { dst[p]++ })
+	}
+}
+
+// recountHolders writes a from-scratch recount of the global per-piece
+// present-holder counts into dst — the reference for the maintained holders
+// array.
+func (s *Sim) recountHolders(dst []int32) {
+	clear(dst)
+	for v := 0; v < s.n; v++ {
+		if s.nodeState[v] == stateDeparted {
+			continue
+		}
+		s.forEachPiece(v, func(p int) { dst[p]++ })
+	}
+}
+
+// gainPiece records node v gaining piece p, maintaining the incremental
+// rarity state: the global holder count and the cached local view of every
+// neighbor of v. This is the swarm's unit of work — O(degree) counter
+// bumps per piece gained, replacing the per-receiver per-tick
+// O(degree·pieces) bitset rescans that dominated large runs.
+//
+// The loop bumps every neighbor's row unconditionally, including rows of
+// neighbors that already completed or departed and whose rows can never be
+// read again (snapshots are only taken for leeching transfer receivers).
+// Skipping dead rows via an L2-resident liveness bitmap was tried and
+// measured SLOWER at n=10^6 even with 97% of rows dead: the probe adds a
+// dependent load and a data-dependent branch to every visit, while the
+// "wasted" counter bumps overlap each other through memory-level
+// parallelism. Write-only garbage is cheaper than a mispredicted skip.
+func (s *Sim) gainPiece(v, p int) {
+	wi := v*s.wpn + p>>6
+	m := uint64(1) << (uint(p) & 63)
+	if s.pieceWords[wi]&m != 0 {
+		return
+	}
+	s.pieceWords[wi] |= m
+	s.pieceCnt[v]++
+	s.holders[p]++
+	P := s.cfg.Pieces
+	r := s.rarity
+	for _, w := range s.adj(v) {
+		r[int(w)*P+p]++
+	}
+}
+
+// departNode transitions v to departed, subtracting its holdings from the
+// global holder counts and from every neighbor's rarity view exactly once.
+// Departed nodes never gain pieces, so no further maintenance is needed.
+func (s *Sim) departNode(v int) {
+	if s.nodeState[v] == stateDeparted {
+		return
+	}
+	s.nodeState[v] = stateDeparted
+	P := s.cfg.Pieces
+	adj := s.adj(v)
+	r := s.rarity
+	s.forEachPiece(v, func(p int) {
+		s.holders[p]--
+		for _, w := range adj {
+			r[int(w)*P+p]--
+		}
+	})
 }
 
 // Tick returns the next tick to simulate.
@@ -398,19 +738,10 @@ func (s *Sim) Run() (Result, error) {
 
 // Finished reports whether the horizon has been reached or every leecher
 // has left the leeching state (nothing further can change).
-func (s *Sim) Finished() bool { return s.tick >= s.cfg.Ticks || s.allDone() }
+func (s *Sim) Finished() bool { return s.tick >= s.cfg.Ticks || s.leeching == 0 }
 
 // Snapshot returns the Result summarizing the run so far.
 func (s *Sim) Snapshot() (any, error) { return s.finish(), nil }
-
-func (s *Sim) allDone() bool {
-	for v := 0; v < s.cfg.Leechers; v++ {
-		if s.nodeState[v] == stateLeeching {
-			return false
-		}
-	}
-	return true
-}
 
 // Step simulates one tick.
 func (s *Sim) Step() error {
@@ -419,20 +750,23 @@ func (s *Sim) Step() error {
 	}
 	if s.cfg.Attack != AttackOff && s.tick >= s.cfg.AttackStartTick &&
 		(s.cfg.AttackStopTick == 0 || s.tick < s.cfg.AttackStopTick) {
-		s.attackStep()
+		s.runPhase(phaseAttack, s.attackStep)
 	}
 	if s.adv != nil && s.advInstant && s.tick >= s.cfg.AttackStartTick &&
 		(s.cfg.AttackStopTick == 0 || s.tick < s.cfg.AttackStopTick) {
-		s.advSatiateStep()
+		s.runPhase(phaseAttack, s.advSatiateStep)
 	}
 	if s.tick%s.cfg.RotateInterval == 0 {
 		s.recomputeUnchokes()
 	}
-	s.transferStep()
+	s.runPhase(phaseTransfer, s.transferStep)
 	if s.cfg.Endgame {
-		s.endgameStep()
+		s.runPhase(phaseEndgame, s.endgameStep)
 	}
-	s.lifecycleStep()
+	s.runPhase(phaseLifecycle, s.lifecycleStep)
+	if s.prof != nil {
+		s.prof.Ticks++
+	}
 	s.tick++
 	return nil
 }
@@ -446,7 +780,8 @@ func (s *Sim) attackStep() {
 		if budget == 0 {
 			break
 		}
-		missing := s.pieces[t].Missing()
+		missing := s.appendMissing(t, s.missBuf[:0])
+		s.missBuf = missing
 		for _, p := range missing {
 			if budget == 0 {
 				break
@@ -454,7 +789,7 @@ func (s *Sim) attackStep() {
 			if s.def != nil && s.def.Admit(s.tick, -1, t, 1) == 0 {
 				break
 			}
-			s.pieces[t].Add(p)
+			s.gainPiece(t, p)
 			s.fromAtk[t]++
 			s.res.AttackerUploaded++
 			budget--
@@ -476,14 +811,16 @@ func (s *Sim) advSatiateStep() {
 		if t >= s.cfg.Leechers || s.isAttacker[t] || s.nodeState[t] != stateLeeching {
 			continue
 		}
-		for _, p := range s.pieces[t].Missing() {
+		missing := s.appendMissing(t, s.missBuf[:0])
+		s.missBuf = missing
+		for _, p := range missing {
 			if budget == 0 {
 				break
 			}
 			if s.def != nil && s.def.Admit(s.tick, -1, t, 1) == 0 {
 				break // this target's per-tick acceptance is exhausted
 			}
-			s.pieces[t].Add(p)
+			s.gainPiece(t, p)
 			s.fromAtk[t]++
 			s.res.AttackerUploaded++
 			budget--
@@ -491,54 +828,49 @@ func (s *Sim) advSatiateStep() {
 	}
 }
 
-// peerPos returns the position of p in v's sorted peer set, or -1. Peer-set
-// positions index recvCnt and interested.
-func (s *Sim) peerPos(v, p int) int {
-	adj := s.peers.AdjList(v)
-	i := sort.SearchInts(adj, p)
-	if i < len(adj) && adj[i] == p {
-		return i
-	}
-	return -1
-}
-
 // pickTargets returns the AttackTargets leechers the adversary focuses on.
 func (s *Sim) pickTargets() []int {
-	var cands []int
+	cands := s.targetBuf[:0]
 	for v := 0; v < s.cfg.Leechers; v++ {
 		if s.nodeState[v] == stateLeeching {
 			cands = append(cands, v)
 		}
 	}
+	s.targetBuf = cands
 	if len(cands) == 0 {
 		return nil
 	}
+	// Both orderings are strict total orders (ties broken by node id), so
+	// the sorted result is algorithm-independent and any correct sort
+	// reproduces the historical sort.Slice output exactly.
 	switch s.cfg.Attack {
 	case AttackTopUploaders:
-		sort.Slice(cands, func(a, b int) bool {
-			if s.uploaded[cands[a]] != s.uploaded[cands[b]] {
-				return s.uploaded[cands[a]] > s.uploaded[cands[b]]
+		slices.SortFunc(cands, func(a, b int) int {
+			if s.uploaded[a] != s.uploaded[b] {
+				if s.uploaded[a] > s.uploaded[b] {
+					return -1
+				}
+				return 1
 			}
-			return cands[a] < cands[b]
+			return a - b
 		})
 	case AttackRarePieceHolders:
-		rarity := s.pieceHolderCounts()
-		score := func(v int) int {
-			// Lower is rarer: the node's rarest held piece.
-			best := s.n + 1
-			s.pieces[v].ForEach(func(p int) {
-				if rarity[p] < best {
-					best = rarity[p]
+		// Lower is rarer: score each candidate by its rarest held piece,
+		// judged from the maintained global holder counts.
+		for _, v := range cands {
+			best := int32(s.n + 1)
+			s.forEachPiece(v, func(p int) {
+				if s.holders[p] < best {
+					best = s.holders[p]
 				}
 			})
-			return best
+			s.rareScore[v] = best
 		}
-		sort.Slice(cands, func(a, b int) bool {
-			sa, sb := score(cands[a]), score(cands[b])
-			if sa != sb {
-				return sa < sb
+		slices.SortFunc(cands, func(a, b int) int {
+			if s.rareScore[a] != s.rareScore[b] {
+				return int(s.rareScore[a] - s.rareScore[b])
 			}
-			return cands[a] < cands[b]
+			return a - b
 		})
 	default:
 		return nil
@@ -547,19 +879,6 @@ func (s *Sim) pickTargets() []int {
 		cands = cands[:s.cfg.AttackTargets]
 	}
 	return cands
-}
-
-// pieceHolderCounts returns, per piece, the number of present nodes holding
-// it.
-func (s *Sim) pieceHolderCounts() []int {
-	counts := make([]int, s.cfg.Pieces)
-	for v := 0; v < s.n; v++ {
-		if s.nodeState[v] == stateDeparted {
-			continue
-		}
-		s.pieces[v].ForEach(func(p int) { counts[p]++ })
-	}
-	return counts
 }
 
 // recomputeUnchokes rebuilds every node's unchoke set: top reciprocators by
@@ -580,85 +899,157 @@ func (s *Sim) recomputeUnchokes() {
 	}
 	score := func(start, end int) {
 		for v := start; v < end; v++ {
-			list := s.interested[v][:0]
+			base := s.adjOff[v]
+			cnt := 0
 			if s.nodeState[v] != stateDeparted {
-				for k, p := range s.peers.AdjList(v) {
+				isAtk := s.isAttacker != nil && s.isAttacker[v]
+				for k, pp := range s.adj(v) {
+					p := int(pp)
 					if s.nodeState[p] != stateLeeching {
 						continue
 					}
 					// A trade attacker unchokes only its satiation targets.
-					if s.isAttacker != nil && s.isAttacker[v] && !s.adv.OnExchange(s.tick, v, p) {
+					if isAtk && !s.adv.OnExchange(s.tick, v, p) {
 						continue
 					}
 					if s.hasPieceFor(v, p) {
-						list = append(list, int32(k))
+						s.interested[base+cnt] = int32(k)
+						cnt++
 					}
 				}
-				if s.nodeState[v] == stateLeeching && len(list) > 1 {
-					// Rank by pieces received from the peer in the window;
-					// ties break toward the lower node id (= lower peer-set
-					// position, since peer sets are sorted).
-					cnt := s.recvCnt[v]
-					sort.Slice(list, func(a, b int) bool {
-						ra, rb := cnt[list[a]], cnt[list[b]]
-						if ra != rb {
-							return ra > rb
-						}
-						return list[a] < list[b]
-					})
+				if s.nodeState[v] == stateLeeching && cnt > 1 {
+					sortByRecv(s.interested[base:base+cnt], s.recvCnt[base:s.adjOff[v+1]])
 				}
 			}
-			s.interested[v] = list
+			s.intCnt[v] = int32(cnt)
 		}
 	}
-	if s.evalParallel > 0 || (s.evalParallel == 0 && s.n >= evalParallelMinNodes) {
-		sim.ParallelFor(s.n, 0, func(_, start, end int) { score(start, end) })
-	} else {
-		score(0, s.n)
-	}
+	s.runPhase(phaseUnchokeScore, func() {
+		if s.sharded() {
+			sim.ParallelFor(s.n, 0, func(_, start, end int) { score(start, end) })
+		} else {
+			score(0, s.n)
+		}
+	})
 
-	rng := s.rng.ChildN("unchoke", s.tick)
-	for v := 0; v < s.n; v++ {
-		adj := s.peers.AdjList(v)
-		interested := s.interested[v]
-		chosen := s.unchoked[v][:0]
-		if s.nodeState[v] == stateDeparted || len(interested) == 0 {
-			s.unchoked[v] = chosen
-			continue
-		}
-		slots := s.cfg.UploadSlots
-		if s.nodeState[v] == stateSeeding {
-			// Seeds have no reciprocation signal; rotate randomly.
-			rng.Shuffle(len(interested), func(a, b int) {
-				interested[a], interested[b] = interested[b], interested[a]
-			})
-			take := min(len(interested), slots)
-			for _, k := range interested[:take] {
-				chosen = append(chosen, adj[k])
+	s.runPhase(phaseUnchokeSelect, func() {
+		rng := s.rng.ChildN("unchoke", s.tick)
+		for v := 0; v < s.n; v++ {
+			base := s.adjOff[v]
+			interested := s.interested[base : base+int(s.intCnt[v])]
+			ubase := v * s.slotStride
+			ucnt := 0
+			if s.nodeState[v] == stateDeparted || len(interested) == 0 {
+				s.unchokedCnt[v] = 0
+				continue
 			}
-			s.unchoked[v] = chosen
-			continue
+			slots := s.cfg.UploadSlots
+			if s.nodeState[v] == stateSeeding {
+				// Seeds have no reciprocation signal; rotate randomly.
+				rng.Shuffle(len(interested), func(a, b int) {
+					interested[a], interested[b] = interested[b], interested[a]
+				})
+				take := min(len(interested), slots)
+				copy(s.unchoked[ubase:ubase+take], interested[:take])
+				s.unchokedCnt[v] = int32(take)
+				continue
+			}
+			regular := slots - 1
+			if regular > len(interested) {
+				regular = len(interested)
+			}
+			copy(s.unchoked[ubase:ubase+regular], interested[:regular])
+			ucnt = regular
+			if rest := interested[regular:]; len(rest) > 0 {
+				s.unchoked[ubase+ucnt] = rest[rng.IntN(len(rest))] // optimistic
+				ucnt++
+			}
+			s.unchokedCnt[v] = int32(ucnt)
 		}
-		regular := slots - 1
-		if regular > len(interested) {
-			regular = len(interested)
-		}
-		for _, k := range interested[:regular] {
-			chosen = append(chosen, adj[k])
-		}
-		if rest := interested[regular:]; len(rest) > 0 {
-			chosen = append(chosen, adj[rest[rng.IntN(len(rest))]]) // optimistic
-		}
-		s.unchoked[v] = chosen
+		clear(s.recvCnt)
+	})
+}
+
+// sortByRecv orders list — peer-set positions, all distinct — by pieces
+// received in the window (recv, indexed by position) descending, ties
+// toward the lower position. The keys form a strict total order, so the
+// result is exactly what any comparison sort (including the historical
+// sort.Slice) produces. Interested lists are degree-bounded and usually
+// short, so a branch-light insertion sort beats a general sort without
+// allocating; genuinely wide lists fall back to slices.SortFunc, which is
+// also allocation-free.
+func sortByRecv(list []int32, recv []int32) {
+	if len(list) > 48 {
+		slices.SortFunc(list, func(a, b int32) int {
+			ra, rb := recv[a], recv[b]
+			if ra != rb {
+				if ra > rb {
+					return -1
+				}
+				return 1
+			}
+			return int(a - b)
+		})
+		return
 	}
-	for v := 0; v < s.n; v++ {
-		clear(s.recvCnt[v])
+	for i := 1; i < len(list); i++ {
+		x := list[i]
+		rx := recv[x]
+		j := i
+		for j > 0 {
+			y := list[j-1]
+			ry := recv[y]
+			if ry > rx || (ry == rx && y < x) {
+				break
+			}
+			list[j] = y
+			j--
+		}
+		list[j] = x
 	}
 }
 
 // hasPieceFor reports whether v holds any piece that p lacks.
 func (s *Sim) hasPieceFor(v, p int) bool {
-	return s.pieces[v].HasDiff(s.pieces[p])
+	if int(s.pieceCnt[v]) == s.cfg.Pieces {
+		// Full nodes (seeds, trade attackers) interest exactly the
+		// non-full — no word scan needed.
+		return int(s.pieceCnt[p]) != s.cfg.Pieces
+	}
+	W := s.wpn
+	vb := s.pieceWords[v*W : v*W+W]
+	pb := s.pieceWords[p*W : p*W+W]
+	for i, w := range vb {
+		if w&^pb[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// snapFor returns receiver v's piece-rarity view for the current tick.
+// Rarity is judged from each receiver's local peer-set view, as in
+// BitTorrent: a global snapshot would make every receiver chase the same
+// piece each tick (herding), destroying the diversity the policy exists to
+// create. The view a receiver takes at its first transfer of the tick is
+// frozen for the rest of the tick — the semantics the rescan implementation
+// had — by copying the live counter row once per receiver per tick: O(Pieces)
+// instead of the rescan's O(degree·pieces).
+func (s *Sim) snapFor(v int) []uint16 {
+	P := s.cfg.Pieces
+	row := s.snap[v*P : (v+1)*P]
+	if s.snapTick[v] == int32(s.tick) {
+		return row
+	}
+	if s.prof != nil {
+		t := time.Now()
+		copy(row, s.rarity[v*P:(v+1)*P])
+		s.prof.d[phaseRarity] += time.Since(t)
+	} else {
+		copy(row, s.rarity[v*P:(v+1)*P])
+	}
+	s.snapTick[v] = int32(s.tick)
+	return row
 }
 
 // transferStep moves one piece along every unchoked, interested link.
@@ -666,104 +1057,185 @@ func (s *Sim) transferStep() {
 	rng := s.rng.ChildN("transfer", s.tick)
 	order := rng.PermInto(s.permBuf, s.n)
 	s.permBuf = order
-	// Rarity is judged from each receiver's local peer-set view, as in
-	// BitTorrent. A global rarity snapshot would make every receiver chase
-	// the same piece each tick (herding), destroying the diversity the
-	// policy exists to create. The snapshot a receiver takes at its first
-	// transfer of the tick is cached per node (tick-tagged, buffers reused
-	// across the whole run), reproducing the old lazy-map behavior without
-	// rebuilding a population-sized map every tick.
-	countsFor := func(receiver int) []uint16 {
-		counts := s.countsBuf[receiver]
-		if s.countsTick[receiver] == int32(s.tick) {
-			return counts
-		}
-		if counts == nil {
-			counts = make([]uint16, s.cfg.Pieces)
-			s.countsBuf[receiver] = counts
-		} else {
-			clear(counts)
-		}
-		for _, nb := range s.peers.AdjList(receiver) {
-			if s.nodeState[nb] == stateDeparted {
-				continue
-			}
-			s.pieces[nb].ForEach(func(p int) { counts[p]++ })
-		}
-		s.countsTick[receiver] = int32(s.tick)
-		return counts
-	}
+	// The snapshot is taken at the receiver's first transfer attempt of the
+	// tick — not lazily at the first rarest-first read — because that is
+	// when the rescan implementation froze each receiver's view, and a
+	// later freeze would see gains from intervening transfers. Under the
+	// pure-random policy the snapshot is never read, so it is skipped.
+	snapshots := s.cfg.Selection == SelectRarestFirst
 	for _, v := range order {
 		if s.nodeState[v] == stateDeparted {
 			continue
 		}
-		for _, p := range s.unchoked[v] {
+		cnt := int(s.unchokedCnt[v])
+		if cnt == 0 {
+			continue
+		}
+		base := s.adjOff[v]
+		ubase := v * s.slotStride
+		for _, k := range s.unchoked[ubase : ubase+cnt] {
+			e := base + int(k)
+			p := int(s.adjFlat[e])
 			if s.nodeState[p] != stateLeeching {
 				continue
 			}
-			piece, ok := s.selectPiece(v, p, countsFor(p), rng)
+			var counts []uint16
+			if snapshots {
+				counts = s.snapFor(p)
+			}
+			piece, ok := s.selectPiece(v, p, counts, rng)
 			if !ok {
 				continue
 			}
 			if s.def != nil && s.def.Admit(s.tick, v, p, 1) == 0 {
 				continue
 			}
-			s.pieces[p].Add(piece)
-			s.recvCnt[p][s.peerPos(p, v)]++
+			s.gainPiece(p, piece)
+			s.recvCnt[s.adjOff[p]+int(s.revPos[e])]++
 			s.uploaded[v]++
 		}
 	}
 }
 
 // selectPiece applies the receiver's selection policy to the sender's
-// holdings.
-func (s *Sim) selectPiece(sender, receiver int, holderCounts []uint16, rng *simrng.Source) (int, bool) {
-	candidates := s.pieces[sender].AppendDiff(s.pieces[receiver], s.candBuf[:0])
-	s.candBuf = candidates
-	if len(candidates) == 0 {
+// holdings, judging rarity from counts, the receiver's tick-frozen local
+// snapshot. Candidates — pieces the sender holds and the receiver lacks —
+// are scanned straight out of the piece words in ascending order, the same
+// order the historical materialized candidate slice had, so the RNG draws
+// (one IntN over the candidate count, or one over the tie count) are
+// exactly the draws that implementation made.
+func (s *Sim) selectPiece(sender, receiver int, counts []uint16, rng *simrng.Source) (int, bool) {
+	W := s.wpn
+	sb := s.pieceWords[sender*W : sender*W+W]
+	rb := s.pieceWords[receiver*W : receiver*W+W]
+	total := 0
+	for i, w := range sb {
+		total += bits.OnesCount64(w &^ rb[i])
+	}
+	if total == 0 {
 		return 0, false
 	}
-	useRandom := s.cfg.Selection == SelectRandom ||
-		s.pieces[receiver].Len() < s.cfg.RandomFirstCount
-	if useRandom {
-		return candidates[rng.IntN(len(candidates))], true
+	if s.cfg.Selection == SelectRandom || int(s.pieceCnt[receiver]) < s.cfg.RandomFirstCount {
+		return nthDiff(sb, rb, rng.IntN(total)), true
 	}
 	// Rarest first, breaking ties uniformly at random: deterministic
 	// tie-breaking would make every receiver chase the same piece and
 	// destroy diversity — the opposite of the policy's purpose.
-	best := holderCounts[candidates[0]]
-	for _, p := range candidates[1:] {
-		if holderCounts[p] < best {
-			best = holderCounts[p]
+	best := uint16(1<<16 - 1)
+	ties := 0
+	for i, w := range sb {
+		d := w &^ rb[i]
+		wordBase := i * 64
+		for d != 0 {
+			c := counts[wordBase+bits.TrailingZeros64(d)]
+			if c < best {
+				best = c
+				ties = 1
+			} else if c == best {
+				ties++
+			}
+			d &= d - 1
 		}
 	}
-	ties := candidates[:0]
-	for _, p := range candidates {
-		if holderCounts[p] == best {
-			ties = append(ties, p)
+	k := rng.IntN(ties)
+	for i, w := range sb {
+		d := w &^ rb[i]
+		wordBase := i * 64
+		for d != 0 {
+			p := wordBase + bits.TrailingZeros64(d)
+			if counts[p] == best {
+				if k == 0 {
+					return p, true
+				}
+				k--
+			}
+			d &= d - 1
 		}
 	}
-	return ties[rng.IntN(len(ties))], true
+	panic("swarm: rarest-first tie selection out of range")
+}
+
+// nthDiff returns the k-th (ascending) piece set in sb but clear in rb.
+func nthDiff(sb, rb []uint64, k int) int {
+	for i, w := range sb {
+		d := w &^ rb[i]
+		c := bits.OnesCount64(d)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; k > 0; k-- {
+			d &= d - 1
+		}
+		return i*64 + bits.TrailingZeros64(d)
+	}
+	panic("swarm: diff selection out of range")
+}
+
+// scanLeechers collects, in ascending node order, the nodes in [0, limit)
+// satisfying keep. keep must be a pure read of swarm state: for large
+// populations the scan shards across the worker pool, and shard-order
+// concatenation makes the result bit-identical to the sequential scan. The
+// returned slice aliases s.scanBuf and is valid until the next call.
+func (s *Sim) scanLeechers(limit int, keep func(v int) bool) []int32 {
+	out := s.scanBuf[:0]
+	if !s.sharded() {
+		for v := 0; v < limit; v++ {
+			if keep(v) {
+				out = append(out, int32(v))
+			}
+		}
+		s.scanBuf = out
+		return out
+	}
+	// A coarser grain than DefaultGrain: the per-node predicate is a couple
+	// of array reads, so smaller shards would be all fan-out overhead.
+	const grain = 1 << 15
+	shards := (limit + grain - 1) / grain
+	if cap(s.shardBufs) < shards {
+		s.shardBufs = make([][]int32, shards)
+	}
+	s.shardBufs = s.shardBufs[:shards]
+	sim.ParallelFor(limit, grain, func(shard, start, end int) {
+		buf := s.shardBufs[shard][:0]
+		for v := start; v < end; v++ {
+			if keep(v) {
+				buf = append(buf, int32(v))
+			}
+		}
+		s.shardBufs[shard] = buf
+	})
+	for _, buf := range s.shardBufs {
+		out = append(out, buf...)
+	}
+	s.scanBuf = out
+	return out
 }
 
 // endgameStep lets nearly finished leechers pull one missing piece from any
-// peer-set member that holds it.
+// peer-set member that holds it. The candidate gate — leeching, within
+// EndgameThreshold of done — reads only the node's own state, which no
+// endgame pull of another node mutates, so the scan shards while the
+// RNG-consuming pulls stay sequential in node order.
 func (s *Sim) endgameStep() {
-	rng := s.rng.ChildN("endgame", s.tick)
-	for v := 0; v < s.cfg.Leechers; v++ {
+	P := s.cfg.Pieces
+	thr := s.cfg.EndgameThreshold
+	cands := s.scanLeechers(s.cfg.Leechers, func(v int) bool {
 		if s.nodeState[v] != stateLeeching {
-			continue
+			return false
 		}
-		// Gate on the O(1) missing count before materializing the list, so
-		// nodes far from done cost nothing here.
-		missCount := s.cfg.Pieces - s.pieces[v].Len()
-		if missCount == 0 || missCount > s.cfg.EndgameThreshold {
-			continue
-		}
-		missing := s.pieces[v].Missing()
+		miss := P - int(s.pieceCnt[v])
+		return miss > 0 && miss <= thr
+	})
+	rng := s.rng.ChildN("endgame", s.tick)
+	for _, vv := range cands {
+		v := int(vv)
+		missing := s.appendMissing(v, s.missBuf[:0])
+		s.missBuf = missing
 		p := missing[rng.IntN(len(missing))]
-		for _, nb := range s.peers.AdjList(v) {
-			if s.nodeState[nb] == stateDeparted || !s.pieces[nb].Has(p) {
+		for _, nbb := range s.adj(v) {
+			nb := int(nbb)
+			if s.nodeState[nb] == stateDeparted || !s.hasPiece(nb, p) {
 				continue
 			}
 			if s.isAttacker != nil && s.isAttacker[nb] && !s.adv.OnExchange(s.tick, nb, v) {
@@ -772,19 +1244,24 @@ func (s *Sim) endgameStep() {
 			if s.def != nil && s.def.Admit(s.tick, nb, v, 1) == 0 {
 				continue
 			}
-			s.pieces[v].Add(p)
+			s.gainPiece(v, p)
 			s.uploaded[nb]++
 			break
 		}
 	}
 }
 
-// lifecycleStep handles completions and departures.
+// lifecycleStep handles completions and departures. Completion detection is
+// a pure read (a leecher's done-ness depends only on its own pieces), so it
+// shards; the bookkeeping — including the rarity subtraction a departure
+// owes — applies sequentially in node order.
 func (s *Sim) lifecycleStep() {
-	for v := 0; v < s.cfg.Leechers; v++ {
-		if s.nodeState[v] != stateLeeching || !s.pieces[v].Full() {
-			continue
-		}
+	P := int32(s.cfg.Pieces)
+	done := s.scanLeechers(s.cfg.Leechers, func(v int) bool {
+		return s.nodeState[v] == stateLeeching && s.pieceCnt[v] == P
+	})
+	for _, vv := range done {
+		v := int(vv)
 		s.finished[v] = s.tick
 		if s.fromAtk[v]*2 > s.cfg.Pieces {
 			s.res.SatiatedByAttacker++
@@ -792,11 +1269,12 @@ func (s *Sim) lifecycleStep() {
 		if s.cfg.SeedAfterComplete {
 			s.nodeState[v] = stateSeeding
 		} else {
-			s.nodeState[v] = stateDeparted
+			s.departNode(v)
 		}
+		s.leeching--
 	}
 	if s.cfg.SeedDepartTick > 0 && s.tick >= s.cfg.SeedDepartTick && s.nodeState[s.seedID] == stateSeeding {
-		s.nodeState[s.seedID] = stateDeparted
+		s.departNode(s.seedID)
 	}
 }
 
@@ -827,16 +1305,8 @@ func (s *Sim) finish() Result {
 	sort.Float64s(ticks)
 	res.MedianCompletionTick = ticks[len(ticks)/2]
 
-	stuck := false
-	for v := 0; v < s.cfg.Leechers; v++ {
-		if s.nodeState[v] == stateLeeching {
-			stuck = true
-			break
-		}
-	}
-	if stuck {
-		counts := s.pieceHolderCounts()
-		for _, c := range counts {
+	if s.leeching > 0 {
+		for _, c := range s.holders {
 			if c == 0 {
 				res.LostPieces++
 			}

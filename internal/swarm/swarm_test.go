@@ -252,7 +252,7 @@ func TestPieceBoundsDuringRun(t *testing.T) {
 			t.Fatal(err)
 		}
 		for v := 0; v < cfg.Leechers; v++ {
-			if n := sim.pieces[v].Len(); n > cfg.Pieces {
+			if n := sim.pieceLen(v); n > cfg.Pieces {
 				t.Fatalf("node %d holds %d of %d pieces", v, n, cfg.Pieces)
 			}
 		}
