@@ -24,7 +24,8 @@ vet:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/sweep/... ./internal/experiment/... \
 		./internal/scenario/... ./internal/attack/... ./internal/defense/... ./internal/cli/... \
-		./internal/gossip/... ./internal/swarm/... ./internal/serve/... ./internal/adaptive/...
+		./internal/gossip/... ./internal/swarm/... ./internal/serve/... ./internal/adaptive/... \
+		./internal/cluster/...
 	# The swarm's widened ParallelFor passes (sharded unchoke scoring, the
 	# leecher scans, the reverse-position/rarity builds) only fan out above
 	# ~32k nodes; these tests force that scale and shard split under -race.
@@ -50,13 +51,16 @@ cover:
 
 # Registry-driven scenario benchmarks (one per substrate plus a
 # 1000-replicate streaming-aggregation run), the adaptive bench (fixed
-# budget vs CI-targeted replication on the three *-auto scenarios), and the
+# budget vs CI-targeted replication on the three *-auto scenarios), the
 # kernel bench (ns/round and allocs/round for gossip and swarm at n in
-# {10k, 100k, 1m}); emits BENCH_scenarios.json, BENCH_adaptive.json, and
-# BENCH_kernel.json for the performance trajectory across PRs. Raise
-# -kernel-rounds locally for tighter kernel numbers.
+# {10k, 100k, 1m}), and the cluster bench (1-vs-2-worker distributed
+# throughput through a loopback coordinator); emits BENCH_scenarios.json,
+# BENCH_adaptive.json, BENCH_kernel.json, and BENCH_cluster.json for the
+# performance trajectory across PRs. Raise -kernel-rounds locally for
+# tighter kernel numbers; read the cluster scaling row next to its cpus
+# field.
 bench:
-	$(GO) run ./cmd/lotus-sim scenarios bench -out BENCH_scenarios.json -adaptive-out BENCH_adaptive.json -kernel-out BENCH_kernel.json
+	$(GO) run ./cmd/lotus-sim scenarios bench -out BENCH_scenarios.json -adaptive-out BENCH_adaptive.json -kernel-out BENCH_kernel.json -cluster-out BENCH_cluster.json
 
 bench-go:
 	$(GO) test -run '^$$' -bench 'BenchmarkRegistry' -benchmem ./

@@ -9,6 +9,8 @@
 //	lotus-sim gossip -attack trade -fraction 0.22   # one BAR Gossip simulation
 //	lotus-sim scrip|swarm|token [flags]             # the other single-run simulators
 //	lotus-sim serve -addr localhost:8321            # the HTTP experiment service
+//	lotus-sim serve -role coordinator               # cluster front: shards jobs to workers
+//	lotus-sim serve -role worker -join http://c:8321  # one cluster execution node
 //
 // Invoking lotus-sim with plain flags (no subcommand) keeps the original
 // behavior of a single gossip run:
@@ -41,7 +43,8 @@ commands:
              -set key=val ..., -spec file.json)
   scenarios  declarative scenarios: list | show <name> | run <name> | bench
   serve      long-running HTTP experiment service with a content-addressed
-             result cache (-addr, -cache-bytes, -queue-depth, -workers)
+             result cache (-addr, -cache-bytes, -queue-depth, -workers);
+             scales out with -role=coordinator|worker -join=<url> [-advertise=<url>]
   figures    regenerate the paper's tables and figures (-exp, -quality, -csv)
   gossip     run a single BAR Gossip simulation (default when given bare flags)
   scrip      run the scrip-economy simulator

@@ -211,7 +211,7 @@ func Fold(r sim.Runner, seed uint64, plan Plan, build sim.Build, fold FoldFunc, 
 		}
 		res.Reps += wave
 		res.HalfWidth = acc.HalfWidth(p.CI.Confidence)
-		res.Met = p.metTarget(&acc, res.HalfWidth)
+		res.Met = p.Met(&acc, res.HalfWidth)
 		if observe != nil {
 			observe(res.Reps, res.HalfWidth, res.Met)
 		}
@@ -221,8 +221,13 @@ func Fold(r sim.Runner, seed uint64, plan Plan, build sim.Build, fold FoldFunc, 
 	return res, nil
 }
 
-// metTarget applies the stopping rule to the current half-width.
-func (p Plan) metTarget(acc *metrics.Accumulator, halfWidth float64) bool {
+// Met applies the plan's stopping rule to the current statistics: true
+// when halfWidth (the Student-t half-width of acc's mean at the plan's
+// confidence) satisfies the CI target. Exported so a remote scheduler can
+// consult the rule at exactly the wave boundaries Fold would — same
+// accumulator contents, same verdict — which is what keeps a distributed
+// adaptive run's replicate counts identical to a local one's.
+func (p Plan) Met(acc *metrics.Accumulator, halfWidth float64) bool {
 	if !p.Adaptive() {
 		return false
 	}

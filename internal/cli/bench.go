@@ -59,12 +59,15 @@ var benchSet = []string{
 // adaptive bench — fixed-budget vs CI-targeted replication on the three
 // *-auto registry scenarios — into BENCH_adaptive.json, and the kernel
 // bench — single-replicate ns/round and allocs/round for gossip and swarm
-// at n in {10k, 100k, 1m} — into BENCH_kernel.json.
+// at n in {10k, 100k, 1m} — into BENCH_kernel.json. With -cluster-out it
+// also measures 1-vs-2-worker distributed throughput through a loopback
+// coordinator/worker cluster into BENCH_cluster.json.
 func Bench(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("lotus-sim scenarios bench", flag.ContinueOnError)
 	out := fs.String("out", "BENCH_scenarios.json", "output JSON path (empty = stdout only)")
 	adaptiveOut := fs.String("adaptive-out", "BENCH_adaptive.json", "adaptive-vs-fixed bench JSON path (empty = skip)")
 	kernelOut := fs.String("kernel-out", "BENCH_kernel.json", "kernel bench JSON path (empty = skip the kernel bench)")
+	clusterOut := fs.String("cluster-out", "", "cluster bench JSON path (empty = skip): 1-vs-2-worker replicates/sec through a loopback coordinator")
 	kernelRounds := fs.Int("kernel-rounds", 3, "steady-state rounds measured per kernel bench point (low quality; raise locally)")
 	kernelSizes := fs.String("kernel-sizes", "", "comma-separated kernel bench populations (default 10000,100000,1000000)")
 	kernelBaseline := fs.String("kernel-baseline", "", "baseline BENCH_kernel.json to gate ns/round against (empty = no gate)")
@@ -161,6 +164,11 @@ func Bench(w io.Writer, args []string) error {
 			if err := checkKernelBaseline(entries, *kernelBaseline, *kernelRegress); err != nil {
 				return err
 			}
+		}
+	}
+	if *clusterOut != "" {
+		if err := clusterBench(w, *seed, *clusterOut); err != nil {
+			return err
 		}
 	}
 	return nil

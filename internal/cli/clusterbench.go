@@ -1,0 +1,254 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"lotuseater/internal/cluster"
+	"lotuseater/internal/metrics"
+	"lotuseater/internal/scenario"
+	"lotuseater/internal/serve"
+)
+
+// ClusterBenchArm is one worker-count measurement in BENCH_cluster.json:
+// the same fixed sweep pushed through a loopback coordinator/worker cluster
+// with that many workers, each bound to one in-flight replicate.
+type ClusterBenchArm struct {
+	Workers       int     `json:"workers"`
+	Seconds       float64 `json:"seconds"`
+	Replicates    int     `json:"replicates"`
+	RepsPerSecond float64 `json:"repsPerSecond"`
+}
+
+// clusterBenchFile is the schema of BENCH_cluster.json.
+type clusterBenchFile struct {
+	GeneratedAt string `json:"generatedAt"`
+	Seed        uint64 `json:"seed"`
+	Scenario    string `json:"scenario"`
+	// CPUs is runtime.NumCPU, the context the Scaling row must be read
+	// in: two workers on one core share it, and the ratio sits near 1.0
+	// no matter how well the cluster distributes.
+	CPUs    int               `json:"cpus"`
+	Arms    []ClusterBenchArm `json:"arms"`
+	Scaling float64           `json:"scaling"`
+}
+
+// clusterBenchSpec is the distributed-throughput workload: the gossip-trade
+// grid point at CI size, 2 sweep points x 500 replicates, enough ~equal
+// windows that two workers genuinely alternate.
+func clusterBenchSpec() (*scenario.Spec, error) {
+	spec, ok := scenario.Get("x/trade-gossip")
+	if !ok {
+		return nil, unknownScenario("x/trade-gossip")
+	}
+	if err := spec.ApplySets([]string{"nodes=48", "rounds=30", "replicates=500", "sweep.points=2"}); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// clusterBench measures distributed sweep throughput end to end: for 1 and
+// then 2 loopback workers it boots a coordinator, announces the workers,
+// submits the workload over HTTP, waits for the job, and reports
+// replicates/second. The headline is the 2-vs-1 scaling ratio; each worker
+// is pinned to one in-flight replicate so the ratio reflects the cluster
+// path, not the shared in-process pool.
+func clusterBench(w io.Writer, seed uint64, out string) error {
+	spec, err := clusterBenchSpec()
+	if err != nil {
+		return err
+	}
+	raw, err := spec.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	totalReps := spec.Sweep.Points * spec.Replicates
+
+	var arms []ClusterBenchArm
+	for _, workers := range []int{1, 2} {
+		// A fresh cluster (and result cache) per arm, and a per-arm seed,
+		// so neither arm can serve the other's artifact from cache.
+		secs, err := timeClusterRun(raw, seed+uint64(workers), workers)
+		if err != nil {
+			return fmt.Errorf("cluster bench (%d workers): %w", workers, err)
+		}
+		arm := ClusterBenchArm{Workers: workers, Seconds: secs, Replicates: totalReps}
+		if secs > 0 {
+			arm.RepsPerSecond = float64(totalReps) / secs
+		}
+		arms = append(arms, arm)
+	}
+	scaling := 0.0
+	if arms[0].RepsPerSecond > 0 {
+		scaling = arms[1].RepsPerSecond / arms[0].RepsPerSecond
+	}
+
+	rows := [][]string{{"cluster workers", "seconds", "replicates", "reps/sec"}}
+	for _, a := range arms {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", a.Workers),
+			fmt.Sprintf("%.3f", a.Seconds),
+			fmt.Sprintf("%d", a.Replicates),
+			fmt.Sprintf("%.1f", a.RepsPerSecond),
+		})
+	}
+	rows = append(rows, []string{"scaling 2v1", fmt.Sprintf("%.2fx", scaling), "", fmt.Sprintf("(%d cpus)", runtime.NumCPU())})
+	if _, err := io.WriteString(w, metrics.RenderRows(rows)); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(clusterBenchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        seed,
+		Scenario:    spec.Name,
+		CPUs:        runtime.NumCPU(),
+		Arms:        arms,
+		Scaling:     scaling,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "wrote %s\n", out)
+	return err
+}
+
+// timeClusterRun boots a loopback cluster with n workers, runs the spec
+// through it once, and returns the submit-to-done wall time.
+func timeClusterRun(rawSpec []byte, seed uint64, n int) (float64, error) {
+	coord := cluster.NewCoordinator(cluster.Config{
+		Serve:        serve.Config{Workers: 1},
+		StallTimeout: 2 * time.Minute,
+	})
+	defer coord.Close()
+	coordSrv, coordURL, err := listenLoopback(coord)
+	if err != nil {
+		return 0, err
+	}
+	defer coordSrv.Close()
+
+	var workers []*cluster.Worker
+	var workerSrvs []*http.Server
+	defer func() {
+		for i, wk := range workers {
+			workerSrvs[i].Close()
+			wk.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		wk, err := cluster.NewWorker(cluster.WorkerConfig{
+			Serve:            serve.Config{Workers: 1},
+			Coordinator:      coordURL,
+			AnnounceInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return 0, err
+		}
+		srv, url, err := listenLoopback(wk)
+		if err != nil {
+			wk.Close()
+			return 0, err
+		}
+		workers = append(workers, wk)
+		workerSrvs = append(workerSrvs, srv)
+		wk.Announce(url)
+	}
+	if err := awaitWorkers(coordURL, n, 10*time.Second); err != nil {
+		return 0, err
+	}
+
+	start := time.Now()
+	body := fmt.Sprintf(`{"spec": %s, "seed": %d}`, rawSpec, seed)
+	resp, err := http.Post(coordURL+"/experiments", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("POST /experiments: %d: %s", resp.StatusCode, data)
+	}
+	var submitted struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(data, &submitted); err != nil {
+		return 0, err
+	}
+	deadline := time.Now().Add(10 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("job %s never finished", submitted.Key)
+		}
+		st, err := getJSON(coordURL + "/jobs/" + submitted.Key)
+		if err != nil {
+			return 0, err
+		}
+		switch st["status"] {
+		case "done":
+			return time.Since(start).Seconds(), nil
+		case "failed":
+			return 0, fmt.Errorf("job failed: %v", st["error"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// listenLoopback serves h on an ephemeral loopback port.
+func listenLoopback(h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return srv, "http://" + ln.Addr().String(), nil
+}
+
+// awaitWorkers polls the coordinator registry until it sees n workers.
+func awaitWorkers(coordURL string, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st, err := getJSON(coordURL + "/cluster/status")
+		if err != nil {
+			return err
+		}
+		if ws, ok := st["workers"].([]any); ok && len(ws) >= n {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("coordinator never saw %d workers", n)
+}
+
+// getJSON fetches url and decodes the JSON object body.
+func getJSON(url string) (map[string]any, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, data)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("GET %s: %v\n%s", url, err, data)
+	}
+	return out, nil
+}

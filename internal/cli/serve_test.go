@@ -7,29 +7,49 @@ import (
 // TestServeFlagValidation: bad serve flags fail before a port is bound.
 func TestServeFlagValidation(t *testing.T) {
 	for name, args := range map[string][]string{
-		"unknown flag":   {"-bogus"},
-		"stray arg":      {"extra"},
-		"zero cache":     {"-cache-bytes", "0"},
-		"negative queue": {"-queue-depth", "-1"},
+		"unknown flag":           {"-bogus"},
+		"stray arg":              {"extra"},
+		"zero cache":             {"-cache-bytes", "0"},
+		"negative queue":         {"-queue-depth", "-1"},
+		"unknown role":           {"-role", "manager"},
+		"worker without join":    {"-role", "worker"},
+		"join without worker":    {"-join", "http://localhost:1"},
+		"advertise without role": {"-advertise", "http://localhost:1"},
+		"coordinator with join":  {"-role", "coordinator", "-join", "http://localhost:1"},
 	} {
-		if _, _, err := buildServer(args); err == nil {
+		if _, err := buildServer(args); err == nil {
 			t.Errorf("%s: buildServer(%v) accepted bad flags", name, args)
 		}
 	}
 }
 
-// TestServeBuilds: good flags produce a configured server without
-// listening.
+// TestServeBuilds: good flags produce a configured node for each role
+// without listening.
 func TestServeBuilds(t *testing.T) {
-	srv, addr, err := buildServer([]string{"-addr", "localhost:0", "-cache-bytes", "1024", "-queue-depth", "2"})
-	if err != nil {
-		t.Fatal(err)
+	cases := map[string][]string{
+		"single":      {"-addr", "localhost:0", "-cache-bytes", "1024", "-queue-depth", "2"},
+		"coordinator": {"-addr", "localhost:0", "-role", "coordinator", "-unit-reps", "4"},
+		"worker":      {"-addr", "localhost:0", "-role", "worker", "-join", "http://localhost:1"},
 	}
-	defer srv.Close()
-	if addr != "localhost:0" {
-		t.Fatalf("addr = %q", addr)
-	}
-	if srv.Version() == "" {
-		t.Fatal("server has no code version")
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			setup, err := buildServer(args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer setup.node.Close()
+			if setup.addr != "localhost:0" {
+				t.Fatalf("addr = %q", setup.addr)
+			}
+			if setup.version == "" {
+				t.Fatal("node has no code version")
+			}
+			if name == "worker" && setup.announce == nil {
+				t.Fatal("worker setup has no announce hook")
+			}
+			if name != "worker" && setup.announce != nil {
+				t.Fatalf("%s setup has an announce hook", name)
+			}
+		})
 	}
 }

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lotuseater/internal/metrics"
+	"lotuseater/internal/scenario"
+	"lotuseater/internal/serve"
+)
+
+// flakyHandler aborts the connection on the first `failures` unit
+// dispatches — a worker dying mid-wave, as the coordinator sees it — and
+// serves normally afterwards.
+type flakyHandler struct {
+	inner http.Handler
+
+	mu       sync.Mutex
+	failures int
+	aborted  int
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/cluster/run" {
+		f.mu.Lock()
+		abort := f.aborted < f.failures
+		if abort {
+			f.aborted++
+		}
+		f.mu.Unlock()
+		if abort {
+			panic(http.ErrAbortHandler)
+		}
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestWorkerKillMidWaveRetries: one of two workers kills its connection on
+// the first units it is handed. The units must reassign (to the healthy
+// worker, or back to the flaky one after it re-announces), the job must
+// complete, and the artifact must still be byte-identical to a local run —
+// retry changes who folds a window, never what the window holds.
+func TestWorkerKillMidWaveRetries(t *testing.T) {
+	for _, spec := range []struct{ name, raw string }{
+		{"fixed", tinyFixed},
+		{"adaptive", tinyAdaptive},
+	} {
+		t.Run(spec.name, func(t *testing.T) {
+			const seed = 31
+			want := localArtifact(t, spec.raw, seed)
+
+			coord := NewCoordinator(Config{StallTimeout: 10 * time.Second})
+			cts := httptest.NewServer(coord)
+			defer func() {
+				cts.Close()
+				coord.Close()
+			}()
+
+			mk := func(flaky int) (*Worker, *httptest.Server, *flakyHandler) {
+				w, err := NewWorker(WorkerConfig{
+					Coordinator:      cts.URL,
+					AnnounceInterval: 20 * time.Millisecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fh := &flakyHandler{inner: w, failures: flaky}
+				ts := httptest.NewServer(fh)
+				w.Announce(ts.URL)
+				return w, ts, fh
+			}
+			wGood, tsGood, _ := mk(0)
+			wBad, tsBad, fh := mk(2)
+			defer func() {
+				tsGood.Close()
+				tsBad.Close()
+				wGood.Close()
+				wBad.Close()
+			}()
+			waitForWorkers(t, cts.URL, 2)
+
+			resp := submitSpec(t, cts.URL, spec.raw, seed)
+			waitJobDone(t, cts.URL, resp.Key)
+			got, etag := fetchResult(t, cts.URL, resp.Key)
+			if string(got) != string(want) {
+				t.Fatalf("artifact after mid-wave worker death differs from local run")
+			}
+			if etag != metrics.AddressBytes(want) {
+				t.Fatalf("address after retry differs")
+			}
+			fh.mu.Lock()
+			aborted := fh.aborted
+			fh.mu.Unlock()
+			if aborted == 0 {
+				t.Fatalf("flaky worker was never handed a unit; the retry path went unexercised")
+			}
+		})
+	}
+}
+
+// TestPoisonUnitFailsJob: a unit that kills every worker it visits
+// exhausts its dispatch attempts and fails the job with a clear error
+// instead of looping forever.
+func TestPoisonUnitFailsJob(t *testing.T) {
+	coord := NewCoordinator(Config{
+		MaxAttempts:  3,
+		StallTimeout: 500 * time.Millisecond,
+	})
+	cts := httptest.NewServer(coord)
+	defer func() {
+		cts.Close()
+		coord.Close()
+	}()
+
+	// One worker that aborts every dispatch, forever, but keeps announcing.
+	w, err := NewWorker(WorkerConfig{Coordinator: cts.URL, AnnounceInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := &flakyHandler{inner: w, failures: 1 << 30}
+	ts := httptest.NewServer(fh)
+	w.Announce(ts.URL)
+	defer func() {
+		ts.Close()
+		w.Close()
+	}()
+	waitForWorkers(t, cts.URL, 1)
+
+	resp := submitSpec(t, cts.URL, tinyFixed, 37)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, _, data := httpGet(t, cts.URL+"/jobs/"+resp.Key)
+		if code != http.StatusOK {
+			t.Fatalf("job status %d: %s", code, data)
+		}
+		if strings.Contains(string(data), `"failed"`) {
+			if !strings.Contains(string(data), "attempts") && !strings.Contains(string(data), "no live workers") {
+				t.Fatalf("job failed without naming retry exhaustion or worker loss: %s", data)
+			}
+			return
+		}
+		if strings.Contains(string(data), `"done"`) {
+			t.Fatalf("job with an always-dying worker reported done")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("poisoned job never failed")
+}
+
+// TestClusterLifecycleNoGoroutineLeak: boot a coordinator and two workers,
+// run a distributed job and a cache hit through them, tear everything
+// down, and end with exactly the goroutines we started with — announce
+// loops, dispatch loops, and monitors all accounted for.
+func TestClusterLifecycleNoGoroutineLeak(t *testing.T) {
+	// Warm the process-wide sim pool and HTTP transport before baselining.
+	if _, err := scenario.Run(decodeSpec(t, tinyFixed), 1, scenario.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	coord := NewCoordinator(Config{Serve: serve.Config{}, StallTimeout: 5 * time.Second})
+	cts := httptest.NewServer(coord)
+	var workers []*Worker
+	var wts []*httptest.Server
+	for i := 0; i < 2; i++ {
+		w, err := NewWorker(WorkerConfig{Coordinator: cts.URL, AnnounceInterval: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(w)
+		w.Announce(ts.URL)
+		workers = append(workers, w)
+		wts = append(wts, ts)
+	}
+	waitForWorkers(t, cts.URL, 2)
+
+	resp := submitSpec(t, cts.URL, tinyFixed, 41)
+	waitJobDone(t, cts.URL, resp.Key)
+	fetchResult(t, cts.URL, resp.Key)
+	if again := submitSpec(t, cts.URL, tinyFixed, 41); !again.Cached {
+		t.Fatalf("expected a cache hit")
+	}
+
+	for i, w := range workers {
+		wts[i].Close()
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cts.Close()
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutines never settled to %d (now %d):\n%s", base, runtime.NumGoroutine(), buf)
+}

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lotuseater/internal/metrics"
+	"lotuseater/internal/scenario"
+	"lotuseater/internal/serve"
+)
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// Serve configures the embedded experiment service. Its Workers field
+	// also bounds each unit's in-flight replicates on the shared pool —
+	// results never depend on it. The Store hook is owned by the worker:
+	// it is pointed at the coordinator's shared artifact store.
+	Serve serve.Config
+	// Coordinator is the coordinator's base URL (required).
+	Coordinator string
+	// AnnounceInterval is how often the worker re-announces itself to the
+	// coordinator (0 = 2s). Announces double as heartbeats: a worker the
+	// coordinator dropped re-registers within one interval of recovering.
+	AnnounceInterval time.Duration
+	// Client issues coordinator HTTP requests (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+// Worker is one cluster execution node: it serves the full experiment API
+// (a submit here runs locally, and its `/results/{key}` consults the
+// shared store on a local miss), executes units the coordinator posts to
+// /cluster/run, and publishes every artifact it computes to the
+// coordinator under its content-addressed cache key.
+type Worker struct {
+	cfg    WorkerConfig
+	srv    *serve.Server
+	mux    *http.ServeMux
+	client *http.Client
+
+	draining     atomic.Bool
+	stop         chan struct{}
+	stopOnce     sync.Once
+	announceMu   sync.Mutex
+	announceDone chan struct{} // non-nil once the announce loop is running
+}
+
+// NewWorker builds a worker bound to a coordinator. It does not announce
+// itself yet — call Announce once the worker's own listener is bound and
+// its URL is known.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("cluster: worker needs a coordinator URL")
+	}
+	cfg.Coordinator = strings.TrimRight(cfg.Coordinator, "/")
+	if cfg.AnnounceInterval <= 0 {
+		cfg.AnnounceInterval = 2 * time.Second
+	}
+	w := &Worker{
+		cfg:    cfg,
+		client: cfg.Client,
+		mux:    http.NewServeMux(),
+		stop:   make(chan struct{}),
+	}
+	if w.client == nil {
+		w.client = http.DefaultClient
+	}
+	scfg := cfg.Serve
+	scfg.Store = &httpStore{base: cfg.Coordinator, client: w.client}
+	w.srv = serve.New(scfg)
+	w.mux.HandleFunc("POST /cluster/run", w.handleRun)
+	w.mux.Handle("/", w.srv)
+	return w, nil
+}
+
+// ServeHTTP dispatches to the unit-execution and experiment routes.
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.mux.ServeHTTP(rw, r) }
+
+// Server exposes the embedded experiment service.
+func (w *Worker) Server() *serve.Server { return w.srv }
+
+// Announce starts the join/heartbeat loop, registering selfURL — the base
+// URL the coordinator can reach this worker at — immediately and then on
+// every interval. Call at most once.
+func (w *Worker) Announce(selfURL string) {
+	w.announceMu.Lock()
+	defer w.announceMu.Unlock()
+	if w.announceDone != nil {
+		return
+	}
+	w.announceDone = make(chan struct{})
+	go w.announce(selfURL, w.announceDone)
+}
+
+func (w *Worker) announce(selfURL string, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(w.cfg.AnnounceInterval)
+	defer t.Stop()
+	w.join(selfURL)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.join(selfURL)
+		}
+	}
+}
+
+// join posts one announcement; failures are silent by design — the
+// coordinator may be restarting, and the next tick retries.
+func (w *Worker) join(selfURL string) {
+	body, err := json.Marshal(joinRequest{URL: selfURL})
+	if err != nil {
+		return
+	}
+	resp, err := w.client.Post(w.cfg.Coordinator+"/cluster/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// Close stops the announce loop and the embedded service. A unit in
+// flight completes (and its response delivers) first. Idempotent.
+func (w *Worker) Close() error {
+	w.draining.Store(true)
+	w.stopAnnounce()
+	return w.srv.Close()
+}
+
+// Drain is the graceful SIGTERM path: stop announcing, answer new units
+// 503 (the coordinator reassigns them elsewhere), finish the local job in
+// flight, fail queued local jobs with a drain status.
+func (w *Worker) Drain() error {
+	w.draining.Store(true)
+	w.stopAnnounce()
+	return w.srv.Drain()
+}
+
+func (w *Worker) stopAnnounce() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.announceMu.Lock()
+	done := w.announceDone
+	w.announceMu.Unlock()
+	if done != nil {
+		<-done
+	}
+}
+
+// handleRun executes one unit synchronously: decode the canonical point
+// spec, fold replicates [start, start+n) on the shared pool, and return
+// the ordered observations plus the partial accumulator state the
+// coordinator cross-checks. Draining workers answer 503, which the
+// coordinator reads as "reassign elsewhere".
+func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
+	if w.draining.Load() {
+		http.Error(rw, `{"error":"cluster: worker draining"}`, http.StatusServiceUnavailable)
+		return
+	}
+	var req unitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(rw, `{"error":"cluster: bad unit body"}`, http.StatusBadRequest)
+		return
+	}
+	if req.Start < 0 || req.N <= 0 || req.N > 1<<20 {
+		writeUnitError(rw, fmt.Errorf("cluster: bad unit window [%d,+%d)", req.Start, req.N))
+		return
+	}
+	pt, err := scenario.Decode(req.PointSpec)
+	if err != nil {
+		writeUnitError(rw, err)
+		return
+	}
+	obs := make([]float64, 0, req.N)
+	var acc metrics.Accumulator
+	err = scenario.FoldWindow(pt, req.Seed, req.Start, req.N, w.cfg.Serve.Workers, func(rep int, y float64) {
+		obs = append(obs, y)
+		acc.Add(y)
+	})
+	if err != nil {
+		writeUnitError(rw, err)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(unitResponse{ObsBits: bitsOf(obs), Acc: acc.State()})
+}
+
+// writeUnitError reports an execution error (as opposed to a transport
+// one): HTTP 200 with the Error field set, which the coordinator treats as
+// "the unit itself is bad" and fails the job rather than retrying.
+func writeUnitError(rw http.ResponseWriter, err error) {
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(unitResponse{Error: err.Error()})
+}
+
+// httpStore is the worker-side client of the coordinator's shared
+// artifact store — the serve.ArtifactStore that federates every node's
+// result cache through GET/PUT /cluster/artifacts/{key}.
+type httpStore struct {
+	base   string
+	client *http.Client
+}
+
+func (st *httpStore) Lookup(key string) (body []byte, address string, ok bool) {
+	resp, err := st.client.Get(st.base + "/cluster/artifacts/" + key)
+	if err != nil {
+		return nil, "", false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, "", false
+	}
+	body, err = io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes))
+	if err != nil || len(body) == 0 {
+		return nil, "", false
+	}
+	// Recompute the address from the bytes rather than trusting the
+	// header: content addressing means a store can never hand us a body
+	// that disagrees with its ETag.
+	return body, metrics.AddressBytes(body), true
+}
+
+func (st *httpStore) Publish(key string, body []byte, address string) {
+	req, err := http.NewRequest(http.MethodPut, st.base+"/cluster/artifacts/"+key, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := st.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

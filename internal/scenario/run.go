@@ -6,8 +6,6 @@ import (
 	"lotuseater/internal/adaptive"
 	"lotuseater/internal/metrics"
 	"lotuseater/internal/sim"
-	"lotuseater/internal/simrng"
-	"lotuseater/internal/sweep"
 )
 
 // RunOptions tunes a scenario run without touching the spec.
@@ -131,28 +129,14 @@ func Run(spec *Spec, seed uint64, opts RunOptions) (*metrics.Artifact, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	replicates, points := resolveCounts(spec, opts)
-	xs := []float64{0}
-	xLabel := "x"
-	if spec.Sweep.Axis != "" {
-		xs = sweep.Range(spec.Sweep.From, spec.Sweep.To, points)
-		xLabel = spec.Sweep.Axis
-	}
+	ep := PlanOf(spec, opts)
+	replicates, points := ep.Replicates, len(ep.Xs)
+	xs, xLabel := ep.Xs, ep.XLabel
 
 	b := sub(spec.Substrate)
-	mean := &metrics.Series{Name: "mean"}
-	std := &metrics.Series{Name: "stddev"}
-	minS := &metrics.Series{Name: "min"}
-	maxS := &metrics.Series{Name: "max"}
-	p50 := &metrics.Series{Name: "p50"}
+	pl, adaptiveRun := ep.Plan, ep.Adaptive
 
-	pl, adaptiveRun := spec.activePlan()
-	var repsS, hwS *metrics.Series
-	if adaptiveRun {
-		repsS = &metrics.Series{Name: "reps"}
-		hwS = &metrics.Series{Name: "ci-halfwidth"}
-	}
-
+	results := make([]PointResult, 0, points)
 	runner := sim.Runner{Workers: opts.Workers}
 	done := 0                       // replicates folded across finished points
 	estimate := points * replicates // fixed total, or the shrinking adaptive cap
@@ -160,23 +144,12 @@ func Run(spec *Spec, seed uint64, opts RunOptions) (*metrics.Artifact, error) {
 		estimate = points * pl.MaxReps
 	}
 	for pi, x := range xs {
-		pt := spec.Clone()
-		if spec.Sweep.Axis != "" {
-			if err := pt.applyAxis(x); err != nil {
-				return nil, err
-			}
-			if err := pt.Validate(); err != nil {
-				return nil, fmt.Errorf("scenario: %s at %s=%g: %w", spec.Name, spec.Sweep.Axis, x, err)
-			}
+		pt, err := spec.PointSpec(x)
+		if err != nil {
+			return nil, err
 		}
 		st := metrics.NewStream()
-		build := sim.Build(func(rep int, rng *simrng.Source, ws *sim.Workspace) (sim.Model, error) {
-			adv, err := pt.Adversary.Strategy()
-			if err != nil {
-				return nil, err
-			}
-			return b.build(pt, rng, ws, adv, newDefense(pt, ws))
-		})
+		build := buildFor(pt, b)
 		if adaptiveRun {
 			pr := runner
 			if opts.Progress != nil {
@@ -207,8 +180,7 @@ func Run(spec *Spec, seed uint64, opts RunOptions) (*metrics.Artifact, error) {
 				// non-increasing and end equal to done.
 				opts.Progress(done, estimate)
 			}
-			repsS.Add(x, float64(res.Reps))
-			hwS.Add(x, res.HalfWidth)
+			results = append(results, PointResult{X: x, Stream: st, Reps: res.Reps, HalfWidth: res.HalfWidth})
 		} else {
 			r := runner
 			if opts.Progress != nil {
@@ -227,39 +199,10 @@ func Run(spec *Spec, seed uint64, opts RunOptions) (*metrics.Artifact, error) {
 			if err != nil {
 				return nil, fmt.Errorf("scenario %s: point %s=%g: %w", spec.Name, xLabel, x, err)
 			}
+			results = append(results, PointResult{X: x, Stream: st})
 		}
-		mean.Add(x, st.Acc.Mean())
-		std.Add(x, st.Acc.StdDev())
-		minS.Add(x, st.Acc.Min())
-		maxS.Add(x, st.Acc.Max())
-		p50.Add(x, st.P50.Value())
 	}
-
-	metricName := spec.Metric
-	if metricName == "" {
-		metricName = b.defaultMetric
-	}
-	title := spec.Title
-	if title == "" {
-		title = spec.Name
-	}
-	headline := fmt.Sprintf("%s — %s/%s, metric %s (%d replicates/point)", title, spec.Substrate, adversaryLabel(spec), metricName, replicates)
-	series := []*metrics.Series{mean, std, minS, maxS, p50}
-	if adaptiveRun {
-		target := fmt.Sprintf("±%g", pl.CI.HalfWidth)
-		if pl.CI.Relative {
-			target = fmt.Sprintf("±%g·|mean|", pl.CI.HalfWidth)
-		}
-		headline = fmt.Sprintf("%s — %s/%s, metric %s (adaptive %d-%d replicates/point, CI %s @ %g%%)",
-			title, spec.Substrate, adversaryLabel(spec), metricName, pl.MinReps, pl.MaxReps, target, pl.CI.Confidence*100)
-		series = append(series, repsS, hwS)
-	}
-	return &metrics.Artifact{
-		Name:   spec.Name,
-		Title:  headline,
-		XLabel: xLabel,
-		Series: series,
-	}, nil
+	return Assemble(spec, opts, results)
 }
 
 func adversaryLabel(spec *Spec) string {

@@ -121,3 +121,36 @@ func TestServerCloseFailsQueuedJobs(t *testing.T) {
 	}
 	_ = busy
 }
+
+// TestServerDrainFailsQueuedWithDrainStatus: Drain is Close with a
+// legible story — queued-but-unstarted jobs fail with a status that names
+// the drain and tells the client to resubmit, and new submissions are
+// refused.
+func TestServerDrainFailsQueuedWithDrainStatus(t *testing.T) {
+	s := New(Config{QueueDepth: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// A busy run holds the executor; another job waits behind it.
+	busy := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 61, "replicates": 30000}`, tinySpec))
+	queued := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 62}`, tinySpec))
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, data := getBody(t, ts.URL+"/jobs/"+queued.Key)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	// The executor may have reached the queued job before Drain flagged;
+	// otherwise it must fail with the drain message, not a generic close.
+	if !strings.Contains(string(data), StateDone) && !strings.Contains(string(data), "draining") {
+		t.Fatalf("queued job after Drain: %s", data)
+	}
+
+	code, data = postJSON(t, ts.URL+"/experiments", fmt.Sprintf(`{"spec": %s, "seed": 63}`, tinySpec))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain: status %d: %s", code, data)
+	}
+	_ = busy
+}

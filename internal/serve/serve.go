@@ -54,6 +54,36 @@ type Config struct {
 	// different build are never served as current. Empty means the build's
 	// VCS revision (module version, then "dev", as fallbacks).
 	Version string
+	// Run executes one resolved experiment (nil = scenario.Run in this
+	// process). A cluster coordinator injects its distributed runner here;
+	// everything else about the service — cache, singleflight, queue,
+	// progress — is role-independent.
+	Run RunFunc
+	// Store, when non-nil, federates the result cache beyond this process:
+	// lookups that miss locally consult it (and fill the local cache on a
+	// hit), and finished artifacts are published to it. A cluster worker
+	// points this at its coordinator, making every node's `/results/{key}`
+	// answer from the fleet-wide store.
+	Store ArtifactStore
+}
+
+// RunFunc executes one resolved experiment and returns its artifact. The
+// options carry the service's worker bound and the job's progress
+// callbacks, exactly as the local runner receives them.
+type RunFunc func(spec *scenario.Spec, seed uint64, opts scenario.RunOptions) (*metrics.Artifact, error)
+
+// ArtifactStore is a remote content-addressed artifact store — the shared
+// half of the cluster cache. Keys are the same deterministic cache keys the
+// local LRU uses; bodies are canonical artifact JSON whose sha256 is the
+// address, so a store answer is verifiable by either side.
+type ArtifactStore interface {
+	// Lookup returns the artifact stored under key, if any. It may do
+	// network I/O; never call it while holding server locks.
+	Lookup(key string) (body []byte, address string, ok bool)
+	// Publish offers a finished artifact to the store. Best effort: the
+	// local cache already holds the result, so a lost publish costs a
+	// recompute, not correctness.
+	Publish(key string, body []byte, address string)
 }
 
 // finishedCap bounds how many finished (done/failed) job records are kept
@@ -68,11 +98,14 @@ type Server struct {
 	version string
 	mux     *http.ServeMux
 	cache   *resultCache
+	run     RunFunc
+	store   ArtifactStore
 
 	mu       sync.Mutex
 	jobs     map[string]*job // singleflight: live and recently finished jobs
 	finished []*job          // finished-job retention ring, oldest first
 	closed   bool
+	closeErr error // what queued jobs fail with once closed
 
 	queue     chan *job
 	execDone  chan struct{}
@@ -98,9 +131,16 @@ func New(cfg Config) *Server {
 		version:  version,
 		mux:      http.NewServeMux(),
 		cache:    newResultCache(cfg.CacheBytes),
+		run:      cfg.Run,
+		store:    cfg.Store,
 		jobs:     make(map[string]*job),
 		queue:    make(chan *job, cfg.QueueDepth),
 		execDone: make(chan struct{}),
+	}
+	if s.run == nil {
+		s.run = func(spec *scenario.Spec, seed uint64, opts scenario.RunOptions) (*metrics.Artifact, error) {
+			return scenario.Run(spec, seed, opts)
+		}
 	}
 	s.mux.HandleFunc("POST /experiments", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs/{key}", s.handleJob)
@@ -120,9 +160,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // concurrently; it does not stop an enclosing http.Server — shut that down
 // first so no new jobs arrive.
 func (s *Server) Close() error {
+	return s.shutdown(errors.New("serve: server closed"))
+}
+
+// Drain is the graceful SIGTERM path: stop admitting, let the run in
+// flight finish, and fail every still-queued job with a status that names
+// the drain (clients see "failed: server draining" rather than a generic
+// close, so they know to resubmit elsewhere). Like Close it is idempotent
+// — whichever of the two runs first decides the message — and it does not
+// stop an enclosing http.Server; shut that down first.
+func (s *Server) Drain() error {
+	return s.shutdown(errors.New("serve: server draining; job not started, resubmit"))
+}
+
+func (s *Server) shutdown(reason error) error {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
 		s.closed = true
+		s.closeErr = reason
 		s.mu.Unlock()
 		close(s.queue)
 		<-s.execDone
@@ -145,10 +200,10 @@ func (s *Server) execute() {
 	defer close(s.execDone)
 	for j := range s.queue {
 		s.mu.Lock()
-		closed := s.closed
+		closed, reason := s.closed, s.closeErr
 		s.mu.Unlock()
 		if closed {
-			j.fail(errors.New("serve: server closed"))
+			j.fail(reason)
 			s.retire(j)
 			continue
 		}
@@ -159,7 +214,7 @@ func (s *Server) execute() {
 func (s *Server) runJob(j *job) {
 	j.setRunning()
 	s.runs.Add(1)
-	a, err := scenario.Run(j.spec, j.seed, scenario.RunOptions{
+	a, err := s.run(j.spec, j.seed, scenario.RunOptions{
 		Workers:       s.cfg.Workers,
 		Progress:      j.progress,
 		PointProgress: j.pointProgress,
@@ -175,7 +230,11 @@ func (s *Server) runJob(j *job) {
 		s.retire(j)
 		return
 	}
-	s.cache.Put(j.key, body, metrics.AddressBytes(body))
+	address := metrics.AddressBytes(body)
+	s.cache.Put(j.key, body, address)
+	if s.store != nil {
+		s.store.Publish(j.key, body, address)
+	}
 	j.finish()
 	s.retire(j)
 }
@@ -281,6 +340,40 @@ func (s *Server) cacheKey(spec *scenario.Spec, seed uint64) (string, error) {
 	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// lookup resolves a cache key against the local LRU first, then — on a
+// local miss — the shared store, filling the local cache from a remote hit
+// so repeat queries stay local. The store may do network I/O; callers must
+// not hold s.mu.
+func (s *Server) lookup(key string) (body []byte, address string, ok bool) {
+	if body, address, ok = s.cache.Get(key); ok {
+		return body, address, true
+	}
+	if s.store == nil {
+		return nil, "", false
+	}
+	body, address, ok = s.store.Lookup(key)
+	if !ok {
+		return nil, "", false
+	}
+	s.cache.Put(key, body, address)
+	return body, address, true
+}
+
+// CachedResult returns the artifact under key from this node's local cache
+// alone — no remote consultation, so a store server can answer peers from
+// it without recursing into the federation layer.
+func (s *Server) CachedResult(key string) (body []byte, address string, ok bool) {
+	return s.cache.Get(key)
+}
+
+// StoreResult inserts an artifact published by another node into this
+// node's cache under its cache key. The address is recomputed from the
+// bytes — content addressing makes a corrupt or mislabeled publish
+// self-evident downstream, never silently served under a wrong ETag.
+func (s *Server) StoreResult(key string, body []byte) {
+	s.cache.Put(key, body, metrics.AddressBytes(body))
+}
+
 // maxRequestBytes bounds a submit body; specs are small, hostile bodies are
 // not.
 const maxRequestBytes = 1 << 20
@@ -309,15 +402,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ResultURL: "/results/" + key,
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, address, ok := s.cache.Get(key); ok {
+	// The federated lookup may do network I/O, so it runs before the lock;
+	// the singleflight checks below re-consult the local cache (cheap) for
+	// anything that landed in between.
+	if _, address, ok := s.lookup(key); ok {
 		resp.Status = StateDone
 		resp.Cached = true
 		resp.Address = address
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if j, ok := s.jobs[key]; ok {
 		st := j.status()
 		if st.Status == StateQueued || st.Status == StateRunning {
@@ -374,7 +471,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	body, address, ok := s.cache.Get(key)
+	body, address, ok := s.lookup(key)
 	if !ok {
 		s.mu.Lock()
 		j, live := s.jobs[key]

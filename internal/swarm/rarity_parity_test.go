@@ -14,14 +14,13 @@ import (
 // equals a from-scratch recount of the current swarm state.
 func checkRarityParity(t *testing.T, s *Sim) {
 	t.Helper()
-	row := make([]uint16, s.cfg.Pieces)
+	row := make([]int, s.cfg.Pieces)
 	for v := 0; v < s.n; v++ {
 		s.recountRarityRow(v, row)
-		live := s.rarityRow(v)
 		for p := range row {
-			if live[p] != row[p] {
+			if live := s.rarityAt(v, p); live != row[p] {
 				t.Fatalf("tick %d node %d piece %d: maintained rarity %d, recount %d",
-					s.tick, v, p, live[p], row[p])
+					s.tick, v, p, live, row[p])
 			}
 		}
 	}
@@ -59,6 +58,9 @@ func runWithParityChecks(t *testing.T, cfg Config, seed uint64, opts ...Option) 
 // policies, and both evaluation paths (sequential and sharded — the
 // workers-1 vs workers-8 split on a multicore box), the delta-maintained
 // rarity counters must equal a from-scratch recount at every tick boundary.
+// Every case additionally runs with uint16 counter rows forced (the
+// fallback for degrees above 255; these configs naturally pick uint8) and
+// both widths must produce the identical Result.
 // The configs exercise every mutation source the deltas must cover: protocol
 // transfers, endgame pulls, attacker fills, completion departures
 // (SeedAfterComplete=false), and seed departure.
@@ -113,11 +115,21 @@ func TestIncrementalRarityMatchesRescan(t *testing.T) {
 				t.Run(name, func(t *testing.T) {
 					cfg := c.cfg()
 					cfg.Selection = sel
-					opts := []Option{WithEvalParallel(par)}
-					if c.adv != nil {
-						opts = append(opts, WithAdversary(c.adv()))
+					// mkOpts builds a fresh option set per run: the
+					// adversary carries state, so narrow and wide must
+					// each get their own instance.
+					mkOpts := func(extra ...Option) []Option {
+						opts := append([]Option{WithEvalParallel(par)}, extra...)
+						if c.adv != nil {
+							opts = append(opts, WithAdversary(c.adv()))
+						}
+						return opts
 					}
-					runWithParityChecks(t, cfg, 42, opts...)
+					narrow := runWithParityChecks(t, cfg, 42, mkOpts()...)
+					wide := runWithParityChecks(t, cfg, 42, mkOpts(WithWideRarity())...)
+					if narrow != wide {
+						t.Fatalf("uint16 rarity rows diverged from uint8:\n%+v\nvs\n%+v", wide, narrow)
+					}
 				})
 			}
 		}
@@ -186,17 +198,74 @@ func TestIncrementalRarityProperty(t *testing.T) {
 		}
 		seed := rng.Uint64()
 		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
-			var results [2]Result
-			for i, par := range []bool{false, true} {
-				opts := []Option{WithEvalParallel(par)}
+			// Every trial config has PeerSetSize ≤ 16, so the sequential
+			// and sharded runs naturally pick uint8 rarity rows; the third
+			// variant forces the uint16 fallback on the same config and
+			// must agree bit-for-bit.
+			variants := []struct {
+				name string
+				opts []Option
+			}{
+				{"sequential", []Option{WithEvalParallel(false)}},
+				{"sharded", []Option{WithEvalParallel(true)}},
+				{"wide rarity", []Option{WithEvalParallel(false), WithWideRarity()}},
+			}
+			results := make([]Result, len(variants))
+			for i, vr := range variants {
+				opts := vr.opts
 				if mkAdv != nil {
-					opts = append(opts, WithAdversary(mkAdv()))
+					opts = append(opts[:len(opts):len(opts)], WithAdversary(mkAdv()))
 				}
 				results[i] = runWithParityChecks(t, cfg, seed, opts...)
 			}
-			if results[0] != results[1] {
-				t.Fatalf("sharded evaluation diverged from sequential:\n%+v\nvs\n%+v", results[0], results[1])
+			for i := 1; i < len(results); i++ {
+				if results[i] != results[0] {
+					t.Fatalf("%s evaluation diverged from %s:\n%+v\nvs\n%+v",
+						variants[i].name, variants[0].name, results[i], results[0])
+				}
 			}
 		})
+	}
+}
+
+// TestRarityWidthSelection pins the storage-width choice itself: uint8
+// rarity rows when the maximum degree fits uint8 (halving the two counter
+// arenas), the uint16 fallback above 255 or under WithWideRarity.
+func TestRarityWidthSelection(t *testing.T) {
+	small := DefaultConfig()
+	small.Leechers = 40
+	small.Pieces = 24
+	small.PeerSetSize = 10
+	small.Ticks = 60
+
+	s, err := New(small, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.wideRarity || s.rarity8 == nil || s.rarity16 != nil {
+		t.Fatalf("max degree ≤ 255 must pick uint8 rarity rows")
+	}
+	forced, err := New(small, 7, WithWideRarity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forced.wideRarity || forced.rarity16 == nil || forced.rarity8 != nil {
+		t.Fatalf("WithWideRarity must force uint16 rarity rows")
+	}
+
+	big := DefaultConfig()
+	big.Leechers = 600
+	big.PeerSetSize = 520 // degree 260 > 255: uint8 counters could overflow
+	big.Pieces = 8
+	big.Ticks = 3
+	b, err := New(big, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.wideRarity || b.rarity16 == nil {
+		t.Fatalf("degree above 255 must fall back to uint16 rarity rows")
+	}
+	if _, err := b.Run(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -52,6 +52,7 @@ package swarm
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 	"slices"
 	"sort"
@@ -347,10 +348,21 @@ type Sim struct {
 	// the transfer pass reads (see snapFor): rarity judged from the local
 	// view a receiver froze at its first transfer of the tick, exactly the
 	// lazy semantics of the rescan implementation.
-	rarity   []uint16
-	snap     []uint16
-	snapTick []int32
-	holders  []int32
+	//
+	// A counter counts holders among one node's neighbors, so it is
+	// bounded by that node's degree: when the maximum degree fits uint8
+	// the narrow arenas are used — halving the two largest counter arenas
+	// — and uint16 is the fallback above 255 (or under WithWideRarity).
+	// Exactly one pair is non-nil; every access dispatches on wideRarity
+	// into code generic over the cell width, so both widths run the same
+	// arithmetic and produce bit-identical results (parity-suite pinned).
+	rarity8    []uint8
+	snap8      []uint8
+	rarity16   []uint16
+	snap16     []uint16
+	wideRarity bool
+	snapTick   []int32
+	holders    []int32
 
 	// leeching counts nodes in [0, Leechers) still in stateLeeching, so
 	// the done check is O(1) instead of an O(n) scan per tick.
@@ -398,6 +410,21 @@ func WithEvalParallel(on bool) Option {
 // sharded reports whether the pure-read passes run on the worker pool.
 func (s *Sim) sharded() bool {
 	return s.evalParallel > 0 || (s.evalParallel == 0 && s.n >= evalParallelMinNodes)
+}
+
+// rarityCell is the set of storage widths a rarity counter row can use.
+// The rarity-touching hot paths (transfer snapshots, rarest-first piece
+// selection, the gain/departure delta loops, the initial build) are generic
+// over it, so the narrow and wide arenas run the same arithmetic.
+type rarityCell interface{ uint8 | uint16 }
+
+// WithWideRarity forces uint16 rarity counter rows even when the maximum
+// degree fits uint8 and the narrow arenas would naturally be picked.
+// Results are bit-identical either way — the parity suite pins it — so the
+// option exists only to let tests drive the wide fallback on small
+// configurations.
+func WithWideRarity() Option {
+	return func(s *Sim) { s.wideRarity = true }
 }
 
 // New builds a Sim, deterministic in (cfg, seed). Node ids 0..Leechers-1
@@ -471,8 +498,18 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 	s.wpn = (cfg.Pieces + 63) / 64
 	s.pieceWords = make([]uint64, n*s.wpn)
 	s.pieceCnt = make([]int32, n)
-	s.rarity = make([]uint16, n*cfg.Pieces)
-	s.snap = make([]uint16, n*cfg.Pieces)
+	if maxDeg > math.MaxUint8 {
+		// A rarity counter is bounded by its node's degree; above uint8
+		// range the wide arenas are the only correct choice.
+		s.wideRarity = true
+	}
+	if s.wideRarity {
+		s.rarity16 = make([]uint16, n*cfg.Pieces)
+		s.snap16 = make([]uint16, n*cfg.Pieces)
+	} else {
+		s.rarity8 = make([]uint8, n*cfg.Pieces)
+		s.snap8 = make([]uint8, n*cfg.Pieces)
+	}
 	s.snapTick = make([]int32, n)
 	s.holders = make([]int32, cfg.Pieces)
 	// The rarity increments, piece-word probes, and reciprocation bumps hit
@@ -480,8 +517,10 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 	// TLB walk per probe on 4K pages, which serializes ahead of the cache
 	// miss itself. Huge pages make the walks free (hint only — results are
 	// identical without it).
-	sim.AdviseHugePages(s.rarity)
-	sim.AdviseHugePages(s.snap)
+	sim.AdviseHugePages(s.rarity8)
+	sim.AdviseHugePages(s.snap8)
+	sim.AdviseHugePages(s.rarity16)
+	sim.AdviseHugePages(s.snap16)
 	sim.AdviseHugePages(s.pieceWords)
 	sim.AdviseHugePages(s.pieceCnt)
 	sim.AdviseHugePages(s.revPos)
@@ -628,9 +667,20 @@ func (s *Sim) appendMissing(v int, buf []int) []int {
 // The per-node rows are a pure read of neighbor state, so the build shards
 // across the worker pool for large populations.
 func (s *Sim) rebuildRarity() {
+	if s.wideRarity {
+		rebuildRows(s, s.rarity16)
+	} else {
+		rebuildRows(s, s.rarity8)
+	}
+	s.recountHolders(s.holders)
+}
+
+// rebuildRows recounts every row of the given rarity arena.
+func rebuildRows[T rarityCell](s *Sim, arena []T) {
+	P := s.cfg.Pieces
 	rebuild := func(start, end int) {
 		for v := start; v < end; v++ {
-			s.recountRarityRow(v, s.rarityRow(v))
+			recountRow(s, v, arena[v*P:(v+1)*P])
 		}
 	}
 	if s.sharded() {
@@ -638,20 +688,36 @@ func (s *Sim) rebuildRarity() {
 	} else {
 		rebuild(0, s.n)
 	}
-	s.recountHolders(s.holders)
 }
 
-// rarityRow returns v's live rarity counter row.
-func (s *Sim) rarityRow(v int) []uint16 {
-	P := s.cfg.Pieces
-	return s.rarity[v*P : (v+1)*P]
+// recountRow writes a from-scratch recount of v's local rarity view — per
+// piece, the number of v's non-departed neighbors holding it — into dst.
+func recountRow[T rarityCell](s *Sim, v int, dst []T) {
+	clear(dst)
+	for _, nb := range s.adj(v) {
+		if s.nodeState[nb] == stateDeparted {
+			continue
+		}
+		s.forEachPiece(int(nb), func(p int) { dst[p]++ })
+	}
 }
 
-// recountRarityRow writes a from-scratch recount of v's local rarity view —
-// per piece, the number of v's non-departed neighbors holding it — into
-// dst. This is the reference implementation the incremental counters are
-// parity-tested against; the hot path never calls it after construction.
-func (s *Sim) recountRarityRow(v int, dst []uint16) {
+// rarityAt returns the maintained rarity counter for (v, p), width-blind —
+// the accessor the parity suite reads the live state through.
+func (s *Sim) rarityAt(v, p int) int {
+	if s.wideRarity {
+		return int(s.rarity16[v*s.cfg.Pieces+p])
+	}
+	return int(s.rarity8[v*s.cfg.Pieces+p])
+}
+
+// recountRarityRow writes a from-scratch recount of v's local rarity view
+// into dst, width-free. This is the reference implementation the
+// incremental counters are parity-tested against; it deliberately shares no
+// code with the width-typed recountRow the arena builds use, so the parity
+// suite checks the maintained state against an independent computation. The
+// hot path never calls it after construction.
+func (s *Sim) recountRarityRow(v int, dst []int) {
 	clear(dst)
 	for _, nb := range s.adj(v) {
 		if s.nodeState[nb] == stateDeparted {
@@ -697,10 +763,25 @@ func (s *Sim) gainPiece(v, p int) {
 	s.pieceWords[wi] |= m
 	s.pieceCnt[v]++
 	s.holders[p]++
-	P := s.cfg.Pieces
-	r := s.rarity
-	for _, w := range s.adj(v) {
+	if s.wideRarity {
+		bumpRows(s.rarity16, s.adj(v), s.cfg.Pieces, p)
+	} else {
+		bumpRows(s.rarity8, s.adj(v), s.cfg.Pieces, p)
+	}
+}
+
+// bumpRows adds one to piece p's counter in every listed neighbor's row.
+func bumpRows[T rarityCell](r []T, adj []int32, P, p int) {
+	for _, w := range adj {
 		r[int(w)*P+p]++
+	}
+}
+
+// dropRows subtracts one from piece p's counter in every listed neighbor's
+// row.
+func dropRows[T rarityCell](r []T, adj []int32, P, p int) {
+	for _, w := range adj {
+		r[int(w)*P+p]--
 	}
 }
 
@@ -714,11 +795,12 @@ func (s *Sim) departNode(v int) {
 	s.nodeState[v] = stateDeparted
 	P := s.cfg.Pieces
 	adj := s.adj(v)
-	r := s.rarity
 	s.forEachPiece(v, func(p int) {
 		s.holders[p]--
-		for _, w := range adj {
-			r[int(w)*P+p]--
+		if s.wideRarity {
+			dropRows(s.rarity16, adj, P, p)
+		} else {
+			dropRows(s.rarity8, adj, P, p)
 		}
 	})
 }
@@ -1027,33 +1109,44 @@ func (s *Sim) hasPieceFor(v, p int) bool {
 	return false
 }
 
-// snapFor returns receiver v's piece-rarity view for the current tick.
-// Rarity is judged from each receiver's local peer-set view, as in
-// BitTorrent: a global snapshot would make every receiver chase the same
-// piece each tick (herding), destroying the diversity the policy exists to
-// create. The view a receiver takes at its first transfer of the tick is
-// frozen for the rest of the tick — the semantics the rescan implementation
-// had — by copying the live counter row once per receiver per tick: O(Pieces)
-// instead of the rescan's O(degree·pieces).
-func (s *Sim) snapFor(v int) []uint16 {
+// snapFor returns receiver v's piece-rarity view for the current tick, read
+// from the given live/snapshot arena pair. Rarity is judged from each
+// receiver's local peer-set view, as in BitTorrent: a global snapshot would
+// make every receiver chase the same piece each tick (herding), destroying
+// the diversity the policy exists to create. The view a receiver takes at
+// its first transfer of the tick is frozen for the rest of the tick — the
+// semantics the rescan implementation had — by copying the live counter row
+// once per receiver per tick: O(Pieces) instead of the rescan's
+// O(degree·pieces).
+func snapFor[T rarityCell](s *Sim, rarity, snap []T, v int) []T {
 	P := s.cfg.Pieces
-	row := s.snap[v*P : (v+1)*P]
+	row := snap[v*P : (v+1)*P]
 	if s.snapTick[v] == int32(s.tick) {
 		return row
 	}
 	if s.prof != nil {
 		t := time.Now()
-		copy(row, s.rarity[v*P:(v+1)*P])
+		copy(row, rarity[v*P:(v+1)*P])
 		s.prof.d[phaseRarity] += time.Since(t)
 	} else {
-		copy(row, s.rarity[v*P:(v+1)*P])
+		copy(row, rarity[v*P:(v+1)*P])
 	}
 	s.snapTick[v] = int32(s.tick)
 	return row
 }
 
-// transferStep moves one piece along every unchoked, interested link.
+// transferStep moves one piece along every unchoked, interested link. The
+// body is generic over the rarity counter width; this dispatcher binds the
+// arena pair once per tick.
 func (s *Sim) transferStep() {
+	if s.wideRarity {
+		transferPass(s, s.rarity16, s.snap16)
+	} else {
+		transferPass(s, s.rarity8, s.snap8)
+	}
+}
+
+func transferPass[T rarityCell](s *Sim, rarity, snap []T) {
 	rng := s.rng.ChildN("transfer", s.tick)
 	order := rng.PermInto(s.permBuf, s.n)
 	s.permBuf = order
@@ -1079,11 +1172,11 @@ func (s *Sim) transferStep() {
 			if s.nodeState[p] != stateLeeching {
 				continue
 			}
-			var counts []uint16
+			var counts []T
 			if snapshots {
-				counts = s.snapFor(p)
+				counts = snapFor(s, rarity, snap, p)
 			}
-			piece, ok := s.selectPiece(v, p, counts, rng)
+			piece, ok := selectPiece(s, v, p, counts, rng)
 			if !ok {
 				continue
 			}
@@ -1104,7 +1197,7 @@ func (s *Sim) transferStep() {
 // order the historical materialized candidate slice had, so the RNG draws
 // (one IntN over the candidate count, or one over the tie count) are
 // exactly the draws that implementation made.
-func (s *Sim) selectPiece(sender, receiver int, counts []uint16, rng *simrng.Source) (int, bool) {
+func selectPiece[T rarityCell](s *Sim, sender, receiver int, counts []T, rng *simrng.Source) (int, bool) {
 	W := s.wpn
 	sb := s.pieceWords[sender*W : sender*W+W]
 	rb := s.pieceWords[receiver*W : receiver*W+W]
@@ -1121,7 +1214,7 @@ func (s *Sim) selectPiece(sender, receiver int, counts []uint16, rng *simrng.Sou
 	// Rarest first, breaking ties uniformly at random: deterministic
 	// tie-breaking would make every receiver chase the same piece and
 	// destroy diversity — the opposite of the policy's purpose.
-	best := uint16(1<<16 - 1)
+	best := ^T(0)
 	ties := 0
 	for i, w := range sb {
 		d := w &^ rb[i]
