@@ -1,16 +1,19 @@
 # Developer loops for the lotuseater reproduction.
 #
-#   make            # build + vet + test (the tier-1 gate)
+#   make            # build + vet + lint + test (the tier-1 gate)
+#   make lint       # project analyzers (lotus-lint) over the whole module
+#   make fmt        # gofmt the tree in place
 #   make bench      # scenario benchmarks -> BENCH_scenarios.json
 #   make bench-go   # go test registry micro-benchmarks
 #   make figures    # regenerate every table/figure at quick fidelity
 #   make race       # race-check the concurrency kernel + strategy layer
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build test vet race bench bench-go check-stats figures list scenarios golden cover clean
+.PHONY: all build test vet lint fmt fmt-check race bench bench-go check-stats figures list scenarios golden cover clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -20,6 +23,20 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: the determinism and hot-path rules
+# (detrand, maprange, rngshard, allocfree) enforced by cmd/lotus-lint.
+# Non-zero exit on any finding; see README "Static analysis".
+lint:
+	$(GO) run ./cmd/lotus-lint ./...
+
+fmt:
+	$(GOFMT) -w .
+
+# CI gate: fail listing any file gofmt would rewrite.
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
 	$(GO) test -race ./internal/sim/... ./internal/sweep/... ./internal/experiment/... \

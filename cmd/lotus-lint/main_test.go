@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestMatchPattern(t *testing.T) {
+	const mod = "lotuseater"
+	cases := []struct {
+		pattern, importPath string
+		want                bool
+	}{
+		{".", "lotuseater/internal/gossip", true},
+		{"./...", "lotuseater/cmd/lotus-lint", true},
+		{"./internal/...", "lotuseater/internal/gossip", true},
+		{"./internal/...", "lotuseater/internal/sim", true},
+		{"./internal/...", "lotuseater/cmd/lotus-sim", false},
+		{"./internal/gossip", "lotuseater/internal/gossip", true},
+		{"./internal/gossip", "lotuseater/internal/gossipx", false},
+		{"./internal/gossip/...", "lotuseater/internal/gossip", true},
+		{"lotuseater/internal/swarm", "lotuseater/internal/swarm", true},
+		{"lotuseater/internal/swarm", "lotuseater/internal/sim", false},
+		{"lotuseater/...", "lotuseater/internal/sim", true},
+	}
+	for _, tc := range cases {
+		if got := matchPattern(tc.pattern, mod, tc.importPath); got != tc.want {
+			t.Errorf("matchPattern(%q, %q, %q) = %v, want %v", tc.pattern, mod, tc.importPath, got, tc.want)
+		}
+	}
+}

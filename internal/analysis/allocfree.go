@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFree is the hot-path guard: a function whose doc carries
+// //lotus:allocfree promises a steady-state body with no O(work) heap
+// traffic — the property the gossip/swarm alloc-growth tests measure
+// dynamically, checked here at the call-site level. The analyzer flags the
+// static allocation sources in the annotated function's own body: make/new,
+// map and slice composite literals, &T{...}, fmt calls (they allocate and
+// box), and explicit conversions to interface types. Callee bodies are not
+// traversed — annotate the callees that matter. Statements that are
+// genuinely setup (pool growth on first use, cold error paths) are exempted
+// with //lotus:allocsetup <reason> or //lotus:ignore allocfree <reason>.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc: "functions annotated //lotus:allocfree may not allocate outside " +
+		"//lotus:allocsetup blocks: no make/new, map/slice literals, &T{}, fmt calls, or interface boxing",
+	Run: runAllocFree,
+}
+
+func runAllocFree(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		dirs := pass.directivesFor(file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !docHasDirective(fd.Doc, dirAllocFree) {
+				continue
+			}
+			checkAllocFree(pass, fd, dirs)
+		}
+	}
+}
+
+func checkAllocFree(pass *Pass, fd *ast.FuncDecl, dirs *fileDirectives) {
+	info := pass.Pkg.Info
+	fset := pass.Mod.Fset
+	// &T{...} is reported at the unary op; remember the literal so the
+	// composite-literal case doesn't report it a second time.
+	addrTaken := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if stmt, ok := n.(ast.Stmt); ok {
+			if _, setup := dirs.allocsetup[fset.Position(stmt.Pos()).Line]; setup {
+				return false
+			}
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkAllocCall(pass, e)
+		case *ast.UnaryExpr:
+			if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && e.Op == token.AND {
+				addrTaken[lit] = true
+				pass.Reportf(e.Pos(), "&%s{...} escapes to the heap in an allocfree function; reuse pooled storage or move it to an //lotus:allocsetup block", litTypeName(pass, lit))
+			}
+		case *ast.CompositeLit:
+			if addrTaken[e] {
+				return true
+			}
+			switch info.TypeOf(e).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(e.Pos(), "map literal allocates in an allocfree function")
+			case *types.Slice:
+				pass.Reportf(e.Pos(), "slice literal allocates a backing array in an allocfree function")
+			}
+		}
+		return true
+	})
+}
+
+func checkAllocCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	// Conversion to an interface type boxes its operand. A type parameter's
+	// underlying is its constraint interface, but converting to one (T(x))
+	// stays unboxed — instantiation substitutes a concrete type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if _, isParam := types.Unalias(tv.Type).(*types.TypeParam); isParam {
+			return
+		}
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := info.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) && !isUntypedNil(at) {
+				pass.Reportf(call.Pos(), "conversion to %s boxes its operand onto the heap in an allocfree function", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Pkg)))
+			}
+		}
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			if name := b.Name(); name == "make" || name == "new" {
+				pass.Reportf(call.Pos(), "%s allocates in an allocfree function; size buffers during setup and reslice here", name)
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s formats through reflection — it allocates and boxes every operand; hot paths report via pre-sized state, cold error paths get //lotus:allocsetup or //lotus:ignore allocfree", fn.Name())
+		}
+	}
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func litTypeName(pass *Pass, lit *ast.CompositeLit) string {
+	if t := pass.Pkg.Info.TypeOf(lit); t != nil {
+		return types.TypeString(t, types.RelativeTo(pass.Pkg.Pkg))
+	}
+	return "T"
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detrand enforces the repo's first determinism rule: inside the simulation
+// packages every result is a pure function of (spec, seed), so wall-clock
+// reads and the process-global random generators are banned. Randomness
+// flows through a *simrng.Source (explicitly seeded, splittable); timing
+// belongs to the harness layers outside the replicate boundary. Profiling
+// sites that feed observability (never observations) carry a
+// //lotus:ignore detrand annotation with the audit note.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid time.Now/time.Since and global math/rand draws in simulation packages; " +
+		"all randomness must come from a *simrng.Source",
+	Run: runDetrand,
+}
+
+func runDetrand(pass *Pass) {
+	if !pass.Cfg.IsSim(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods run on an explicit
+			// receiver the caller seeded (e.g. a *rand.Rand inside simrng).
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock inside a simulation package; results must be a pure function of (spec, seed) — count rounds/ticks instead, or move the timing outside the replicate boundary",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Constructors (New, NewPCG, NewChaCha8, NewZipf, NewSource)
+				// build explicitly seeded local generators and are fine;
+				// everything else draws from the shared process-global
+				// source, which is seeded nondeterministically.
+				if !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(sel.Pos(),
+						"%s.%s draws from the process-global generator; derive a stream from a *simrng.Source (Child/ChildN) so the draw is a function of the seed",
+						fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The repo's annotation vocabulary. Each directive is a regular //-comment
+// (no space after //, like //go:build) and applies to the line it trails,
+// or — when it stands on a line of its own — to the next line.
+//
+//	//lotus:ignore <analyzer> <reason>   suppress one analyzer at one site
+//	//lotus:orderinvariant <reason>      this map range is order-invariant
+//	//lotus:allocsetup <reason>          this statement is setup, may allocate
+//	//lotus:allocfree                    (on a func's doc) body must not allocate
+//
+// Reasons are mandatory for the first three: an annotation is a reviewed
+// claim, and the reason is the review note the next reader audits.
+const (
+	dirIgnore         = "ignore"
+	dirOrderInvariant = "orderinvariant"
+	dirAllocSetup     = "allocsetup"
+	dirAllocFree      = "allocfree"
+)
+
+// fileDirectives indexes one file's //lotus: annotations by the source line
+// they govern.
+type fileDirectives struct {
+	// ignore[line][analyzer] = reason
+	ignore map[int]map[string]string
+	// orderinvariant[line] / allocsetup[line] = reason
+	orderinvariant map[int]string
+	allocsetup     map[int]string
+	// malformed directives are themselves diagnostics (analyzer "directive")
+	malformed []Diagnostic
+}
+
+func (d *fileDirectives) ignoredAt(line int, analyzer string) bool {
+	if d == nil {
+		return false
+	}
+	_, ok := d.ignore[line][analyzer]
+	return ok
+}
+
+// parseDirectives scans a file's comments for //lotus: annotations. src is
+// the file's raw bytes, used to decide whether a comment trails code on its
+// line (governs that line) or stands alone (governs the next line).
+func parseDirectives(fset *token.FileSet, file *ast.File, src []byte) *fileDirectives {
+	d := &fileDirectives{
+		ignore:         make(map[int]map[string]string),
+		orderinvariant: make(map[int]string),
+		allocsetup:     make(map[int]string),
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			body, ok := strings.CutPrefix(c.Text, "//lotus:")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			verb, rest, _ := strings.Cut(strings.TrimSpace(body), " ")
+			rest = strings.TrimSpace(rest)
+			line := pos.Line
+			if standalone(src, fset, c.Pos()) {
+				line = pos.Line + 1
+			}
+			switch verb {
+			case dirIgnore:
+				analyzer, reason, _ := strings.Cut(rest, " ")
+				if analyzer == "" || strings.TrimSpace(reason) == "" {
+					d.badDirective(pos, "//lotus:ignore needs an analyzer and a reason: //lotus:ignore <analyzer> <reason>")
+					continue
+				}
+				if d.ignore[line] == nil {
+					d.ignore[line] = make(map[string]string)
+				}
+				d.ignore[line][analyzer] = strings.TrimSpace(reason)
+			case dirOrderInvariant:
+				if rest == "" {
+					d.badDirective(pos, "//lotus:orderinvariant needs a reason explaining why iteration order cannot reach an observation")
+					continue
+				}
+				d.orderinvariant[line] = rest
+			case dirAllocSetup:
+				if rest == "" {
+					d.badDirective(pos, "//lotus:allocsetup needs a reason (what is being set up, why it is off the steady-state path)")
+					continue
+				}
+				d.allocsetup[line] = rest
+			case dirAllocFree:
+				// Consumed by the allocfree analyzer straight off func docs;
+				// nothing to index here.
+			default:
+				d.badDirective(pos, "unknown directive //lotus:"+verb)
+			}
+		}
+	}
+	return d
+}
+
+func (d *fileDirectives) badDirective(pos token.Position, msg string) {
+	d.malformed = append(d.malformed, Diagnostic{
+		Analyzer: "directive",
+		Pos:      pos,
+		Message:  msg,
+	})
+}
+
+// standalone reports whether the comment at pos is the first non-blank text
+// on its line (so the directive governs the following line, not this one).
+func standalone(src []byte, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	off := p.Offset
+	for off > 0 && src[off-1] != '\n' {
+		c := src[off-1]
+		if c != ' ' && c != '\t' {
+			return false
+		}
+		off--
+	}
+	return true
+}
+
+// docHasDirective reports whether a declaration's doc comment carries the
+// given //lotus: directive (e.g. allocfree on a func).
+func docHasDirective(doc *ast.CommentGroup, verb string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		body, ok := strings.CutPrefix(c.Text, "//lotus:")
+		if !ok {
+			continue
+		}
+		got, _, _ := strings.Cut(strings.TrimSpace(body), " ")
+		if got == verb {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestParseDirectives pins the two targeting rules (a trailing directive
+// governs its own line, a standalone one governs the next line) and the
+// mandatory-reason contract: a reasonless ignore/orderinvariant/allocsetup,
+// or an unknown verb, is itself a "directive" diagnostic.
+func TestParseDirectives(t *testing.T) {
+	const src = `package p
+
+func f() {
+	x := 1 //lotus:ignore detrand because the test says so
+	//lotus:orderinvariant commutative fold
+	y := 2
+	//lotus:allocsetup pool growth on first use
+	z := 3
+	//lotus:ignore maprange
+	//lotus:orderinvariant
+	//lotus:allocsetup
+	//lotus:frobnicate huh
+	_, _, _ = x, y, z
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := parseDirectives(fset, file, []byte(src))
+
+	if !d.ignoredAt(4, "detrand") {
+		t.Error("trailing ignore should govern its own line (4)")
+	}
+	if d.ignoredAt(5, "detrand") || d.ignoredAt(4, "maprange") {
+		t.Error("ignore leaked to another line or analyzer")
+	}
+	if got := d.orderinvariant[6]; got != "commutative fold" {
+		t.Errorf("standalone orderinvariant should govern the next line (6); got %q", got)
+	}
+	if got := d.allocsetup[8]; got != "pool growth on first use" {
+		t.Errorf("standalone allocsetup should govern the next line (8); got %q", got)
+	}
+
+	if len(d.malformed) != 4 {
+		t.Fatalf("malformed = %d directives, want 4: %v", len(d.malformed), d.malformed)
+	}
+	for _, bad := range d.malformed {
+		if bad.Analyzer != "directive" {
+			t.Errorf("malformed directive attributed to %q, want \"directive\"", bad.Analyzer)
+		}
+	}
+	if !strings.Contains(d.malformed[3].Message, "unknown directive //lotus:frobnicate") {
+		t.Errorf("unknown-verb message = %q", d.malformed[3].Message)
+	}
+	// A reasonless ignore must not silence anything.
+	if d.ignoredAt(9, "maprange") || d.ignoredAt(10, "maprange") {
+		t.Error("reasonless ignore must not suppress")
+	}
+}
+
+func TestDocHasDirective(t *testing.T) {
+	const src = `package p
+
+// G does a thing.
+//
+//lotus:allocfree
+func G() {}
+
+// H does another thing.
+func H() {}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := file.Decls[0].(*ast.FuncDecl)
+	h := file.Decls[1].(*ast.FuncDecl)
+	if !docHasDirective(g.Doc, dirAllocFree) {
+		t.Error("G's doc carries //lotus:allocfree (after a prose line and a blank separator)")
+	}
+	if docHasDirective(h.Doc, dirAllocFree) {
+		t.Error("H's doc does not carry //lotus:allocfree")
+	}
+	if docHasDirective(g.Doc, dirOrderInvariant) {
+		t.Error("docHasDirective must match the exact verb")
+	}
+}

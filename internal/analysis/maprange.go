@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange enforces the second determinism rule: Go randomizes map
+// iteration order per range statement, so a `range` over a map inside a
+// simulation package is a nondeterminism leak waiting to reach an
+// observation (or an error message, or an artifact) — the class of bug the
+// 1-vs-8-worker parity suites only catch after it ships. Sites where order
+// provably cannot escape (folding into a commutative reduction, building a
+// set that is sorted before use) carry //lotus:orderinvariant with the
+// reason; everything else iterates sorted keys or keeps incremental state.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "forbid range-over-map in simulation packages unless the site is annotated " +
+		"//lotus:orderinvariant <reason>",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	if !pass.Cfg.IsSim(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		dirs := pass.directivesFor(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := pass.Mod.Fset.Position(rs.For).Line
+			if _, ok := dirs.orderinvariant[line]; ok {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map: iteration order is randomized per statement and can leak into observations; iterate sorted keys (or keep incremental state), or annotate //lotus:orderinvariant <reason> if order provably cannot escape")
+			return true
+		})
+	}
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RNGShard enforces the PR 3/6 in-replicate parallelism rule: a
+// *simrng.Source is a sequential stream, so a sim.ParallelFor body must not
+// consume one — shard execution order is nondeterministic, so the draws
+// would be too. RNG-consuming passes stay sequential; parallel passes work
+// on pre-drawn state. (Deriving per-shard children inside the body still
+// reads the captured parent and is flagged: derive the children before the
+// fan-out instead.) Applies module-wide — the rule is about the API, not a
+// package list.
+var RNGShard = &Analyzer{
+	Name: "rngshard",
+	Doc: "forbid capturing a *simrng.Source in a sim.ParallelFor body closure; " +
+		"RNG-consuming passes stay sequential",
+	Run: runRNGShard,
+}
+
+func runRNGShard(pass *Pass) {
+	info := pass.Pkg.Info
+	simPath := pass.Mod.Path + "/internal/sim"
+	rngPath := pass.Mod.Path + "/internal/simrng"
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee types.Object
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.SelectorExpr:
+				callee = info.Uses[fun.Sel]
+			case *ast.Ident:
+				callee = info.Uses[fun]
+			}
+			fn, ok := callee.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != simPath || fn.Name() != "ParallelFor" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkShardBody(pass, lit, rngPath)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkShardBody flags every expression of type *simrng.Source inside the
+// shard closure whose root is declared outside it.
+func checkShardBody(pass *Pass, lit *ast.FuncLit, rngPath string) {
+	info := pass.Pkg.Info
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, what string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos,
+			"%s reaches a *simrng.Source from inside a sim.ParallelFor shard body: shard scheduling order would order the draws, breaking bit-identity across worker counts — draw (or derive per-shard children) before the fan-out and keep RNG-consuming passes sequential", what)
+	}
+	// Sel idents of selector expressions are handled by their parent
+	// selector; the plain-ident check must skip them or a safe field access
+	// would double-report against the field's (outside) declaration site.
+	selSels := make(map[*ast.Ident]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			selSels[sel.Sel] = true
+		}
+		return true
+	})
+	declaredInside := func(obj types.Object) bool {
+		return obj != nil && lit.Pos() <= obj.Pos() && obj.Pos() < lit.End()
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			if selSels[e] || !isSourcePtr(info.TypeOf(e), rngPath) {
+				return true
+			}
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			if obj != nil && !declaredInside(obj) {
+				report(e.Pos(), e.Name)
+			}
+		case *ast.SelectorExpr:
+			if !isSourcePtr(info.TypeOf(e), rngPath) {
+				return true
+			}
+			root := rootIdent(e.X)
+			if root == nil {
+				// Source produced by a call or index chain we cannot root;
+				// conservatively flag — a true per-shard source would be
+				// held in a shard-local variable.
+				report(e.Pos(), renderExpr(e))
+				return true
+			}
+			obj := info.Uses[root]
+			if obj == nil {
+				obj = info.Defs[root]
+			}
+			if obj != nil && !declaredInside(obj) {
+				report(e.Pos(), renderExpr(e))
+			}
+		}
+		return true
+	})
+}
+
+// isSourcePtr reports whether t is *simrng.Source.
+func isSourcePtr(t types.Type, rngPath string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Source" && obj.Pkg() != nil && obj.Pkg().Path() == rngPath
+}
+
+// rootIdent walks a selector/index chain down to its base identifier, or
+// nil when the base is not an identifier (a call result, a literal, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// renderExpr prints a short source-ish form of a selector chain for
+// messages (s.rng, e.state.src, ...).
+func renderExpr(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderExpr(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return renderExpr(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + renderExpr(x.X)
+	case *ast.CallExpr:
+		return renderExpr(x.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

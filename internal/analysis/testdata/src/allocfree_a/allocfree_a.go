@@ -1,0 +1,56 @@
+// Package allocfree_a exercises the allocfree analyzer: inside a function
+// annotated //lotus:allocfree every static allocation source is a violation
+// unless its statement carries //lotus:allocsetup or the site carries
+// //lotus:ignore allocfree. Unannotated functions are never inspected.
+package allocfree_a
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type pool struct {
+	buf  []int
+	tags map[int]string
+}
+
+//lotus:allocfree
+func Bad(p *pool, n int) string {
+	p.buf = make([]int, n) // want `make allocates`
+	q := new(point)        // want `new allocates`
+	q.x = n
+	m := map[int]int{} // want `map literal allocates`
+	m[1] = 2
+	s := []int{1, 2, 3}    // want `slice literal allocates`
+	pt := &point{1, 2}     // want `&point\{\.\.\.\} escapes to the heap`
+	var boxed any = any(n) // want `conversion to any boxes its operand`
+	_, _, _ = s, pt, boxed
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf formats through reflection`
+}
+
+//lotus:allocfree
+func OkSetupAndSuppression(p *pool, n int) {
+	if cap(p.buf) < n {
+		p.buf = make([]int, n) //lotus:allocsetup pool grows once on first use, then steady-state calls reuse it
+	}
+	p.buf = p.buf[:n]
+	for i := range p.buf {
+		p.buf[i] = i
+	}
+	_ = fmt.Sprint(n) //lotus:ignore allocfree testdata exercises the generic suppression
+}
+
+//lotus:allocfree
+func OkAllocFreeBody(p *pool, n int) int {
+	total := 0
+	for _, v := range p.buf {
+		total += v
+	}
+	p.buf = append(p.buf[:0], total) // append into pooled capacity: not flagged
+	return total + n
+}
+
+func OkUnannotated(n int) *point {
+	// No //lotus:allocfree annotation: allocate freely.
+	_ = fmt.Sprint(n)
+	return &point{x: n, y: len(make([]int, n))}
+}

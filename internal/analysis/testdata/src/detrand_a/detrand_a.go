@@ -1,0 +1,39 @@
+// Package detrand_a exercises the detrand analyzer: wall-clock reads and
+// global math/rand draws are violations, explicitly seeded local generators
+// and suppressed sites are not.
+package detrand_a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func Bad() float64 {
+	_ = time.Now() // want `time\.Now reads the wall clock`
+	t := time.Unix(0, 0)
+	_ = time.Since(t)                    // want `time\.Since reads the wall clock`
+	_ = rand.Intn(3)                     // want `math/rand\.Intn draws from the process-global`
+	randv2.Shuffle(1, func(i, j int) {}) // want `math/rand/v2\.Shuffle draws from the process-global`
+	return randv2.Float64()              // want `math/rand/v2\.Float64 draws from the process-global`
+}
+
+func OkLocalGenerators() float64 {
+	r := randv2.New(randv2.NewPCG(1, 2)) // constructors build seeded local streams: allowed
+	old := rand.New(rand.NewSource(7))
+	return r.Float64() + old.Float64()
+}
+
+func OkOtherTimeFuncs() time.Duration {
+	// Only Now and Since read the clock; pure constructors are fine.
+	return 3 * time.Duration(time.Unix(40, 0).Unix())
+}
+
+func OkSuppressed() time.Time {
+	return time.Now() //lotus:ignore detrand testdata exercises the trailing suppression form
+}
+
+func OkSuppressedStandalone() time.Time {
+	//lotus:ignore detrand testdata exercises the standalone suppression form
+	return time.Now()
+}

@@ -1,0 +1,57 @@
+// Package maprange_a exercises the maprange analyzer: raw map iteration is
+// a violation, annotated order-invariant sites and non-map ranges are not.
+package maprange_a
+
+type bag map[string]int
+
+func Bad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+func BadNamedMapType(b bag) int {
+	total := 0
+	for _, v := range b { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+func OkAnnotatedTrailing(m map[string]int) int {
+	total := 0
+	for _, v := range m { //lotus:orderinvariant summing ints is commutative, order cannot reach the result
+		total += v
+	}
+	return total
+}
+
+func OkAnnotatedStandalone(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lotus:orderinvariant collecting keys for the caller to sort
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func OkGenericIgnore(m map[string]int) int {
+	total := 0
+	for _, v := range m { //lotus:ignore maprange testdata exercises the generic suppression on a map range
+		total += v
+	}
+	return total
+}
+
+func OkSliceAndChannel(xs []int, ch chan int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	for v := range ch {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,71 @@
+// Package rngshard_a exercises the rngshard analyzer: a *simrng.Source
+// declared outside a sim.ParallelFor shard closure must not be reached from
+// inside it, whether through a plain identifier, a struct field, or a child
+// derivation. Pre-drawn state and suppressed sites are fine.
+package rngshard_a
+
+import (
+	"lotuseater/internal/sim"
+	"lotuseater/internal/simrng"
+)
+
+type state struct {
+	rng *simrng.Source
+	out []float64
+}
+
+func Bad(n int, rng *simrng.Source, out []float64) {
+	sim.ParallelFor(n, 64, func(shard, start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = rng.Float64() // want `rng reaches a \*simrng\.Source`
+		}
+	})
+}
+
+func BadField(n int, s *state) {
+	sim.ParallelFor(n, 64, func(shard, start, end int) {
+		for i := start; i < end; i++ {
+			s.out[i] = s.rng.Float64() // want `s\.rng reaches a \*simrng\.Source`
+		}
+	})
+}
+
+func BadChildDerivation(n int, rng *simrng.Source, out []float64) {
+	sim.ParallelFor(n, 64, func(shard, start, end int) {
+		local := rng.ChildN("shard", shard) // want `rng reaches a \*simrng\.Source`
+		for i := start; i < end; i++ {
+			out[i] = local.Float64()
+		}
+	})
+}
+
+func OkPreDrawn(n int, rng *simrng.Source, out []float64) {
+	draws := make([]float64, n)
+	for i := range draws {
+		draws[i] = rng.Float64()
+	}
+	sim.ParallelFor(n, 64, func(shard, start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = 2 * draws[i]
+		}
+	})
+}
+
+func OkShardLocalSource(n int, seeds []uint64, out []float64) {
+	// A source built inside the closure from shard-indexed immutable state
+	// is deterministic regardless of scheduling order.
+	sim.ParallelFor(n, 64, func(shard, start, end int) {
+		local := simrng.New(seeds[shard])
+		for i := start; i < end; i++ {
+			out[i] = local.Float64()
+		}
+	})
+}
+
+func OkSuppressed(n int, rng *simrng.Source, out []float64) {
+	sim.ParallelFor(n, 64, func(shard, start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = rng.Float64() //lotus:ignore rngshard testdata exercises the suppression path
+		}
+	})
+}

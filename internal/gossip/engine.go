@@ -285,13 +285,15 @@ func (e *Engine) Snapshot() (any, error) { return e.result(), nil }
 // Step simulates one round: broadcast seeding, the ideal attacker's instant
 // forwarding, the balanced-exchange phase, the optimistic-push phase,
 // defense bookkeeping, and expiry accounting.
+//
+//lotus:allocfree
 func (e *Engine) Step() error {
 	if e.round >= e.cfg.Rounds {
-		return fmt.Errorf("gossip: horizon of %d rounds exhausted", e.cfg.Rounds)
+		return fmt.Errorf("gossip: horizon of %d rounds exhausted", e.cfg.Rounds) //lotus:ignore allocfree cold guard, never taken in a steady-state round
 	}
 	targets := e.targeter.Satiated(e.round)
 	if targets.Cap() != e.cfg.Nodes {
-		return fmt.Errorf("gossip: targeter returned a set over %d nodes, want %d", targets.Cap(), e.cfg.Nodes)
+		return fmt.Errorf("gossip: targeter returned a set over %d nodes, want %d", targets.Cap(), e.cfg.Nodes) //lotus:ignore allocfree cold guard against a misbehaving custom targeter
 	}
 	// Target sets are immutable per epoch, so storing the pointer per round
 	// costs nothing: all rounds of one epoch share one set.
@@ -316,6 +318,8 @@ func (e *Engine) Step() error {
 // takeHolders returns a zeroed length-Nodes holder array, recycling one
 // retired with a past update when available, so steady-state rounds allocate
 // no per-update O(Nodes) storage.
+//
+//lotus:allocfree
 func (e *Engine) takeHolders() []bool {
 	if k := len(e.holderPool); k > 0 {
 		h := e.holderPool[k-1]
@@ -323,13 +327,16 @@ func (e *Engine) takeHolders() []bool {
 		clear(h)
 		return h
 	}
-	return make([]bool, e.cfg.Nodes)
+	return make([]bool, e.cfg.Nodes) //lotus:allocsetup pool miss — only until Lifetime updates are in flight, then every round recycles
 }
 
 // seedUpdates releases this round's updates to random nodes, per Table 1.
+//
+//lotus:allocfree
 func (e *Engine) seedUpdates() {
 	rng := e.rng.ChildN("seed", e.round)
 	for k := 0; k < e.cfg.UpdatesPerRound; k++ {
+		//lotus:ignore allocfree one bounded record per released update — population-independent, inside the alloc test's constant budget
 		u := &liveUpdate{
 			id:       UpdateID{Round: e.round, Index: k},
 			release:  e.round,
@@ -351,6 +358,8 @@ func (e *Engine) seedUpdates() {
 // to at least one attacker node this round is forwarded instantly to all
 // satiated targets, outside any exchange. Iterating the sparse member list
 // makes this O(|satiated set|) per update, not O(Nodes).
+//
+//lotus:allocfree
 func (e *Engine) idealDeliver() {
 	targets := e.targetsByRound[e.round]
 	sender := -1
@@ -385,6 +394,8 @@ type pairing struct {
 // planBalanced decides who initiates a balanced exchange this round and
 // with whom. Rational nodes initiate only when unsatiated; trade attackers
 // always initiate; crash and ideal attackers never do.
+//
+//lotus:allocfree
 func (e *Engine) planBalanced() []pairing {
 	return e.plan("balanced", func(v int) bool {
 		if e.isAttacker[v] {
@@ -396,6 +407,8 @@ func (e *Engine) planBalanced() []pairing {
 
 // planPush decides who initiates an optimistic push: rational nodes that
 // are missing old, soon-to-expire updates; trade attackers always.
+//
+//lotus:allocfree
 func (e *Engine) planPush() []pairing {
 	oldCutoff := e.round - e.cfg.RecentWindow
 	return e.plan("push", func(v int) bool {
@@ -406,6 +419,7 @@ func (e *Engine) planPush() []pairing {
 	})
 }
 
+//lotus:allocfree
 func (e *Engine) plan(label string, initiates func(v int) bool) []pairing {
 	n := e.cfg.Nodes
 	// Evaluate "does v initiate?" for every node up front. The predicate is
@@ -443,6 +457,8 @@ func (e *Engine) plan(label string, initiates func(v int) bool) []pairing {
 
 // lacksAnyLive reports whether v is missing any live update released no
 // later than maxRelease. Pass the current round to ask "is v unsatiated?".
+//
+//lotus:allocfree
 func (e *Engine) lacksAnyLive(v, maxRelease int) bool {
 	for _, u := range e.live {
 		if u.release <= maxRelease && u.deadline >= e.round && !u.holders[v] {
@@ -515,6 +531,8 @@ func (e *Engine) runPhase(_ string, pairs []pairing, exec func(pairing)) {
 
 // applyEvictions makes report-board evictions effective at round end, so
 // eviction timing does not depend on intra-round execution order.
+//
+//lotus:allocfree
 func (e *Engine) applyEvictions() {
 	if e.board == nil {
 		return
@@ -528,6 +546,8 @@ func (e *Engine) applyEvictions() {
 
 // retireExpired removes updates whose deadline has passed and accumulates
 // delivery statistics for measured ones.
+//
+//lotus:allocfree
 func (e *Engine) retireExpired() {
 	keep := e.live[:0]
 	var (

@@ -9,6 +9,8 @@ import (
 // when one is installed; the default Config-derived strategy serves exactly
 // the round's satiation targets (which also honors WithTargeter overrides,
 // since targetsByRound comes from the effective targeter).
+//
+//lotus:allocfree
 func (e *Engine) attackerServes(att, peer int) bool {
 	if e.customAdv {
 		return e.adv.OnExchange(e.round, att, peer)
@@ -27,6 +29,8 @@ func (e *Engine) attackerServes(att, peer int) bool {
 // target lacks — "more updates than a normal node would" — and keeps the
 // target's one-for-one reciprocation as inventory. It gives isolated nodes
 // nothing.
+//
+//lotus:allocfree
 func (e *Engine) execBalanced(p pairing) {
 	i, j := p.initiator, p.partner
 	if e.evicted[i] || e.evicted[j] {
@@ -50,6 +54,7 @@ func (e *Engine) execBalanced(p pairing) {
 	}
 }
 
+//lotus:allocfree
 func (e *Engine) honestBalanced(i, j int) {
 	needI := e.needsFrom(i, j, 0)
 	needJ := e.needsFrom(j, i, 1)
@@ -68,6 +73,8 @@ func (e *Engine) honestBalanced(i, j int) {
 // substrate: when a one-for-one exchange is impossible (k = 0) but one side
 // still needs updates, the other side gives up to AltruisticGive updates for
 // nothing with probability Altruism.
+//
+//lotus:allocfree
 func (e *Engine) maybeAltruistic(i, j int, needI, needJ []int) {
 	if e.cfg.Altruism <= 0 || e.cfg.AltruisticGive <= 0 {
 		return
@@ -87,6 +94,8 @@ func (e *Engine) maybeAltruistic(i, j int, needI, needJ []int) {
 // every update it holds that the target lacks. The target reciprocates the
 // ordinary one-for-one count, which the attacker keeps (it needs inventory
 // to keep satiating). Isolated nodes get nothing.
+//
+//lotus:allocfree
 func (e *Engine) attackerBalanced(att, peer int) {
 	if !e.attackerServes(att, peer) {
 		return // isolated nodes get nothing from the attacker
@@ -110,6 +119,8 @@ func (e *Engine) attackerBalanced(att, peer int) {
 // matter their size, so obedient receivers never report or throttle honest
 // trades; lotus-eater gifts are almost pure excess. attacker marks the
 // upload as attacker bandwidth.
+//
+//lotus:allocfree
 func (e *Engine) deliver(from, to int, indices []int, reciprocated int, attacker bool) {
 	if len(indices) == 0 {
 		return
@@ -155,6 +166,8 @@ func (e *Engine) fileReport(from, to int, indices []int) {
 // released updates it holds; the responder takes up to PushSize of those it
 // lacks and returns an equal count drawn from the old, soon-to-expire
 // updates the initiator is missing, padded with junk when it has none.
+//
+//lotus:allocfree
 func (e *Engine) execPush(p pairing) {
 	i, j := p.initiator, p.partner
 	if e.evicted[i] || e.evicted[j] {
@@ -182,6 +195,8 @@ func (e *Engine) execPush(p pairing) {
 // recentOffer lists live indices of recently released updates that src
 // holds and `to` lacks. slot selects the pooled output buffer (see
 // needsFrom).
+//
+//lotus:allocfree
 func (e *Engine) recentOffer(to, src int, slot int) []int {
 	cutoff := e.round - e.cfg.RecentWindow
 	out := e.takeNeeds(slot)
@@ -196,6 +211,8 @@ func (e *Engine) recentOffer(to, src int, slot int) []int {
 
 // oldNeeds lists live indices of old updates `who` lacks that src can
 // provide. slot selects the pooled output buffer (see needsFrom).
+//
+//lotus:allocfree
 func (e *Engine) oldNeeds(who, src int, slot int) []int {
 	cutoff := e.round - e.cfg.RecentWindow
 	out := e.takeNeeds(slot)
@@ -208,6 +225,7 @@ func (e *Engine) oldNeeds(who, src int, slot int) []int {
 	return out
 }
 
+//lotus:allocfree
 func (e *Engine) honestPush(i, j int) {
 	wants := e.recentOffer(j, i, 0)
 	k := min(len(wants), e.cfg.PushSize)
@@ -227,6 +245,8 @@ func (e *Engine) honestPush(i, j int) {
 // attackerPushInit is a trade attacker initiating a push: it offers the
 // recent updates it holds to a satiated target; the target takes up to
 // PushSize and reciprocates per protocol, growing the attacker's inventory.
+//
+//lotus:allocfree
 func (e *Engine) attackerPushInit(att, peer int) {
 	if !e.attackerServes(att, peer) {
 		return
@@ -248,6 +268,8 @@ func (e *Engine) attackerPushInit(att, peer int) {
 // the offered recent updates it lacks (inventory for later satiation), then
 // returns every old update a satiated target needs — excessive service — or
 // pure junk to an isolated initiator.
+//
+//lotus:allocfree
 func (e *Engine) attackerPushRespond(i, att int) {
 	fresh := e.recentOffer(att, i, 0)
 	k := min(len(fresh), e.cfg.PushSize)

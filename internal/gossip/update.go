@@ -31,6 +31,8 @@ type liveUpdate struct {
 // executor; under WithParallel execs run concurrently and must not share
 // scratch, so a nil slice (heap append) comes back instead. Each exec uses
 // at most two needs-shaped buffers at once, hence two slots.
+//
+//lotus:allocfree
 func (e *Engine) takeNeeds(slot int) []int {
 	if e.parallel {
 		return nil
@@ -39,6 +41,8 @@ func (e *Engine) takeNeeds(slot int) []int {
 }
 
 // storeNeeds writes a possibly-regrown pooled buffer back to its slot.
+//
+//lotus:allocfree
 func (e *Engine) storeNeeds(slot int, buf []int) {
 	if !e.parallel {
 		e.needScratch[slot] = buf
@@ -50,6 +54,8 @@ func (e *Engine) storeNeeds(slot int, buf []int) {
 // engine's live slice directly, appends into the slot-th pooled buffer (see
 // takeNeeds), and takes the offering side as a plain node id — a predicate
 // closure here would allocate once per exchange, O(Nodes) per round.
+//
+//lotus:allocfree
 func (e *Engine) needsFrom(dst, src int, slot int) []int {
 	out := e.takeNeeds(slot)
 	for idx, u := range e.live {
@@ -66,6 +72,8 @@ func (e *Engine) needsFrom(dst, src int, slot int) []int {
 
 // give transfers the updates at the given live indices to node dst,
 // returning how many were newly received.
+//
+//lotus:allocfree
 func (e *Engine) give(indices []int, dst int) int {
 	got := 0
 	for _, idx := range indices {

@@ -6,10 +6,25 @@ package metrics
 
 import (
 	"fmt"
+	"maps"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 )
+
+// unionXs returns the ascending union of X values across series — the row
+// order Table and CSV share. slices.Sorted over the key set keeps map
+// iteration order out of rendered artifacts entirely.
+func unionXs(series []*Series) []float64 {
+	xsSet := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	return slices.Sorted(maps.Keys(xsSet))
+}
 
 // Point is one (x, y) sample of a sweep.
 type Point struct {
@@ -153,17 +168,7 @@ func Max(xs []float64) float64 {
 // column is X (union of all X values across series, ascending), then one
 // column per series. Missing values render as "-".
 func Table(xLabel string, series ...*Series) string {
-	xsSet := map[float64]bool{}
-	for _, s := range series {
-		for _, p := range s.Points {
-			xsSet[p.X] = true
-		}
-	}
-	xs := make([]float64, 0, len(xsSet))
-	for x := range xsSet {
-		xs = append(xs, x)
-	}
-	sort.Float64s(xs)
+	xs := unionXs(series)
 
 	header := make([]string, 0, len(series)+1)
 	header = append(header, xLabel)
@@ -232,17 +237,7 @@ func RenderRows(rows [][]string) string {
 // CSV renders series as comma-separated values with an x column followed by
 // one column per series (same layout as Table).
 func CSV(xLabel string, series ...*Series) string {
-	xsSet := map[float64]bool{}
-	for _, s := range series {
-		for _, p := range s.Points {
-			xsSet[p.X] = true
-		}
-	}
-	xs := make([]float64, 0, len(xsSet))
-	for x := range xsSet {
-		xs = append(xs, x)
-	}
-	sort.Float64s(xs)
+	xs := unionXs(series)
 
 	var b strings.Builder
 	b.WriteString(csvEscape(xLabel))

@@ -2,7 +2,8 @@ package scenario
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 	"sync"
 )
 
@@ -44,10 +45,9 @@ func All() []*Spec {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	out := make([]*Spec, 0, len(registry))
-	for _, s := range registry {
-		out = append(out, s.Clone())
+	for _, name := range slices.Sorted(maps.Keys(registry)) {
+		out = append(out, registry[name].Clone())
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

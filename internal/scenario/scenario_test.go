@@ -3,6 +3,7 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -547,5 +548,39 @@ func TestCannedScenariosRun(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestValidateErrorDeterministic: Validate reports the *first* problem, so
+// with several non-finite values present the winner — and therefore the
+// error text — must not depend on map iteration order. Before the
+// sorted-keys fix, the finiteness sweep ranged over a map and this test
+// flaked across runs; it pins the regression lotus-lint's maprange rule now
+// catches statically.
+func TestValidateErrorDeterministic(t *testing.T) {
+	nan := math.NaN()
+	makeSpec := func() *Spec {
+		return &Spec{
+			Name:      "nondet-probe",
+			Substrate: "gossip",
+			Params:    map[string]float64{"zeta": nan, "alpha": nan, "mid": nan, "beta": nan},
+		}
+	}
+	const want = "scenario: params.alpha must be finite, got NaN"
+	for i := 0; i < 100; i++ {
+		err := makeSpec().Validate()
+		if err == nil {
+			t.Fatal("expected a validation error")
+		}
+		if err.Error() != want {
+			t.Fatalf("iteration %d: error text changed: got %q, want %q", i, err, want)
+		}
+	}
+	// Fixed (non-map) fields win over params, in declaration order.
+	s := makeSpec()
+	s.Sweep.From = math.Inf(1)
+	s.Sweep.To = nan
+	if got := s.Validate().Error(); got != "scenario: sweep.from must be finite, got +Inf" {
+		t.Fatalf("fixed-field order not deterministic: %q", got)
 	}
 }

@@ -16,13 +16,20 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"maps"
 	"math"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
 	"lotuseater/internal/attack"
 )
+
+// sortedKeys returns m's keys in ascending order — the only map iteration
+// order deterministic surfaces (errors, artifacts, canonical JSON) may use.
+func sortedKeys(m map[string]float64) []string {
+	return slices.Sorted(maps.Keys(m))
+}
 
 // Substrates accepted by Spec.Substrate, in canonical order.
 var Substrates = []string{"gossip", "token", "scrip", "swarm", "coding"}
@@ -230,19 +237,26 @@ func (s *Spec) Validate() error {
 	// Specs must stay JSON-encodable (canonicalization, caching, `scenarios
 	// show` all re-encode them), and JSON has no NaN or infinity — a
 	// strconv-parsed "inf" override or a directly constructed spec could
-	// smuggle one in where Decode never can.
-	for name, v := range map[string]float64{
-		"adversary.fraction":        s.Adversary.Fraction,
-		"adversary.satiateFraction": s.Adversary.SatiateFraction,
-		"sweep.from":                s.Sweep.From,
-		"sweep.to":                  s.Sweep.To,
+	// smuggle one in where Decode never can. Checked in a fixed order (and
+	// params in sorted-key order): Validate returns the *first* problem, so
+	// iterating a map here made the error text itself order-dependent when
+	// two fields were bad — exactly the nondeterminism class lotus-lint's
+	// maprange rule exists to catch.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"adversary.fraction", s.Adversary.Fraction},
+		{"adversary.satiateFraction", s.Adversary.SatiateFraction},
+		{"sweep.from", s.Sweep.From},
+		{"sweep.to", s.Sweep.To},
 	} {
-		if !isFinite(v) {
-			return fmt.Errorf("scenario: %s must be finite, got %g", name, v)
+		if !isFinite(f.v) {
+			return fmt.Errorf("scenario: %s must be finite, got %g", f.name, f.v)
 		}
 	}
-	for k, v := range s.Params {
-		if !isFinite(v) {
+	for _, k := range sortedKeys(s.Params) {
+		if v := s.Params[k]; !isFinite(v) {
 			return fmt.Errorf("scenario: params.%s must be finite, got %g", k, v)
 		}
 	}
@@ -266,12 +280,7 @@ func (s *Spec) Validate() error {
 // and overrides never mutate registry entries.
 func (s *Spec) Clone() *Spec {
 	out := *s
-	if s.Params != nil {
-		out.Params = make(map[string]float64, len(s.Params))
-		for k, v := range s.Params {
-			out.Params[k] = v
-		}
-	}
+	out.Params = maps.Clone(s.Params)
 	if s.Adversary.Targets != nil {
 		out.Adversary.Targets = append([]int(nil), s.Adversary.Targets...)
 	}
@@ -564,13 +573,7 @@ func (s *Spec) Metrics() []string {
 	if b == nil {
 		return nil
 	}
-	names := make([]string, 0, len(b.metrics))
-	for name := range b.metrics {
-		if name == b.defaultMetric {
-			continue
-		}
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	names := slices.Sorted(maps.Keys(b.metrics))
+	names = slices.DeleteFunc(names, func(n string) bool { return n == b.defaultMetric })
 	return append([]string{b.defaultMetric}, names...)
 }

@@ -2,7 +2,8 @@ package scenario
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 	"strings"
 
 	"lotuseater/internal/attack"
@@ -30,11 +31,7 @@ func (b *substrate) checkMetric(name string) error {
 	if _, ok := b.metrics[name]; ok {
 		return nil
 	}
-	names := make([]string, 0, len(b.metrics))
-	for n := range b.metrics {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	names := slices.Sorted(maps.Keys(b.metrics))
 	return fmt.Errorf("scenario: unknown metric %q (want %s)", name, strings.Join(names, "|"))
 }
 

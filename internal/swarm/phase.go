@@ -78,12 +78,14 @@ func PhaseOrder() []string { return phaseNames[:] }
 
 // runPhase executes fn, attributing its wall time to phase ix when a
 // profile is installed.
+//
+//lotus:allocfree
 func (s *Sim) runPhase(ix phaseIx, fn func()) {
 	if s.prof == nil {
 		fn()
 		return
 	}
-	t := time.Now()
+	t := time.Now() //lotus:ignore detrand phase attribution feeds the bench profile, never simulation state
 	fn()
-	s.prof.d[ix] += time.Since(t)
+	s.prof.d[ix] += time.Since(t) //lotus:ignore detrand phase attribution feeds the bench profile, never simulation state
 }

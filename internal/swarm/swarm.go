@@ -632,6 +632,8 @@ func (s *Sim) fillPieces(v int) {
 }
 
 // forEachPiece calls fn for every piece v holds, in ascending order.
+//
+//lotus:allocfree
 func (s *Sim) forEachPiece(v int, fn func(p int)) {
 	base := v * s.wpn
 	for i := 0; i < s.wpn; i++ {
@@ -644,6 +646,8 @@ func (s *Sim) forEachPiece(v int, fn func(p int)) {
 }
 
 // appendMissing appends the pieces v lacks to buf in ascending order.
+//
+//lotus:allocfree
 func (s *Sim) appendMissing(v int, buf []int) []int {
 	base := v * s.wpn
 	P := s.cfg.Pieces
@@ -754,6 +758,8 @@ func (s *Sim) recountHolders(dst []int32) {
 // dependent load and a data-dependent branch to every visit, while the
 // "wasted" counter bumps overlap each other through memory-level
 // parallelism. Write-only garbage is cheaper than a mispredicted skip.
+//
+//lotus:allocfree
 func (s *Sim) gainPiece(v, p int) {
 	wi := v*s.wpn + p>>6
 	m := uint64(1) << (uint(p) & 63)
@@ -771,6 +777,8 @@ func (s *Sim) gainPiece(v, p int) {
 }
 
 // bumpRows adds one to piece p's counter in every listed neighbor's row.
+//
+//lotus:allocfree
 func bumpRows[T rarityCell](r []T, adj []int32, P, p int) {
 	for _, w := range adj {
 		r[int(w)*P+p]++
@@ -779,6 +787,8 @@ func bumpRows[T rarityCell](r []T, adj []int32, P, p int) {
 
 // dropRows subtracts one from piece p's counter in every listed neighbor's
 // row.
+//
+//lotus:allocfree
 func dropRows[T rarityCell](r []T, adj []int32, P, p int) {
 	for _, w := range adj {
 		r[int(w)*P+p]--
@@ -788,6 +798,8 @@ func dropRows[T rarityCell](r []T, adj []int32, P, p int) {
 // departNode transitions v to departed, subtracting its holdings from the
 // global holder counts and from every neighbor's rarity view exactly once.
 // Departed nodes never gain pieces, so no further maintenance is needed.
+//
+//lotus:allocfree
 func (s *Sim) departNode(v int) {
 	if s.nodeState[v] == stateDeparted {
 		return
@@ -826,6 +838,8 @@ func (s *Sim) Finished() bool { return s.tick >= s.cfg.Ticks || s.leeching == 0 
 func (s *Sim) Snapshot() (any, error) { return s.finish(), nil }
 
 // Step simulates one tick.
+//
+//lotus:allocfree
 func (s *Sim) Step() error {
 	if s.tick >= s.cfg.Ticks {
 		return errors.New("swarm: horizon exhausted")
@@ -855,6 +869,8 @@ func (s *Sim) Step() error {
 
 // attackStep satiates the attacker's current targets: it uploads missing
 // pieces to them directly, up to its uplink budget for the tick.
+//
+//lotus:allocfree
 func (s *Sim) attackStep() {
 	targets := s.pickTargets()
 	budget := s.cfg.AttackerUplink
@@ -883,6 +899,8 @@ func (s *Sim) attackStep() {
 // uploads missing pieces directly to its satiation targets, spending up to
 // the uplink budget, gated per target by the defense's Admit hook. The
 // sparse member list makes the pass O(|satiated set|), not O(Leechers).
+//
+//lotus:allocfree
 func (s *Sim) advSatiateStep() {
 	targets := s.adv.Targets(s.tick)
 	budget := s.advUplink
@@ -911,6 +929,8 @@ func (s *Sim) advSatiateStep() {
 }
 
 // pickTargets returns the AttackTargets leechers the adversary focuses on.
+//
+//lotus:allocfree
 func (s *Sim) pickTargets() []int {
 	cands := s.targetBuf[:0]
 	for v := 0; v < s.cfg.Leechers; v++ {
@@ -972,6 +992,8 @@ func (s *Sim) pickTargets() []int {
 // state, so it shards across the worker pool for large populations with
 // bit-identical results. Slot selection consumes the tick's RNG stream and
 // stays sequential in node order, exactly as before the split.
+//
+//lotus:allocfree
 func (s *Sim) recomputeUnchokes() {
 	if s.adv != nil {
 		// Pin the targeting epoch before any concurrent OnExchange probe:
@@ -1060,6 +1082,8 @@ func (s *Sim) recomputeUnchokes() {
 // short, so a branch-light insertion sort beats a general sort without
 // allocating; genuinely wide lists fall back to slices.SortFunc, which is
 // also allocation-free.
+//
+//lotus:allocfree
 func sortByRecv(list []int32, recv []int32) {
 	if len(list) > 48 {
 		slices.SortFunc(list, func(a, b int32) int {
@@ -1092,6 +1116,8 @@ func sortByRecv(list []int32, recv []int32) {
 }
 
 // hasPieceFor reports whether v holds any piece that p lacks.
+//
+//lotus:allocfree
 func (s *Sim) hasPieceFor(v, p int) bool {
 	if int(s.pieceCnt[v]) == s.cfg.Pieces {
 		// Full nodes (seeds, trade attackers) interest exactly the
@@ -1118,6 +1144,8 @@ func (s *Sim) hasPieceFor(v, p int) bool {
 // semantics the rescan implementation had — by copying the live counter row
 // once per receiver per tick: O(Pieces) instead of the rescan's
 // O(degree·pieces).
+//
+//lotus:allocfree
 func snapFor[T rarityCell](s *Sim, rarity, snap []T, v int) []T {
 	P := s.cfg.Pieces
 	row := snap[v*P : (v+1)*P]
@@ -1125,9 +1153,9 @@ func snapFor[T rarityCell](s *Sim, rarity, snap []T, v int) []T {
 		return row
 	}
 	if s.prof != nil {
-		t := time.Now()
+		t := time.Now() //lotus:ignore detrand rarity-time attribution feeds the bench profile, never simulation state
 		copy(row, rarity[v*P:(v+1)*P])
-		s.prof.d[phaseRarity] += time.Since(t)
+		s.prof.d[phaseRarity] += time.Since(t) //lotus:ignore detrand rarity-time attribution feeds the bench profile, never simulation state
 	} else {
 		copy(row, rarity[v*P:(v+1)*P])
 	}
@@ -1138,6 +1166,8 @@ func snapFor[T rarityCell](s *Sim, rarity, snap []T, v int) []T {
 // transferStep moves one piece along every unchoked, interested link. The
 // body is generic over the rarity counter width; this dispatcher binds the
 // arena pair once per tick.
+//
+//lotus:allocfree
 func (s *Sim) transferStep() {
 	if s.wideRarity {
 		transferPass(s, s.rarity16, s.snap16)
@@ -1146,6 +1176,7 @@ func (s *Sim) transferStep() {
 	}
 }
 
+//lotus:allocfree
 func transferPass[T rarityCell](s *Sim, rarity, snap []T) {
 	rng := s.rng.ChildN("transfer", s.tick)
 	order := rng.PermInto(s.permBuf, s.n)
@@ -1197,6 +1228,8 @@ func transferPass[T rarityCell](s *Sim, rarity, snap []T) {
 // order the historical materialized candidate slice had, so the RNG draws
 // (one IntN over the candidate count, or one over the tie count) are
 // exactly the draws that implementation made.
+//
+//lotus:allocfree
 func selectPiece[T rarityCell](s *Sim, sender, receiver int, counts []T, rng *simrng.Source) (int, bool) {
 	W := s.wpn
 	sb := s.pieceWords[sender*W : sender*W+W]
@@ -1249,6 +1282,8 @@ func selectPiece[T rarityCell](s *Sim, sender, receiver int, counts []T, rng *si
 }
 
 // nthDiff returns the k-th (ascending) piece set in sb but clear in rb.
+//
+//lotus:allocfree
 func nthDiff(sb, rb []uint64, k int) int {
 	for i, w := range sb {
 		d := w &^ rb[i]
@@ -1270,6 +1305,8 @@ func nthDiff(sb, rb []uint64, k int) int {
 // populations the scan shards across the worker pool, and shard-order
 // concatenation makes the result bit-identical to the sequential scan. The
 // returned slice aliases s.scanBuf and is valid until the next call.
+//
+//lotus:allocfree
 func (s *Sim) scanLeechers(limit int, keep func(v int) bool) []int32 {
 	out := s.scanBuf[:0]
 	if !s.sharded() {
@@ -1286,7 +1323,7 @@ func (s *Sim) scanLeechers(limit int, keep func(v int) bool) []int32 {
 	const grain = 1 << 15
 	shards := (limit + grain - 1) / grain
 	if cap(s.shardBufs) < shards {
-		s.shardBufs = make([][]int32, shards)
+		s.shardBufs = make([][]int32, shards) //lotus:allocsetup shard-buffer pool grows once on first sharded scan, then steady-state ticks reuse it
 	}
 	s.shardBufs = s.shardBufs[:shards]
 	sim.ParallelFor(limit, grain, func(shard, start, end int) {
@@ -1310,6 +1347,8 @@ func (s *Sim) scanLeechers(limit int, keep func(v int) bool) []int32 {
 // EndgameThreshold of done — reads only the node's own state, which no
 // endgame pull of another node mutates, so the scan shards while the
 // RNG-consuming pulls stay sequential in node order.
+//
+//lotus:allocfree
 func (s *Sim) endgameStep() {
 	P := s.cfg.Pieces
 	thr := s.cfg.EndgameThreshold
@@ -1348,6 +1387,8 @@ func (s *Sim) endgameStep() {
 // a pure read (a leecher's done-ness depends only on its own pieces), so it
 // shards; the bookkeeping — including the rarity subtraction a departure
 // owes — applies sequentially in node order.
+//
+//lotus:allocfree
 func (s *Sim) lifecycleStep() {
 	P := int32(s.cfg.Pieces)
 	done := s.scanLeechers(s.cfg.Leechers, func(v int) bool {
