@@ -125,10 +125,13 @@ func clusterBench(w io.Writer, seed uint64, out string) error {
 // timeClusterRun boots a loopback cluster with n workers, runs the spec
 // through it once, and returns the submit-to-done wall time.
 func timeClusterRun(rawSpec []byte, seed uint64, n int) (float64, error) {
-	coord := cluster.NewCoordinator(cluster.Config{
+	coord, err := cluster.NewCoordinator(cluster.Config{
 		Serve:        serve.Config{Workers: 1},
 		StallTimeout: 2 * time.Minute,
 	})
+	if err != nil {
+		return 0, err
+	}
 	defer coord.Close()
 	coordSrv, coordURL, err := listenLoopback(coord)
 	if err != nil {

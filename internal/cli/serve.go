@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -109,6 +110,10 @@ func buildServer(args []string) (*serveSetup, error) {
 	join := fs.String("join", "", "coordinator base URL to join (worker role only)")
 	advertise := fs.String("advertise", "", "base URL the coordinator reaches this worker at (worker role; default http://<bound addr>)")
 	unitReps := fs.Int("unit-reps", 0, "fixed-run replicates per dispatched unit (coordinator role; 0 = auto)")
+	storeDir := fs.String("store-dir", "", "persist finished artifacts to this directory; they survive restarts and answer without recompute")
+	storeMaxBytes := fs.Int64("store-max-bytes", 1<<30, "disk store byte budget; GC evicts oldest-stored entries past it")
+	storeMaxAge := fs.Duration("store-max-age", 0, "expire disk store entries older than this (0 = keep until evicted by size)")
+	logFormat := fs.String("log-format", "off", "request logging: off | json (one JSON line per request to stderr)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -118,39 +123,74 @@ func buildServer(args []string) (*serveSetup, error) {
 	if *cacheBytes <= 0 || *queueDepth <= 0 {
 		return nil, fmt.Errorf("serve: -cache-bytes and -queue-depth must be positive")
 	}
-	scfg := serve.Config{
-		CacheBytes: *cacheBytes,
-		QueueDepth: *queueDepth,
-		Workers:    *workers,
+	if !serve.ValidLogFormat(*logFormat) {
+		return nil, fmt.Errorf("serve: unknown -log-format %q (want off | json)", *logFormat)
 	}
-	experimentRoutes := "POST /experiments · GET /jobs/{key} · GET /results/{key} · GET /scenarios · GET /healthz"
+	if *storeDir == "" {
+		// A store knob without a store is a silently ignored intent; reject
+		// it so a typo'd deployment fails loudly.
+		var orphaned []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "store-max-bytes" || f.Name == "store-max-age" {
+				orphaned = append(orphaned, "-"+f.Name)
+			}
+		})
+		if len(orphaned) > 0 {
+			return nil, fmt.Errorf("serve: %s need -store-dir", strings.Join(orphaned, ", "))
+		}
+	} else if *storeMaxBytes <= 0 || *storeMaxAge < 0 {
+		return nil, fmt.Errorf("serve: -store-max-bytes must be positive and -store-max-age non-negative")
+	}
+	scfg := serve.Config{
+		CacheBytes:    *cacheBytes,
+		QueueDepth:    *queueDepth,
+		Workers:       *workers,
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMaxBytes,
+		StoreMaxAge:   *storeMaxAge,
+		LogFormat:     *logFormat,
+	}
+	experimentRoutes := "POST /experiments · GET /jobs/{key} · GET /results/{key} · GET /scenarios · GET /healthz · GET /metrics"
+	var extraBanner []string
+	if *storeDir != "" {
+		extraBanner = append(extraBanner, fmt.Sprintf("artifact store at %s (budget %d bytes)", *storeDir, *storeMaxBytes))
+	}
+	if *logFormat == "json" {
+		extraBanner = append(extraBanner, "request log: json lines on stderr")
+	}
 	switch *role {
 	case "single":
 		if *join != "" || *advertise != "" {
 			return nil, fmt.Errorf("serve: -join and -advertise need -role=worker")
 		}
-		srv := serve.New(scfg)
+		srv, err := serve.New(scfg)
+		if err != nil {
+			return nil, err
+		}
 		return &serveSetup{
 			node:    srv,
 			addr:    *addr,
 			role:    "single-process server",
 			version: srv.Version(),
-			banner:  []string{experimentRoutes},
+			banner:  append([]string{experimentRoutes}, extraBanner...),
 		}, nil
 	case "coordinator":
 		if *join != "" || *advertise != "" {
 			return nil, fmt.Errorf("serve: -join and -advertise need -role=worker")
 		}
-		c := cluster.NewCoordinator(cluster.Config{Serve: scfg, UnitReps: *unitReps})
+		c, err := cluster.NewCoordinator(cluster.Config{Serve: scfg, UnitReps: *unitReps})
+		if err != nil {
+			return nil, err
+		}
 		return &serveSetup{
 			node:    c,
 			addr:    *addr,
 			role:    "cluster coordinator",
 			version: c.Server().Version(),
-			banner: []string{
+			banner: append([]string{
 				experimentRoutes,
 				"POST /cluster/join · GET/PUT /cluster/artifacts/{key} · GET /cluster/status",
-			},
+			}, extraBanner...),
 		}, nil
 	case "worker":
 		if *join == "" {
@@ -165,7 +205,7 @@ func buildServer(args []string) (*serveSetup, error) {
 			addr:      *addr,
 			role:      "cluster worker",
 			version:   wk.Server().Version(),
-			banner:    []string{experimentRoutes, "POST /cluster/run", "joined to " + *join},
+			banner:    append([]string{experimentRoutes, "POST /cluster/run", "joined to " + *join}, extraBanner...),
 			announce:  wk.Announce,
 			advertise: *advertise,
 		}, nil

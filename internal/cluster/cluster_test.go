@@ -74,12 +74,22 @@ type testCluster struct {
 	closed   bool
 }
 
+// mustCoordinator builds a coordinator, failing the test on error.
+func mustCoordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return c
+}
+
 // startCluster boots a coordinator and n announced workers, waiting until
 // the registry sees them all. nodeWorkers bounds each node's in-flight
 // replicates on the shared pool.
 func startCluster(t *testing.T, n, nodeWorkers int) *testCluster {
 	t.Helper()
-	coord := NewCoordinator(Config{
+	coord := mustCoordinator(t, Config{
 		Serve:        serve.Config{Workers: nodeWorkers},
 		StallTimeout: 10 * time.Second,
 	})
@@ -307,7 +317,7 @@ func TestClusterSharedArtifactStore(t *testing.T) {
 // TestCoordinatorWithoutWorkersRunsLocally: an empty fleet degrades to a
 // plain single-process server, bit-identically.
 func TestCoordinatorWithoutWorkersRunsLocally(t *testing.T) {
-	coord := NewCoordinator(Config{})
+	coord := mustCoordinator(t, Config{})
 	ts := httptest.NewServer(coord)
 	defer func() {
 		ts.Close()

@@ -59,18 +59,20 @@ type workerInfo struct {
 // /cluster/status). With no workers registered it degrades to a plain
 // single-process server: jobs run locally, bit-identically.
 type Coordinator struct {
-	cfg    Config
-	srv    *serve.Server
-	mux    *http.ServeMux
-	client *http.Client
+	cfg     Config
+	srv     *serve.Server
+	mux     *http.ServeMux
+	handler http.Handler // mux behind the embedded server's instrumentation
+	client  *http.Client
 
 	mu      sync.Mutex
 	workers map[string]*workerInfo
 	active  *schedule // the job currently being dispatched, if any
 }
 
-// NewCoordinator builds a coordinator and starts its job executor.
-func NewCoordinator(cfg Config) *Coordinator {
+// NewCoordinator builds a coordinator and starts its job executor. The only
+// error source is the embedded service (an unusable -store-dir).
+func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 8
 	}
@@ -91,17 +93,25 @@ func NewCoordinator(cfg Config) *Coordinator {
 	}
 	scfg := cfg.Serve
 	scfg.Run = c.distributedRun
-	c.srv = serve.New(scfg)
+	srv, err := serve.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	c.srv = srv
 	c.mux.HandleFunc("POST /cluster/join", c.handleJoin)
 	c.mux.HandleFunc("GET /cluster/artifacts/{key}", c.handleArtifactGet)
 	c.mux.HandleFunc("PUT /cluster/artifacts/{key}", c.handleArtifactPut)
 	c.mux.HandleFunc("GET /cluster/status", c.handleStatus)
-	c.mux.Handle("/", c.srv)
-	return c
+	// Fall back to the embedded service's raw routes, then wrap the whole
+	// tree in its instrumentation once — every request (cluster and
+	// experiment alike) is counted exactly once.
+	c.mux.Handle("/", c.srv.Routes())
+	c.handler = c.srv.Observe(c.mux)
+	return c, nil
 }
 
 // ServeHTTP dispatches to the cluster and experiment routes.
-func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.handler.ServeHTTP(w, r) }
 
 // Server exposes the embedded experiment service (tests and the CLI reach
 // cache statistics and run counts through it).
@@ -155,6 +165,7 @@ func (c *Coordinator) distributedRun(spec *scenario.Spec, seed uint64, opts scen
 		points[i] = &pointState{x: x, spec: canon, st: metrics.NewStream(), buffered: make(map[int][]float64)}
 	}
 	sc := newSchedule(ep, points, seed, opts, c.unitReps(ep, nworkers), c.cfg.MaxAttempts)
+	sc.onSteal = c.srv.Metrics().UnitStolen
 
 	c.mu.Lock()
 	c.active = sc
@@ -219,8 +230,10 @@ func (c *Coordinator) workerLoop(url string, sc *schedule) {
 		if !ok {
 			return
 		}
+		c.srv.Metrics().UnitDispatched()
 		resp, err := c.postUnit(url, sc, u)
 		if err != nil {
+			c.srv.Metrics().UnitRetried()
 			sc.requeue(u, err)
 			c.dropWorker(url)
 			return
@@ -274,7 +287,9 @@ func (c *Coordinator) postUnit(workerURL string, sc *schedule, u unit) (*unitRes
 func (c *Coordinator) dropWorker(url string) {
 	c.mu.Lock()
 	delete(c.workers, url)
+	n := len(c.workers)
 	c.mu.Unlock()
+	c.srv.Metrics().SetWorkers(n)
 }
 
 func (c *Coordinator) noteUnit(url string) {
@@ -331,8 +346,10 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		c.workers[req.URL] = info
 	}
 	info.lastSeen = time.Now()
+	n := len(c.workers)
 	sc := c.active
 	c.mu.Unlock()
+	c.srv.Metrics().SetWorkers(n)
 	if sc != nil {
 		c.startLoop(req.URL, sc)
 	}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lotuseater/internal/obs"
+	"lotuseater/internal/serve"
+)
+
+// TestAnnounceDelay pins the backoff schedule as a pure function: steady
+// base cadence while healthy, exponential growth with a cap while failing,
+// jitter bounded to [d/2, d), and full determinism per (seed, failures).
+func TestAnnounceDelay(t *testing.T) {
+	base, max := 2*time.Second, 30*time.Second
+
+	if d := announceDelay(base, max, 0, 1); d != base {
+		t.Fatalf("healthy delay = %v, want base %v", d, base)
+	}
+
+	// Failure n draws from an uncapped window of base<<(n-1), capped at max.
+	for failures := 1; failures <= 8; failures++ {
+		win := base << (failures - 1)
+		if win > max {
+			win = max
+		}
+		d := announceDelay(base, max, failures, 42)
+		if d < win/2 || d >= win {
+			t.Fatalf("failures=%d: delay %v outside [%v, %v)", failures, d, win/2, win)
+		}
+	}
+
+	// Deterministic per inputs; different seeds desynchronize.
+	if a, b := announceDelay(base, max, 3, 7), announceDelay(base, max, 3, 7); a != b {
+		t.Fatalf("same inputs gave %v and %v", a, b)
+	}
+	distinct := false
+	for seed := uint64(1); seed < 16 && !distinct; seed++ {
+		distinct = announceDelay(base, max, 3, seed) != announceDelay(base, max, 3, seed+100)
+	}
+	if !distinct {
+		t.Fatal("jitter ignores the seed — a fleet would stay synchronized")
+	}
+}
+
+// TestAnnounceBackoffLoop drives the announce loop with a fake timer
+// against a coordinator that rejects the first three joins: the loop must
+// request growing delays while failing, snap back to the base interval on
+// success, and count each failure on the metrics.
+func TestAnnounceBackoffLoop(t *testing.T) {
+	var mu sync.Mutex
+	var joins int
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		joins++
+		if joins <= 3 {
+			http.Error(w, "restarting", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer coord.Close()
+
+	delays := make(chan time.Duration, 16)
+	step := make(chan time.Time)
+	w, err := NewWorker(WorkerConfig{
+		Coordinator:      coord.URL,
+		AnnounceInterval: time.Second,
+		JitterSeed:       99,
+		After: func(d time.Duration) <-chan time.Time {
+			delays <- d
+			return step
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.Announce("http://worker.test")
+
+	next := func() time.Duration {
+		t.Helper()
+		select {
+		case d := <-delays:
+			return d
+		case <-time.After(5 * time.Second):
+			t.Fatal("announce loop never asked for a timer")
+			return 0
+		}
+	}
+
+	// Three failures: delays grow exactly per announceDelay(1s, 30s, n, 99).
+	for n := 1; n <= 3; n++ {
+		want := announceDelay(time.Second, 30*time.Second, n, 99)
+		if got := next(); got != want {
+			t.Fatalf("failure %d: delay %v, want %v", n, got, want)
+		}
+		step <- time.Time{}
+	}
+	// Fourth join succeeds: cadence snaps back to the base interval.
+	if got := next(); got != time.Second {
+		t.Fatalf("post-recovery delay %v, want base 1s", got)
+	}
+	mu.Lock()
+	totalJoins := joins
+	mu.Unlock()
+	if totalJoins != 4 {
+		t.Fatalf("joins = %d, want 4", totalJoins)
+	}
+
+	// Each failed join is counted on the worker's own /metrics.
+	rec := httptest.NewRecorder()
+	w.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("worker /metrics: %d", rec.Code)
+	}
+	if v, ok := sampleValue(rec.Body.Bytes(), "lotus_cluster_announce_failures_total"); !ok || v != "3" {
+		t.Fatalf("announce failures = %q, want 3", v)
+	}
+}
+
+// scrapeNode fetches and validates one node's /metrics.
+func scrapeNode(t *testing.T, base string) ([]byte, map[string]string) {
+	t.Helper()
+	code, _, body := httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET %s/metrics: %d: %s", base, code, body)
+	}
+	fams, err := obs.CheckText(body)
+	if err != nil {
+		t.Fatalf("%s/metrics invalid: %v", base, err)
+	}
+	return body, fams
+}
+
+// sampleValue extracts one sample's rendered value from an exposition.
+func sampleValue(body []byte, prefix string) (string, bool) {
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, prefix+" "); ok {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+// TestClusterMetricsBothRoles is the e2e scrape gate: after a distributed
+// job, both the coordinator's and a worker's /metrics parse strictly,
+// expose the full shared series catalogue, and show the cluster counters
+// moving on the role that owns them.
+func TestClusterMetricsBothRoles(t *testing.T) {
+	tc := startCluster(t, 2, 1)
+	first := submitSpec(t, tc.coordTS.URL, tinyFixed, 5)
+	waitJobDone(t, tc.coordTS.URL, first.Key)
+
+	required := []string{
+		"lotus_build_info", "lotus_cache_hits_total", "lotus_cache_misses_total",
+		"lotus_queue_depth", "lotus_queue_capacity", "lotus_jobs_total",
+		"lotus_job_duration_seconds", "lotus_http_requests_total",
+		"lotus_http_request_duration_seconds", "lotus_cluster_workers",
+		"lotus_cluster_units_dispatched_total", "lotus_cluster_unit_retries_total",
+		"lotus_cluster_unit_steals_total", "lotus_cluster_units_executed_total",
+		"lotus_cluster_announce_failures_total", "lotus_store_entries",
+	}
+
+	coordBody, coordFams := scrapeNode(t, tc.coordTS.URL)
+	for _, name := range required {
+		if _, ok := coordFams[name]; !ok {
+			t.Errorf("coordinator scrape missing %s", name)
+		}
+	}
+	if v, ok := sampleValue(coordBody, "lotus_cluster_units_dispatched_total"); !ok || v == "0" {
+		t.Errorf("coordinator dispatched %q units after a distributed job", v)
+	}
+	if v, ok := sampleValue(coordBody, "lotus_cluster_workers"); !ok || v != "2" {
+		t.Errorf("coordinator workers gauge %q, want 2", v)
+	}
+	// Cluster control routes are counted by the coordinator's middleware.
+	if v, ok := sampleValue(coordBody, `lotus_http_requests_total{route="/cluster/join"}`); !ok || v == "0" {
+		t.Errorf("join requests %q, want > 0", v)
+	}
+
+	var executed int
+	for i, wts := range tc.workerTS {
+		workerBody, workerFams := scrapeNode(t, wts.URL)
+		for _, name := range required {
+			if _, ok := workerFams[name]; !ok {
+				t.Errorf("worker %d scrape missing %s", i, name)
+			}
+		}
+		if v, ok := sampleValue(workerBody, "lotus_cluster_units_executed_total"); ok && v != "0" {
+			executed++
+		}
+	}
+	if executed == 0 {
+		t.Error("no worker reported executed units after a distributed job")
+	}
+}
+
+// TestWorkerStoreDirFailure: an unusable store directory fails worker (and
+// coordinator) construction loudly instead of degrading silently.
+func TestWorkerStoreDirFailure(t *testing.T) {
+	// A path under a regular file can never become a directory.
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(file, "store")
+	if _, err := NewWorker(WorkerConfig{
+		Coordinator: "http://localhost:1",
+		Serve:       serve.Config{StoreDir: bad},
+	}); err == nil {
+		t.Fatal("worker with unusable store dir constructed without error")
+	}
+	if _, err := NewCoordinator(Config{Serve: serve.Config{StoreDir: bad}}); err == nil {
+		t.Fatal("coordinator with unusable store dir constructed without error")
+	}
+}

@@ -54,7 +54,7 @@ func TestWorkerKillMidWaveRetries(t *testing.T) {
 			const seed = 31
 			want := localArtifact(t, spec.raw, seed)
 
-			coord := NewCoordinator(Config{StallTimeout: 10 * time.Second})
+			coord := mustCoordinator(t, Config{StallTimeout: 10 * time.Second})
 			cts := httptest.NewServer(coord)
 			defer func() {
 				cts.Close()
@@ -107,7 +107,7 @@ func TestWorkerKillMidWaveRetries(t *testing.T) {
 // exhausts its dispatch attempts and fails the job with a clear error
 // instead of looping forever.
 func TestPoisonUnitFailsJob(t *testing.T) {
-	coord := NewCoordinator(Config{
+	coord := mustCoordinator(t, Config{
 		MaxAttempts:  3,
 		StallTimeout: 500 * time.Millisecond,
 	})
@@ -163,7 +163,7 @@ func TestClusterLifecycleNoGoroutineLeak(t *testing.T) {
 	}
 	base := runtime.NumGoroutine()
 
-	coord := NewCoordinator(Config{Serve: serve.Config{}, StallTimeout: 5 * time.Second})
+	coord := mustCoordinator(t, Config{Serve: serve.Config{}, StallTimeout: 5 * time.Second})
 	cts := httptest.NewServer(coord)
 	var workers []*Worker
 	var wts []*httptest.Server

@@ -46,6 +46,7 @@ type schedule struct {
 	seed        uint64
 	opts        scenario.RunOptions
 	maxAttempts int
+	onSteal     func() // metrics hook: one adaptive wave handed out (may be nil)
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -145,6 +146,9 @@ func (sc *schedule) pickLocked() (unit, bool) {
 		return unit{}, false
 	}
 	pt.inflight = true
+	if sc.onSteal != nil {
+		sc.onSteal()
+	}
 	return unit{point: best, start: pt.reps, n: wave}, true
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strings"
@@ -26,9 +27,24 @@ type WorkerConfig struct {
 	// Coordinator is the coordinator's base URL (required).
 	Coordinator string
 	// AnnounceInterval is how often the worker re-announces itself to the
-	// coordinator (0 = 2s). Announces double as heartbeats: a worker the
-	// coordinator dropped re-registers within one interval of recovering.
+	// coordinator while announces succeed (0 = 2s). Announces double as
+	// heartbeats: a worker the coordinator dropped re-registers within one
+	// interval of recovering.
 	AnnounceInterval time.Duration
+	// AnnounceBackoffMax caps the announce retry delay while the
+	// coordinator is unreachable (0 = 30s). Consecutive failures back off
+	// exponentially from AnnounceInterval toward this cap, with
+	// deterministic per-worker jitter so a restarted coordinator is not
+	// thundering-herded by its whole fleet on the same tick; one success
+	// resets the cadence to AnnounceInterval.
+	AnnounceBackoffMax time.Duration
+	// JitterSeed seeds the announce jitter (0 = derived from the announced
+	// URL, so distinct workers desynchronize while each stays
+	// deterministic).
+	JitterSeed uint64
+	// After is the announce loop's timer (nil = time.After). Tests inject a
+	// channel-driven fake to step the loop deterministically.
+	After func(d time.Duration) <-chan time.Time
 	// Client issues coordinator HTTP requests (nil = http.DefaultClient).
 	Client *http.Client
 }
@@ -39,10 +55,12 @@ type WorkerConfig struct {
 // /cluster/run, and publishes every artifact it computes to the
 // coordinator under its content-addressed cache key.
 type Worker struct {
-	cfg    WorkerConfig
-	srv    *serve.Server
-	mux    *http.ServeMux
-	client *http.Client
+	cfg     WorkerConfig
+	srv     *serve.Server
+	mux     *http.ServeMux
+	handler http.Handler // mux behind the embedded server's instrumentation
+	client  *http.Client
+	after   func(d time.Duration) <-chan time.Time
 
 	draining     atomic.Bool
 	stop         chan struct{}
@@ -62,25 +80,43 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.AnnounceInterval <= 0 {
 		cfg.AnnounceInterval = 2 * time.Second
 	}
+	if cfg.AnnounceBackoffMax <= 0 {
+		cfg.AnnounceBackoffMax = 30 * time.Second
+	}
+	if cfg.AnnounceBackoffMax < cfg.AnnounceInterval {
+		cfg.AnnounceBackoffMax = cfg.AnnounceInterval
+	}
 	w := &Worker{
 		cfg:    cfg,
 		client: cfg.Client,
+		after:  cfg.After,
 		mux:    http.NewServeMux(),
 		stop:   make(chan struct{}),
 	}
 	if w.client == nil {
 		w.client = http.DefaultClient
 	}
+	if w.after == nil {
+		w.after = time.After
+	}
 	scfg := cfg.Serve
 	scfg.Store = &httpStore{base: cfg.Coordinator, client: w.client}
-	w.srv = serve.New(scfg)
+	srv, err := serve.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	w.srv = srv
 	w.mux.HandleFunc("POST /cluster/run", w.handleRun)
-	w.mux.Handle("/", w.srv)
+	// Fall back to the embedded service's raw routes, then wrap the whole
+	// tree in its instrumentation once — every request (cluster and
+	// experiment alike) is counted exactly once.
+	w.mux.Handle("/", w.srv.Routes())
+	w.handler = w.srv.Observe(w.mux)
 	return w, nil
 }
 
 // ServeHTTP dispatches to the unit-execution and experiment routes.
-func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.mux.ServeHTTP(rw, r) }
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) { w.handler.ServeHTTP(rw, r) }
 
 // Server exposes the embedded experiment service.
 func (w *Worker) Server() *serve.Server { return w.srv }
@@ -100,32 +136,75 @@ func (w *Worker) Announce(selfURL string) {
 
 func (w *Worker) announce(selfURL string, done chan struct{}) {
 	defer close(done)
-	t := time.NewTicker(w.cfg.AnnounceInterval)
-	defer t.Stop()
-	w.join(selfURL)
+	seed := w.cfg.JitterSeed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(selfURL))
+		seed = h.Sum64()
+	}
+	failures := 0
 	for {
+		if err := w.join(selfURL); err != nil {
+			failures++
+			w.srv.Metrics().AnnounceFailed()
+		} else {
+			failures = 0
+		}
 		select {
 		case <-w.stop:
 			return
-		case <-t.C:
-			w.join(selfURL)
+		case <-w.after(announceDelay(w.cfg.AnnounceInterval, w.cfg.AnnounceBackoffMax, failures, seed)):
 		}
 	}
 }
 
-// join posts one announcement; failures are silent by design — the
-// coordinator may be restarting, and the next tick retries.
-func (w *Worker) join(selfURL string) {
+// announceDelay computes the wait before the next announce given the count
+// of consecutive failures so far. While announces succeed (failures == 0)
+// the cadence is the steady base interval. Failures back off exponentially
+// — base, 2·base, 4·base, ... capped at max — with deterministic jitter:
+// the delay lands uniformly in [d/2, d), the fraction derived by mixing the
+// worker's jitter seed with the failure count (splitmix64), so retries
+// spread across a fleet while each worker's sequence is reproducible.
+func announceDelay(base, max time.Duration, failures int, seed uint64) time.Duration {
+	if failures <= 0 {
+		return base
+	}
+	d := base
+	for i := 1; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	x := seed + 0x9e3779b97f4a7c15*uint64(failures)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	frac := float64(x>>11) / float64(1<<53)
+	half := d / 2
+	return half + time.Duration(float64(half)*frac)
+}
+
+// join posts one announcement. An error (transport failure or non-2xx
+// status) feeds the caller's backoff; the coordinator may simply be
+// restarting, and a later attempt re-registers.
+func (w *Worker) join(selfURL string) error {
 	body, err := json.Marshal(joinRequest{URL: selfURL})
 	if err != nil {
-		return
+		return err
 	}
 	resp, err := w.client.Post(w.cfg.Coordinator+"/cluster/join", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return
+		return err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("cluster: announce rejected: %s", resp.Status)
+	}
+	return nil
 }
 
 // Close stops the announce loop and the embedded service. A unit in
@@ -190,6 +269,7 @@ func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
 		writeUnitError(rw, err)
 		return
 	}
+	w.srv.Metrics().UnitExecuted()
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(unitResponse{ObsBits: bitsOf(obs), Acc: acc.State()})
 }

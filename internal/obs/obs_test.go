@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildFixedRegistry registers one of everything with fixed values — the
+// shared fixture for the determinism tests.
+func buildFixedRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("lotus_test_ops_total", "operations", Label{"kind", "put"})
+	c.Add(3)
+	r.Counter("lotus_test_ops_total", "operations", Label{"kind", "get"}).Add(7)
+	r.CounterFunc("lotus_test_reads_total", "reads", func() uint64 { return 42 })
+	g := r.Gauge("lotus_test_depth", "queue depth")
+	g.Set(2.5)
+	r.GaugeFunc(`lotus_test_cap`, `capacity with "quotes" and \slashes`, func() float64 { return 64 })
+	h := r.Histogram("lotus_test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(30)
+	return r
+}
+
+// TestRegistryWriteDeterministic: two identically built registries render
+// byte-identical expositions matching the pinned layout — registration
+// order, label order, cumulative buckets, escaping, float formatting.
+func TestRegistryWriteDeterministic(t *testing.T) {
+	want := strings.Join([]string{
+		`# HELP lotus_test_ops_total operations`,
+		`# TYPE lotus_test_ops_total counter`,
+		`lotus_test_ops_total{kind="put"} 3`,
+		`lotus_test_ops_total{kind="get"} 7`,
+		`# HELP lotus_test_reads_total reads`,
+		`# TYPE lotus_test_reads_total counter`,
+		`lotus_test_reads_total 42`,
+		`# HELP lotus_test_depth queue depth`,
+		`# TYPE lotus_test_depth gauge`,
+		`lotus_test_depth 2.5`,
+		`# HELP lotus_test_cap capacity with "quotes" and \\slashes`,
+		`# TYPE lotus_test_cap gauge`,
+		`lotus_test_cap 64`,
+		`# HELP lotus_test_latency_seconds latency`,
+		`# TYPE lotus_test_latency_seconds histogram`,
+		`lotus_test_latency_seconds_bucket{le="0.01"} 2`,
+		`lotus_test_latency_seconds_bucket{le="0.1"} 2`,
+		`lotus_test_latency_seconds_bucket{le="1"} 3`,
+		`lotus_test_latency_seconds_bucket{le="+Inf"} 4`,
+		`lotus_test_latency_seconds_sum 30.51`,
+		`lotus_test_latency_seconds_count 4`,
+		``,
+	}, "\n")
+
+	var a, b bytes.Buffer
+	buildFixedRegistry().Render(&a)
+	buildFixedRegistry().Render(&b)
+	if a.String() != b.String() {
+		t.Fatalf("two identical registries rendered differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if a.String() != want {
+		t.Fatalf("exposition layout drifted:\ngot:\n%s\nwant:\n%s", a.String(), want)
+	}
+}
+
+// TestCheckTextAcceptsOwnOutput: the checker round-trips everything the
+// registry can render and reports the family catalogue.
+func TestCheckTextAcceptsOwnOutput(t *testing.T) {
+	var buf bytes.Buffer
+	buildFixedRegistry().Render(&buf)
+	fams, err := CheckText(buf.Bytes())
+	if err != nil {
+		t.Fatalf("checker rejects our own exposition: %v", err)
+	}
+	for name, typ := range map[string]string{
+		"lotus_test_ops_total":       "counter",
+		"lotus_test_reads_total":     "counter",
+		"lotus_test_depth":           "gauge",
+		"lotus_test_cap":             "gauge",
+		"lotus_test_latency_seconds": "histogram",
+	} {
+		if fams[name] != typ {
+			t.Errorf("family %s: got type %q, want %q", name, fams[name], typ)
+		}
+	}
+}
+
+// TestCheckTextRejectsMalformed: each corruption is caught with an error.
+func TestCheckTextRejectsMalformed(t *testing.T) {
+	for name, body := range map[string]string{
+		"sample without TYPE":   "lotus_orphan_total 3\n",
+		"bad metric name":       "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":             "# TYPE lotus_x gauge\nlotus_x purple\n",
+		"unterminated labels":   "# TYPE lotus_x gauge\nlotus_x{a=\"b\" 1\n",
+		"unquoted label value":  "# TYPE lotus_x gauge\nlotus_x{a=b} 1\n",
+		"unknown type":          "# TYPE lotus_x matrix\nlotus_x 1\n",
+		"duplicate TYPE":        "# TYPE lotus_x gauge\n# TYPE lotus_x gauge\nlotus_x 1\n",
+		"bucket without family": "lotus_y_bucket{le=\"1\"} 2\n",
+	} {
+		if _, err := CheckText([]byte(body)); err == nil {
+			t.Errorf("%s: checker accepted %q", name, body)
+		}
+	}
+}
+
+// TestRegistryPanicsOnMisuse: bad registrations are programmer errors and
+// fail loudly at startup rather than corrupting the exposition.
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("lotus_a_total", "a")
+	expectPanic("duplicate sample", func() { r.Counter("lotus_a_total", "a") })
+	expectPanic("type mismatch", func() { r.Gauge("lotus_a_total", "a") })
+	expectPanic("help mismatch", func() { r.Counter("lotus_a_total", "different") })
+	expectPanic("bad name", func() { r.Counter("9lotus", "x") })
+	expectPanic("bad label name", func() {
+		c := r.Counter("lotus_b_total", "b", Label{"9bad", "v"})
+		var buf bytes.Buffer
+		_ = c
+		r.Render(&buf)
+	})
+	expectPanic("empty histogram bounds", func() { r.Histogram("lotus_h", "h", nil) })
+	expectPanic("unsorted bounds", func() { r.Histogram("lotus_h2", "h", []float64{1, 1}) })
+}
+
+// TestInstrumentsConcurrent: owned instruments and scrapes race cleanly
+// (run under -race in the gate).
+func TestInstrumentsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lotus_c_total", "c")
+	g := r.Gauge("lotus_g", "g")
+	h := r.Histogram("lotus_h_seconds", "h", []float64{1, 10})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				h.Observe(float64(i))
+				if j%100 == 0 {
+					var buf bytes.Buffer
+					r.Render(&buf)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if _, err := CheckText(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}

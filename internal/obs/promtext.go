@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CheckText validates a Prometheus text-format (0.0.4) exposition and
+// returns the metric families it declares, name → type. It is the scrape
+// gate the e2e tests run against `/metrics`: a parse error anywhere fails
+// the whole body, and callers assert their required series against the
+// returned map.
+//
+// The checker is stricter than a scraper needs to be, on purpose — it is
+// pointed at our own endpoint, where sloppiness is a bug:
+//
+//   - every sample must belong to a family declared by a preceding # TYPE
+//     line (histogram _bucket/_sum/_count samples resolve to their base
+//     family),
+//   - metric and label names must be well-formed,
+//   - sample values must parse as floats (+Inf/-Inf/NaN allowed),
+//   - # TYPE must name a known type and not repeat.
+func CheckText(body []byte) (map[string]string, error) {
+	families := make(map[string]string)
+	for i, line := range strings.Split(string(body), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := checkSample(line, families); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	return families, nil
+}
+
+func checkComment(line string, families map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE line names invalid metric %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := families[name]; dup {
+			return fmt.Errorf("family %s declared twice", name)
+		}
+		families[name] = typ
+	}
+	return nil
+}
+
+func checkSample(line string, families map[string]string) error {
+	rest := line
+	// Metric name runs to '{' or ' '.
+	end := strings.IndexAny(rest, "{ ")
+	if end <= 0 {
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	name := rest[:end]
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		// Find the closing brace outside quotes — label values may contain
+		// literal braces (e.g. route="/jobs/{key}").
+		close := -1
+		inQuotes := false
+		for i := 1; i < len(rest); i++ {
+			switch rest[i] {
+			case '\\':
+				i++
+			case '"':
+				inQuotes = !inQuotes
+			case '}':
+				if !inQuotes {
+					close = i
+				}
+			}
+			if close >= 0 {
+				break
+			}
+		}
+		if close < 0 {
+			return fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := checkLabels(rest[1:close]); err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// Value, optionally followed by a timestamp (we never emit one, but a
+	// valid exposition may carry it).
+	valueField := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		valueField = rest[:sp]
+		if _, err := strconv.ParseInt(strings.TrimSpace(rest[sp+1:]), 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp in %q", line)
+		}
+	}
+	if !validSampleValue(valueField) {
+		return fmt.Errorf("bad sample value %q in %q", valueField, line)
+	}
+	base := familyOf(name, families)
+	if base == "" {
+		return fmt.Errorf("sample %s has no preceding # TYPE declaration", name)
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family: exact match, or
+// the histogram/summary suffix forms.
+func familyOf(name string, families map[string]string) string {
+	if _, ok := families[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if typ, ok := families[base]; ok && (typ == "histogram" || typ == "summary") {
+			return base
+		}
+	}
+	return ""
+}
+
+func checkLabels(body string) error {
+	if body == "" {
+		return nil
+	}
+	// Split on commas outside quotes.
+	depth := false
+	start := 0
+	var pairs []string
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				pairs = append(pairs, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	pairs = append(pairs, body[start:])
+	for _, p := range pairs {
+		eq := strings.Index(p, "=")
+		if eq <= 0 {
+			return fmt.Errorf("malformed label %q", p)
+		}
+		lname, lval := p[:eq], p[eq+1:]
+		if !validLabelName(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		if len(lval) < 2 || lval[0] != '"' || lval[len(lval)-1] != '"' {
+			return fmt.Errorf("unquoted label value %q", lval)
+		}
+	}
+	return nil
+}
+
+func validSampleValue(v string) bool {
+	switch v {
+	case "+Inf", "-Inf", "NaN", "Inf":
+		return true
+	}
+	_, err := strconv.ParseFloat(v, 64)
+	return err == nil
+}

@@ -53,6 +53,88 @@ func TestCacheOversizeEntrySurvives(t *testing.T) {
 	}
 }
 
+// TestCachePutNewestSurvives pins the Put invariant across every update
+// shape: whatever combination of inserts, update-grow, update-shrink, or a
+// single entry over the whole budget, the key just Put always answers its
+// latest body — eviction may clear everything else, never the newest entry.
+func TestCachePutNewestSurvives(t *testing.T) {
+	body := func(n int) []byte { return bytes.Repeat([]byte{'z'}, n) }
+	cases := []struct {
+		name string
+		max  int64
+		ops  func(c *resultCache)
+		key  string // the last key Put
+		want int    // its expected body length
+	}{
+		{
+			name: "update grows past budget",
+			max:  100,
+			ops: func(c *resultCache) {
+				c.Put("a", body(30), "a1")
+				c.Put("b", body(30), "b1")
+				c.Put("a", body(90), "a2") // grow a: total would be 120
+			},
+			key: "a", want: 90,
+		},
+		{
+			name: "update grows beyond entire budget",
+			max:  100,
+			ops: func(c *resultCache) {
+				c.Put("a", body(30), "a1")
+				c.Put("b", body(30), "b1")
+				c.Put("b", body(150), "b2") // single entry over budget via update
+			},
+			key: "b", want: 150,
+		},
+		{
+			name: "update shrinks",
+			max:  100,
+			ops: func(c *resultCache) {
+				c.Put("a", body(90), "a1")
+				c.Put("a", body(10), "a2")
+			},
+			key: "a", want: 10,
+		},
+		{
+			name: "single insert over budget",
+			max:  10,
+			ops: func(c *resultCache) {
+				c.Put("a", body(50), "a1")
+			},
+			key: "a", want: 50,
+		},
+		{
+			name: "oversize insert after fills",
+			max:  100,
+			ops: func(c *resultCache) {
+				c.Put("a", body(40), "a1")
+				c.Put("b", body(40), "b1")
+				c.Put("c", body(400), "c1")
+			},
+			key: "c", want: 400,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newResultCache(tc.max)
+			tc.ops(c)
+			got, _, ok := c.Get(tc.key)
+			if !ok {
+				t.Fatalf("newest entry %q did not survive its own Put", tc.key)
+			}
+			if len(got) != tc.want {
+				t.Fatalf("newest entry %q = %d bytes, want %d", tc.key, len(got), tc.want)
+			}
+			// The invariant never licenses a leak: entries and bytes must be
+			// internally consistent after the churn.
+			st := c.Stats()
+			if st.Entries < 1 || st.Bytes < int64(tc.want) {
+				t.Fatalf("stats inconsistent after churn: %+v", st)
+			}
+		})
+	}
+}
+
 // TestCacheReplace: re-putting a key replaces the body and reuses the slot.
 func TestCacheReplace(t *testing.T) {
 	c := newResultCache(100)
@@ -71,7 +153,7 @@ func TestCacheReplace(t *testing.T) {
 // canonicalization variants and distinct keys for different seeds,
 // versions, and replicate overrides.
 func TestCacheKeyVariants(t *testing.T) {
-	s := New(Config{Version: "v-test"})
+	s := mustNew(t, Config{Version: "v-test"})
 	defer s.Close()
 
 	key := func(body string, seed uint64) string {
@@ -105,7 +187,7 @@ func TestCacheKeyVariants(t *testing.T) {
 		t.Fatal("replicates override is not part of the key")
 	}
 
-	other := New(Config{Version: "v-other"})
+	other := mustNew(t, Config{Version: "v-other"})
 	defer other.Close()
 	spec2, err := resolveSpec(&Request{Spec: []byte(tinySpec)})
 	if err != nil {

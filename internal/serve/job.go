@@ -75,6 +75,18 @@ func (j *job) pointProgress(point, reps int, halfWidth float64, met bool) {
 	j.mu.Unlock()
 }
 
+// totalReplicates reports the replicates the run has folded so far — after
+// the final progress callback this is the run's true count, exact even for
+// adaptive plans whose up-front total was only a cap.
+func (j *job) totalReplicates() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done > 0 {
+		return j.done
+	}
+	return j.total
+}
+
 func (j *job) finish() {
 	j.mu.Lock()
 	j.state = StateDone

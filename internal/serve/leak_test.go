@@ -50,7 +50,7 @@ func TestServerLifecycleNoGoroutineLeak(t *testing.T) {
 	warmPool(t)
 	base := runtime.NumGoroutine()
 
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ts := httptest.NewServer(s)
 	resp := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 41}`, tinySpec))
 	waitDone(t, ts.URL, resp.Key)
@@ -68,7 +68,7 @@ func TestServerLifecycleNoGoroutineLeak(t *testing.T) {
 // safe, queued-but-unstarted jobs fail with "server closed", and a closed
 // server refuses new submissions.
 func TestServerCloseIdempotent(t *testing.T) {
-	s := New(Config{QueueDepth: 4})
+	s := mustNew(t, Config{QueueDepth: 4})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -127,7 +127,7 @@ func TestServerCloseFailsQueuedJobs(t *testing.T) {
 // the drain and tells the client to resubmit, and new submissions are
 // refused.
 func TestServerDrainFailsQueuedWithDrainStatus(t *testing.T) {
-	s := New(Config{QueueDepth: 4})
+	s := mustNew(t, Config{QueueDepth: 4})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// accessLog emits one JSON object per finished request. Lines are written
+// whole under a mutex so concurrent handlers never interleave mid-record,
+// and fields marshal in struct order — fixed schema, greppable stream.
+type accessLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// accessRecord is the wire schema of one log line. Optional fields are
+// omitted rather than emitted empty so the common line stays short.
+type accessRecord struct {
+	Time   string `json:"time"`
+	Method string `json:"method"`
+	Route  string `json:"route"`
+	Path   string `json:"path,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Status int    `json:"status"`
+	Bytes  int64  `json:"bytes"`
+	Dur    string `json:"dur"`
+	Cache  string `json:"cache,omitempty"`
+}
+
+// newAccessLog builds a logger for the given format. Only "json" produces a
+// logger; "" and "off" return nil (logging disabled). The format is
+// validated at flag-parse time, so anything else lands here only through a
+// programmer error and is treated as off.
+func newAccessLog(format string, w io.Writer) *accessLog {
+	if format != "json" {
+		return nil
+	}
+	if w == nil {
+		w = os.Stderr
+	}
+	return &accessLog{w: w, now: time.Now}
+}
+
+func (l *accessLog) record(method, route, path string, info *reqInfo, status int, bytes int64, d time.Duration) {
+	rec := accessRecord{
+		Time:   l.now().UTC().Format(time.RFC3339Nano),
+		Method: method,
+		Route:  route,
+		Status: status,
+		Bytes:  bytes,
+		Dur:    d.String(),
+	}
+	// The route label already identifies templated paths; include the raw
+	// path only when it carries information the route does not.
+	if path != rec.Route {
+		rec.Path = path
+	}
+	if info != nil {
+		rec.Key = info.key
+		rec.Cache = info.cache
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // schema is all plain fields; unreachable
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(append(line, '\n'))
+}
+
+// ValidLogFormat reports whether s is an accepted -log-format value.
+func ValidLogFormat(s string) bool {
+	switch s {
+	case "", "off", "json":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"time"
+
+	"lotuseater/internal/obs"
+)
+
+// routes is the fixed label set for per-route request series, in
+// registration (and therefore exposition) order. Every role shares the one
+// schema — cluster routes sit at zero on a single-process server — so a
+// scraper sees a stable shape across the fleet. routeOf maps anything
+// unrecognized to "other".
+var routes = []string{
+	"/experiments",
+	"/jobs/{key}",
+	"/results/{key}",
+	"/scenarios",
+	"/healthz",
+	"/metrics",
+	"/cluster/join",
+	"/cluster/run",
+	"/cluster/artifacts/{key}",
+	"/cluster/status",
+	"other",
+}
+
+// routeOf classifies a request into the fixed route label set. It is a
+// static table rather than mux introspection so the label cardinality is
+// bounded by construction — a hostile path can never mint a new series.
+func routeOf(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/experiments":
+		return "/experiments"
+	case strings.HasPrefix(p, "/jobs/"):
+		return "/jobs/{key}"
+	case strings.HasPrefix(p, "/results/"):
+		return "/results/{key}"
+	case p == "/scenarios":
+		return "/scenarios"
+	case p == "/healthz":
+		return "/healthz"
+	case p == "/metrics":
+		return "/metrics"
+	case p == "/cluster/join":
+		return "/cluster/join"
+	case p == "/cluster/run":
+		return "/cluster/run"
+	case strings.HasPrefix(p, "/cluster/artifacts/"):
+		return "/cluster/artifacts/{key}"
+	case p == "/cluster/status":
+		return "/cluster/status"
+	}
+	return "other"
+}
+
+// Bucket layouts. Request latencies are dominated by cache hits
+// (sub-millisecond) with a long tail of queued-run polls; job durations run
+// milliseconds to minutes; replicate throughput spans decades.
+var (
+	reqDurBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+	jobDurBuckets = []float64{0.005, 0.05, 0.25, 1, 5, 30, 120, 600}
+	repsBuckets   = []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7}
+)
+
+// Metrics is the server's instrument set, registered in a fixed order so
+// `GET /metrics` is byte-stable for a given traffic history (the golden
+// scrape test pins the layout). The cluster layer bumps its counters
+// through the exported methods — the series exist on every role, zero
+// where a role never touches them.
+type Metrics struct {
+	reg *obs.Registry
+
+	jobsDone, jobsFailed *obs.Counter
+	jobDuration          *obs.Histogram
+	jobReplicates        *obs.Counter
+	jobRepsPerSec        *obs.Histogram
+
+	reqTotal map[string]*obs.Counter
+	reqDur   map[string]*obs.Histogram
+
+	workers          *obs.Gauge
+	unitsDispatched  *obs.Counter
+	unitRetries      *obs.Counter
+	unitSteals       *obs.Counter
+	unitsExecuted    *obs.Counter
+	announceFailures *obs.Counter
+}
+
+// newMetrics registers the full serve metric catalogue against s. Func-
+// backed series read live server state (cache stats, queue depth, disk
+// store) at scrape time.
+func newMetrics(s *Server) *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg:      reg,
+		reqTotal: make(map[string]*obs.Counter, len(routes)),
+		reqDur:   make(map[string]*obs.Histogram, len(routes)),
+	}
+
+	reg.GaugeFunc("lotus_build_info", "build identity; the version label is folded into every cache key",
+		func() float64 { return 1 }, obs.Label{Name: "version", Value: s.version})
+
+	cache := func(f func(cacheStats) float64) func() float64 {
+		return func() float64 { return f(s.cache.Stats()) }
+	}
+	reg.CounterFunc("lotus_cache_hits_total", "result cache lookups answered locally",
+		func() uint64 { return s.cache.Stats().Hits })
+	reg.CounterFunc("lotus_cache_misses_total", "result cache lookups that missed",
+		func() uint64 { return s.cache.Stats().Misses })
+	reg.CounterFunc("lotus_cache_evictions_total", "result cache entries evicted to hold the byte budget",
+		func() uint64 { return s.cache.Stats().Evictions })
+	reg.GaugeFunc("lotus_cache_entries", "results held in the in-memory cache",
+		cache(func(st cacheStats) float64 { return float64(st.Entries) }))
+	reg.GaugeFunc("lotus_cache_bytes", "bytes held in the in-memory cache",
+		cache(func(st cacheStats) float64 { return float64(st.Bytes) }))
+	reg.GaugeFunc("lotus_cache_max_bytes", "in-memory cache byte budget",
+		cache(func(st cacheStats) float64 { return float64(st.MaxBytes) }))
+
+	reg.GaugeFunc("lotus_queue_depth", "jobs waiting behind the executor",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("lotus_queue_capacity", "job queue bound; submissions beyond it answer 503",
+		func() float64 { return float64(cap(s.queue)) })
+
+	m.jobsDone = reg.Counter("lotus_jobs_total", "jobs finished, by outcome", obs.Label{Name: "status", Value: "done"})
+	m.jobsFailed = reg.Counter("lotus_jobs_total", "jobs finished, by outcome", obs.Label{Name: "status", Value: "failed"})
+	m.jobDuration = reg.Histogram("lotus_job_duration_seconds", "wall-clock time of executed simulation jobs", jobDurBuckets)
+	m.jobReplicates = reg.Counter("lotus_job_replicates_total", "replicates folded by executed jobs")
+	m.jobRepsPerSec = reg.Histogram("lotus_job_replicates_per_second", "replicate throughput of executed jobs", repsBuckets)
+
+	for _, route := range routes {
+		m.reqTotal[route] = reg.Counter("lotus_http_requests_total", "HTTP requests served, by route",
+			obs.Label{Name: "route", Value: route})
+	}
+	for _, route := range routes {
+		m.reqDur[route] = reg.Histogram("lotus_http_request_duration_seconds", "HTTP request latency, by route",
+			reqDurBuckets, obs.Label{Name: "route", Value: route})
+	}
+
+	m.workers = reg.Gauge("lotus_cluster_workers", "workers currently registered (coordinator role)")
+	m.unitsDispatched = reg.Counter("lotus_cluster_units_dispatched_total", "units handed to workers (coordinator role)")
+	m.unitRetries = reg.Counter("lotus_cluster_unit_retries_total", "units requeued after a worker transport failure (coordinator role)")
+	m.unitSteals = reg.Counter("lotus_cluster_unit_steals_total", "adaptive waves stolen by idle workers (coordinator role)")
+	m.unitsExecuted = reg.Counter("lotus_cluster_units_executed_total", "units executed for a coordinator (worker role)")
+	m.announceFailures = reg.Counter("lotus_cluster_announce_failures_total", "announce/heartbeat attempts that failed (worker role)")
+
+	disk := func(f func(diskStats) float64) func() float64 {
+		return func() float64 {
+			if s.disk == nil {
+				return 0
+			}
+			return f(s.disk.Stats())
+		}
+	}
+	diskCount := func(f func(diskStats) uint64) func() uint64 {
+		return func() uint64 {
+			if s.disk == nil {
+				return 0
+			}
+			return f(s.disk.Stats())
+		}
+	}
+	reg.GaugeFunc("lotus_store_entries", "artifacts held in the disk store (0 without -store-dir)",
+		disk(func(st diskStats) float64 { return float64(st.Entries) }))
+	reg.GaugeFunc("lotus_store_bytes", "unique blob bytes in the disk store",
+		disk(func(st diskStats) float64 { return float64(st.Bytes) }))
+	reg.GaugeFunc("lotus_store_max_bytes", "disk store byte budget",
+		disk(func(st diskStats) float64 { return float64(st.MaxBytes) }))
+	reg.CounterFunc("lotus_store_hits_total", "disk store reads that verified and served",
+		diskCount(func(st diskStats) uint64 { return st.Hits }))
+	reg.CounterFunc("lotus_store_misses_total", "disk store reads that missed or failed verification",
+		diskCount(func(st diskStats) uint64 { return st.Misses }))
+	reg.CounterFunc("lotus_store_gc_removed_total", "disk store entries removed by GC (age or size bound)",
+		diskCount(func(st diskStats) uint64 { return st.Removed }))
+
+	return m
+}
+
+// Registry exposes the underlying registry (the /metrics handler, and a
+// place for embedding layers to add role-specific series).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// Cluster-layer hooks. Each is safe for concurrent use and a no-op-cheap
+// atomic bump; the cluster package calls these so the series live in the
+// one registry every role scrapes.
+
+// SetWorkers records the coordinator's registered-worker count.
+func (m *Metrics) SetWorkers(n int) { m.workers.Set(float64(n)) }
+
+// UnitDispatched counts one unit handed to a worker.
+func (m *Metrics) UnitDispatched() { m.unitsDispatched.Inc() }
+
+// UnitRetried counts one unit requeued after a worker transport failure.
+func (m *Metrics) UnitRetried() { m.unitRetries.Inc() }
+
+// UnitStolen counts one adaptive wave pulled by an idle worker.
+func (m *Metrics) UnitStolen() { m.unitSteals.Inc() }
+
+// UnitExecuted counts one unit this node executed for a coordinator.
+func (m *Metrics) UnitExecuted() { m.unitsExecuted.Inc() }
+
+// AnnounceFailed counts one failed announce/heartbeat attempt.
+func (m *Metrics) AnnounceFailed() { m.announceFailures.Inc() }
+
+// observeRequest records one finished request on the per-route series.
+func (m *Metrics) observeRequest(route string, d time.Duration) {
+	m.reqTotal[route].Inc()
+	m.reqDur[route].Observe(d.Seconds())
+}
+
+// reqInfo is the per-request scratchpad the middleware plants in the
+// context; handlers annotate it so the access log can say what the cache
+// did without the middleware re-deriving it.
+type reqInfo struct {
+	key   string
+	cache string // hit | disk | remote | miss ("" = route has no cache semantics)
+}
+
+type reqInfoCtxKey struct{}
+
+// noteKey records the request's cache key for the access log. Nil-safe for
+// handlers reached without the middleware (direct mux use in tests).
+func noteKey(r *http.Request, key string) {
+	if info, ok := r.Context().Value(reqInfoCtxKey{}).(*reqInfo); ok {
+		info.key = key
+	}
+}
+
+// noteCache records the cache outcome for the access log.
+func noteCache(r *http.Request, outcome string) {
+	if info, ok := r.Context().Value(reqInfoCtxKey{}).(*reqInfo); ok {
+		info.cache = outcome
+	}
+}
+
+// statusWriter captures status code and body bytes for metrics and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Observe wraps a handler tree with the server's request instrumentation:
+// per-route counters and latency histograms, plus one structured log line
+// per request when logging is configured. The cluster roles route their
+// whole mux (cluster endpoints + the embedded service via Routes) through
+// the embedded server's Observe, so every request is counted exactly once.
+func (s *Server) Observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeOf(r)
+		info := &reqInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoCtxKey{}, info))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		s.met.observeRequest(route, elapsed)
+		if s.alog != nil {
+			s.alog.record(r.Method, route, r.URL.Path, info, sw.status, sw.bytes, elapsed)
+		}
+	})
+}
+
+// Routes returns the server's uninstrumented route mux. Embedding layers
+// (cluster coordinator/worker) mount this as their fallback handler and
+// wrap their combined mux in Observe once, so nothing double-counts.
+func (s *Server) Routes() http.Handler { return s.mux }
+
+// Metrics returns the server's instrument set.
+func (s *Server) Metrics() *Metrics { return s.met }

@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lotuseater/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// scrape fetches /metrics and validates the exposition strictly.
+func scrape(t *testing.T, base string) (http.Header, []byte, map[string]string) {
+	t.Helper()
+	code, hdr, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d: %s", code, body)
+	}
+	fams, err := obs.CheckText(body)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	return hdr, body, fams
+}
+
+// TestMetricsGoldenScrape pins the first scrape of a fresh, fixed-config
+// server byte for byte against testdata/metrics.golden. Every counter is
+// zero and every gauge derives from the config, so the whole exposition —
+// series set, ordering, labels, bucket layout — is deterministic; any
+// drift (renamed series, reordered registration, changed buckets) fails
+// here first. Run with -update to accept intended changes.
+func TestMetricsGoldenScrape(t *testing.T) {
+	_, ts := newTestServer(t, Config{Version: "v-test", CacheBytes: 1 << 20, QueueDepth: 8})
+	hdr, body, _ := scrape(t, ts.URL)
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("exposition drifted from golden (run with -update if intended):\ngot:\n%s\nwant:\n%s", body, want)
+	}
+
+	// Two servers built the same way scrape identically — the registration
+	// path itself is deterministic, not just this process's first render.
+	_, ts2 := newTestServer(t, Config{Version: "v-test", CacheBytes: 1 << 20, QueueDepth: 8})
+	_, body2, _ := scrape(t, ts2.URL)
+	if !bytes.Equal(body, body2) {
+		t.Fatal("two identically configured servers scraped differently")
+	}
+}
+
+// TestMetricsTrafficCounters drives a fixed workload and asserts every
+// deterministic-value series: cache hits/misses, job outcomes, replicate
+// counts, and per-route request totals. (Durations vary run to run; the
+// golden test pins their layout, this one their counts.)
+func TestMetricsTrafficCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{Version: "v-test"})
+
+	resp := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 17}`, tinySpec))
+	waitDone(t, ts.URL, resp.Key)
+	if code, _, _ := getBody(t, ts.URL+"/results/"+resp.Key); code != http.StatusOK {
+		t.Fatal("result fetch failed")
+	}
+	again := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 17}`, tinySpec))
+	if !again.Cached {
+		t.Fatal("second submit was not a cache hit")
+	}
+
+	_, body, fams := scrape(t, ts.URL)
+	for _, name := range []string{
+		"lotus_cache_hits_total", "lotus_cache_misses_total", "lotus_jobs_total",
+		"lotus_job_duration_seconds", "lotus_job_replicates_total",
+		"lotus_http_requests_total", "lotus_http_request_duration_seconds",
+		"lotus_queue_depth", "lotus_store_entries", "lotus_cluster_workers",
+	} {
+		if _, ok := fams[name]; !ok {
+			t.Errorf("series %s missing from scrape", name)
+		}
+	}
+
+	wantLines := map[string]string{
+		// The result fetch hit, and the second submit hit; the first submit
+		// and the first /results lookup missed... except /results/{key} is
+		// served after the run cached it, so: submit-1 misses, submit-2 hits,
+		// result fetch hits.
+		`lotus_cache_hits_total`:                            "2",
+		`lotus_cache_misses_total`:                          "1",
+		`lotus_jobs_total{status="done"}`:                   "1",
+		`lotus_jobs_total{status="failed"}`:                 "0",
+		`lotus_job_replicates_total`:                        "2", // tinySpec runs 2 replicates
+		`lotus_http_requests_total{route="/experiments"}`:   "2",
+		`lotus_http_requests_total{route="/results/{key}"}`: "1",
+		`lotus_http_requests_total{route="other"}`:          "0",
+	}
+	for line, want := range wantLines {
+		got, ok := sampleValue(body, line)
+		if !ok {
+			t.Errorf("sample %s missing", line)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %s, want %s", line, got, want)
+		}
+	}
+
+	// The jobs poll count varies with scheduling; it must at least cover the
+	// waitDone polls that returned.
+	if v, ok := sampleValue(body, `lotus_http_requests_total{route="/jobs/{key}"}`); !ok || v == "0" {
+		t.Errorf("/jobs/{key} requests = %q, want > 0", v)
+	}
+}
+
+// sampleValue extracts one sample's value from an exposition body.
+func sampleValue(body []byte, prefix string) (string, bool) {
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, prefix+" "); ok {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+// TestAccessLog: with -log-format=json every request emits exactly one
+// line with the fixed schema — route, status, bytes, duration, and cache
+// outcome where the route has one.
+func TestAccessLog(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, Config{Version: "v-test", LogFormat: "json", LogWriter: &buf})
+
+	resp := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 19}`, tinySpec))
+	waitDone(t, ts.URL, resp.Key)
+	if code, _, _ := getBody(t, ts.URL+"/results/"+resp.Key); code != http.StatusOK {
+		t.Fatal("result fetch failed")
+	}
+
+	var recs []accessRecord
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec accessRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable log line %q: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("only %d log lines for submit+polls+result", len(recs))
+	}
+
+	var sawSubmit, sawResult bool
+	for _, rec := range recs {
+		if rec.Time == "" || rec.Method == "" || rec.Route == "" || rec.Status == 0 || rec.Dur == "" {
+			t.Fatalf("log record missing required fields: %+v", rec)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, rec.Time); err != nil {
+			t.Fatalf("unparseable timestamp %q", rec.Time)
+		}
+		switch rec.Route {
+		case "/experiments":
+			sawSubmit = true
+			if rec.Key != resp.Key || rec.Cache != cacheMiss {
+				t.Fatalf("submit record: %+v", rec)
+			}
+		case "/results/{key}":
+			sawResult = true
+			if rec.Key != resp.Key || rec.Cache != cacheHit || rec.Bytes == 0 {
+				t.Fatalf("result record: %+v", rec)
+			}
+		}
+	}
+	if !sawSubmit || !sawResult {
+		t.Fatalf("submit/result routes missing from log (submit=%v result=%v)", sawSubmit, sawResult)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the logger's concurrent writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestResultConditionalRequest: GET /results/{key} honors If-None-Match —
+// strong, weak, lists, and the wildcard all answer 304 with no body;
+// non-matching tags serve the full artifact.
+func TestResultConditionalRequest(t *testing.T) {
+	_, ts := newTestServer(t, Config{Version: "v-test"})
+	resp := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 23}`, tinySpec))
+	waitDone(t, ts.URL, resp.Key)
+	code, hdr, body := getBody(t, ts.URL+"/results/"+resp.Key)
+	if code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("priming fetch: status %d, %d bytes", code, len(body))
+	}
+	etag := hdr.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on result")
+	}
+
+	fetch := func(inm string) (int, http.Header, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/results/"+resp.Key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(r.Body)
+		return r.StatusCode, r.Header, buf.Bytes()
+	}
+
+	for name, inm := range map[string]string{
+		"strong match": etag,
+		"weak match":   "W/" + etag,
+		"wildcard":     "*",
+		"in a list":    `"sha256:beef", ` + etag,
+	} {
+		code, hdr, body := fetch(inm)
+		if code != http.StatusNotModified {
+			t.Errorf("%s: status %d, want 304", name, code)
+		}
+		if len(body) != 0 {
+			t.Errorf("%s: 304 carried %d body bytes", name, len(body))
+		}
+		if hdr.Get("ETag") != etag {
+			t.Errorf("%s: 304 ETag %q, want %q", name, hdr.Get("ETag"), etag)
+		}
+	}
+
+	for name, inm := range map[string]string{
+		"no header":     "",
+		"stale tag":     `"sha256:beef"`,
+		"unquoted junk": "junk",
+	} {
+		code, _, gotBody := fetch(inm)
+		if code != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", name, code)
+		}
+		if !bytes.Equal(gotBody, body) {
+			t.Errorf("%s: body differs from unconditional fetch", name)
+		}
+	}
+}

@@ -22,6 +22,7 @@
 //	GET  /results/{key}      cached artifact as ?format=json|csv|text (ETag = artifact address)
 //	GET  /scenarios          the scenario catalogue
 //	GET  /healthz            liveness + cache/queue/run statistics
+//	GET  /metrics            Prometheus text exposition (internal/obs)
 package serve
 
 import (
@@ -30,10 +31,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lotuseater/internal/metrics"
 	"lotuseater/internal/scenario"
@@ -65,6 +69,27 @@ type Config struct {
 	// points this at its coordinator, making every node's `/results/{key}`
 	// answer from the fleet-wide store.
 	Store ArtifactStore
+	// StoreDir, when non-empty, persists finished artifacts to disk under
+	// this directory so results survive a restart. Lookups that miss the
+	// in-memory cache read through the disk store (re-hashing every body —
+	// disk is never trusted) before consulting Store.
+	StoreDir string
+	// StoreMaxBytes bounds the disk store's unique blob bytes (<= 0 means
+	// 1 GiB). A GC loop evicts oldest-stored entries past the budget; the
+	// newest entry always survives.
+	StoreMaxBytes int64
+	// StoreMaxAge, when positive, expires disk entries stored longer ago
+	// than this. Zero means no age bound.
+	StoreMaxAge time.Duration
+	// StoreGCInterval is the disk GC cadence (<= 0 means one minute). The
+	// size bound is additionally enforced inline on every write, so the
+	// loop only has to catch age expiry and stragglers.
+	StoreGCInterval time.Duration
+	// LogFormat selects structured request logging: "json" emits one JSON
+	// line per request to LogWriter; "" or "off" disables logging.
+	LogFormat string
+	// LogWriter receives access log lines (nil = os.Stderr).
+	LogWriter io.Writer
 }
 
 // RunFunc executes one resolved experiment and returns its artifact. The
@@ -97,9 +122,13 @@ type Server struct {
 	cfg     Config
 	version string
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in Observe; what ServeHTTP dispatches
 	cache   *resultCache
 	run     RunFunc
 	store   ArtifactStore
+	disk    *diskStore // nil without StoreDir
+	met     *Metrics
+	alog    *accessLog // nil unless LogFormat selects one
 
 	mu       sync.Mutex
 	jobs     map[string]*job // singleflight: live and recently finished jobs
@@ -114,8 +143,11 @@ type Server struct {
 	runs atomic.Uint64 // simulations actually executed (the singleflight proof)
 }
 
-// New builds a Server and starts its executor.
-func New(cfg Config) *Server {
+// New builds a Server and starts its executor (and, with StoreDir set, the
+// disk store's GC loop). The only error source is opening the disk store —
+// an unusable store directory should fail startup loudly, not silently
+// degrade to memory-only persistence.
+func New(cfg Config) (*Server, error) {
 	if cfg.CacheBytes <= 0 {
 		cfg.CacheBytes = 64 << 20
 	}
@@ -142,17 +174,30 @@ func New(cfg Config) *Server {
 			return scenario.Run(spec, seed, opts)
 		}
 	}
+	if cfg.StoreDir != "" {
+		disk, err := openDiskStore(cfg.StoreDir, cfg.StoreMaxBytes, cfg.StoreMaxAge)
+		if err != nil {
+			return nil, err
+		}
+		disk.startGC(cfg.StoreGCInterval)
+		s.disk = disk
+	}
+	s.met = newMetrics(s)
+	s.alog = newAccessLog(cfg.LogFormat, cfg.LogWriter)
 	s.mux.HandleFunc("POST /experiments", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs/{key}", s.handleJob)
 	s.mux.HandleFunc("GET /results/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /scenarios", s.handleScenarios)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", s.met.Registry().Handler())
+	s.handler = s.Observe(s.mux)
 	go s.execute()
-	return s
+	return s, nil
 }
 
-// ServeHTTP dispatches to the service's routes.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches to the service's routes through the request
+// instrumentation (metrics, access log).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Close stops the executor and fails any still-queued jobs with "server
 // closed". A run already in flight completes first (simulations are not
@@ -181,6 +226,9 @@ func (s *Server) shutdown(reason error) error {
 		s.mu.Unlock()
 		close(s.queue)
 		<-s.execDone
+		if s.disk != nil {
+			s.disk.Close()
+		}
 	})
 	return nil
 }
@@ -214,24 +262,39 @@ func (s *Server) execute() {
 func (s *Server) runJob(j *job) {
 	j.setRunning()
 	s.runs.Add(1)
+	start := time.Now()
 	a, err := s.run(j.spec, j.seed, scenario.RunOptions{
 		Workers:       s.cfg.Workers,
 		Progress:      j.progress,
 		PointProgress: j.pointProgress,
 	})
+	elapsed := time.Since(start)
 	if err != nil {
+		s.met.jobsFailed.Inc()
 		j.fail(err)
 		s.retire(j)
 		return
 	}
-	body, err := a.CanonicalJSON()
-	if err != nil {
-		j.fail(fmt.Errorf("serve: encoding artifact: %w", err))
+	body, encErr := a.CanonicalJSON()
+	if encErr != nil {
+		s.met.jobsFailed.Inc()
+		j.fail(fmt.Errorf("serve: encoding artifact: %w", encErr))
 		s.retire(j)
 		return
 	}
+	s.met.jobsDone.Inc()
+	s.met.jobDuration.Observe(elapsed.Seconds())
+	if reps := j.totalReplicates(); reps > 0 {
+		s.met.jobReplicates.Add(uint64(reps))
+		if secs := elapsed.Seconds(); secs > 0 {
+			s.met.jobRepsPerSec.Observe(float64(reps) / secs)
+		}
+	}
 	address := metrics.AddressBytes(body)
 	s.cache.Put(j.key, body, address)
+	if s.disk != nil {
+		s.disk.Put(j.key, body, address)
+	}
 	if s.store != nil {
 		s.store.Publish(j.key, body, address)
 	}
@@ -340,38 +403,68 @@ func (s *Server) cacheKey(spec *scenario.Spec, seed uint64) (string, error) {
 	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// lookup resolves a cache key against the local LRU first, then — on a
-// local miss — the shared store, filling the local cache from a remote hit
-// so repeat queries stay local. The store may do network I/O; callers must
-// not hold s.mu.
-func (s *Server) lookup(key string) (body []byte, address string, ok bool) {
+// Cache-outcome labels for the access log: where a lookup was answered.
+const (
+	cacheHit    = "hit"    // in-memory cache
+	cacheDisk   = "disk"   // disk store (read-through, refills memory)
+	cacheRemote = "remote" // federated store (read-through, refills memory)
+	cacheMiss   = "miss"   // nowhere; the caller recomputes
+)
+
+// lookup resolves a cache key through the read-through chain: the local LRU,
+// then the disk store, then the federated store — each hit refills the
+// layers above it so repeat queries stay local. The outcome names the layer
+// that answered (for the access log). The store may do network I/O; callers
+// must not hold s.mu.
+func (s *Server) lookup(key string) (body []byte, address string, outcome string, ok bool) {
+	if body, address, ok = s.cache.Get(key); ok {
+		return body, address, cacheHit, true
+	}
+	if s.disk != nil {
+		if body, address, ok = s.disk.Get(key); ok {
+			s.cache.Put(key, body, address)
+			return body, address, cacheDisk, true
+		}
+	}
+	if s.store != nil {
+		if body, address, ok = s.store.Lookup(key); ok {
+			s.cache.Put(key, body, address)
+			if s.disk != nil {
+				s.disk.Put(key, body, address)
+			}
+			return body, address, cacheRemote, true
+		}
+	}
+	return nil, "", cacheMiss, false
+}
+
+// CachedResult returns the artifact under key from this node's own layers —
+// memory, then disk — with no remote consultation, so a store server can
+// answer peers from it without recursing into the federation layer.
+func (s *Server) CachedResult(key string) (body []byte, address string, ok bool) {
 	if body, address, ok = s.cache.Get(key); ok {
 		return body, address, true
 	}
-	if s.store == nil {
-		return nil, "", false
+	if s.disk != nil {
+		if body, address, ok = s.disk.Get(key); ok {
+			s.cache.Put(key, body, address)
+			return body, address, true
+		}
 	}
-	body, address, ok = s.store.Lookup(key)
-	if !ok {
-		return nil, "", false
-	}
-	s.cache.Put(key, body, address)
-	return body, address, true
-}
-
-// CachedResult returns the artifact under key from this node's local cache
-// alone — no remote consultation, so a store server can answer peers from
-// it without recursing into the federation layer.
-func (s *Server) CachedResult(key string) (body []byte, address string, ok bool) {
-	return s.cache.Get(key)
+	return nil, "", false
 }
 
 // StoreResult inserts an artifact published by another node into this
-// node's cache under its cache key. The address is recomputed from the
-// bytes — content addressing makes a corrupt or mislabeled publish
-// self-evident downstream, never silently served under a wrong ETag.
+// node's cache (and disk store) under its cache key. The address is
+// recomputed from the bytes — content addressing makes a corrupt or
+// mislabeled publish self-evident downstream, never silently served under a
+// wrong ETag.
 func (s *Server) StoreResult(key string, body []byte) {
-	s.cache.Put(key, body, metrics.AddressBytes(body))
+	address := metrics.AddressBytes(body)
+	s.cache.Put(key, body, address)
+	if s.disk != nil {
+		s.disk.Put(key, body, address)
+	}
 }
 
 // maxRequestBytes bounds a submit body; specs are small, hostile bodies are
@@ -401,17 +494,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		StatusURL: "/jobs/" + key,
 		ResultURL: "/results/" + key,
 	}
+	noteKey(r, key)
 
 	// The federated lookup may do network I/O, so it runs before the lock;
 	// the singleflight checks below re-consult the local cache (cheap) for
 	// anything that landed in between.
-	if _, address, ok := s.lookup(key); ok {
+	if _, address, outcome, ok := s.lookup(key); ok {
+		noteCache(r, outcome)
 		resp.Status = StateDone
 		resp.Cached = true
 		resp.Address = address
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	noteCache(r, cacheMiss)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -471,7 +567,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	body, address, ok := s.lookup(key)
+	noteKey(r, key)
+	body, address, outcome, ok := s.lookup(key)
+	noteCache(r, outcome)
 	if !ok {
 		s.mu.Lock()
 		j, live := s.jobs[key]
@@ -496,7 +594,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if format == "" {
 		format = "json"
 	}
-	w.Header().Set("ETag", `"`+address+`"`)
+	etag := `"` + address + `"`
+	w.Header().Set("ETag", etag)
+	// Conditional request: a client revalidating the artifact it already
+	// holds gets 304 and no body. Content addressing makes this exact — the
+	// ETag is the body's hash, so a match guarantees byte identity.
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	switch format {
 	case "json":
 		w.Header().Set("Content-Type", "application/json")
@@ -554,6 +660,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Depth:   cap(s.queue),
 		Cache:   s.cache.Stats(),
 	})
+}
+
+// etagMatch implements If-None-Match (RFC 9110 §13.1.2): a comma-separated
+// list of entity tags, each possibly weak (`W/"..."`), or the wildcard `*`.
+// Comparison is weak — a weak client tag still matches our strong one,
+// which is right for revalidation (304), the only place this is used.
+func etagMatch(header, etag string) bool {
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		if candidate == "*" {
+			return true
+		}
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

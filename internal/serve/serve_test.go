@@ -40,9 +40,19 @@ const tinySpecVariant = `{
   "name": "tiny"
 }`
 
+// mustNew builds a Server, failing the test on a construction error.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()

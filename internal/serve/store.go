@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lotuseater/internal/metrics"
+)
+
+// diskStore persists canonical artifact bodies across restarts. The cache
+// key is already content-addressed, so persistence is exactly what the
+// ROADMAP promised it would be: write the body to a file named by its
+// content address, keep a small index from cache key to address, and
+// re-derive everything else.
+//
+// Layout under the store directory:
+//
+//	index.json            cache key -> {address, size, storedUnix}
+//	blobs/sha256-<hex>    one canonical artifact body per unique address
+//
+// Two cache keys whose runs converged on identical bytes share one blob
+// (content addressing dedupes for free); a blob is deleted only when its
+// last index entry goes.
+//
+// Crash safety is temp+rename: both blobs and the index are written to a
+// temporary file in the same directory, fsynced, and renamed into place, so
+// a crash leaves either the old state or the new one, never a torn file.
+// Disk is never trusted on the way back in: every Get re-hashes the blob
+// and drops the entry (and file) on mismatch, and open validates the index
+// against what is actually on disk.
+//
+// A GC loop bounds the store by age (entries stored longer than maxAge ago)
+// and by size (oldest-stored entries evict until the byte budget holds;
+// the newest entry always survives, mirroring the in-memory LRU's
+// invariant). The size bound is also enforced inline on Put so a burst
+// can't overshoot by more than one artifact between ticks.
+type diskStore struct {
+	dir      string
+	maxBytes int64
+	maxAge   time.Duration
+	now      func() time.Time // injected by tests; time.Now in production
+
+	mu    sync.Mutex
+	index map[string]*storeEntry
+	refs  map[string]int // address -> live index entries
+	size  int64          // unique blob bytes
+
+	hits, misses, removed uint64 // exposed via Stats for /metrics
+
+	gcStop   chan struct{}
+	gcDone   chan struct{}
+	stopOnce sync.Once
+}
+
+// storeEntry is one index row.
+type storeEntry struct {
+	Address string `json:"address"`
+	Size    int64  `json:"size"`
+	Stored  int64  `json:"storedUnix"`
+}
+
+// storeIndex is the on-disk index file shape.
+type storeIndex struct {
+	Version int                    `json:"version"`
+	Entries map[string]*storeEntry `json:"entries"`
+}
+
+// openDiskStore loads (or initializes) a store rooted at dir. Entries whose
+// blob is missing or mis-sized are dropped; blobs and temp files nothing
+// references are swept. maxBytes <= 0 means 1 GiB; maxAge <= 0 means no age
+// bound.
+func openDiskStore(dir string, maxBytes int64, maxAge time.Duration) (*diskStore, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 30
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating store dir: %w", err)
+	}
+	st := &diskStore{
+		dir:      dir,
+		maxBytes: maxBytes,
+		maxAge:   maxAge,
+		now:      time.Now,
+		index:    make(map[string]*storeEntry),
+		refs:     make(map[string]int),
+	}
+	if err := st.load(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// load reads and validates the index, then sweeps the blob directory of
+// anything unreferenced (crash leftovers, entries dropped below).
+func (st *diskStore) load() error {
+	data, err := os.ReadFile(filepath.Join(st.dir, "index.json"))
+	if err == nil {
+		var idx storeIndex
+		// A corrupt index is recoverable — the blobs are self-describing,
+		// but without key->address rows we can't serve them, so start
+		// empty rather than fail the server.
+		if json.Unmarshal(data, &idx) == nil {
+			for key, e := range idx.Entries {
+				if e == nil || !validAddress(e.Address) {
+					continue
+				}
+				fi, err := os.Stat(st.blobPath(e.Address))
+				if err != nil || fi.Size() != e.Size {
+					continue // blob gone or torn; drop the row
+				}
+				st.index[key] = e
+				if st.refs[e.Address] == 0 {
+					st.size += e.Size
+				}
+				st.refs[e.Address]++
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("serve: reading store index: %w", err)
+	}
+	// Sweep unreferenced files so dropped rows and crashed writes don't
+	// leak disk forever.
+	entries, err := os.ReadDir(filepath.Join(st.dir, "blobs"))
+	if err != nil {
+		return fmt.Errorf("serve: scanning blobs: %w", err)
+	}
+	for _, de := range entries {
+		addr := addressOfBlobName(de.Name())
+		if addr == "" || st.refs[addr] == 0 {
+			os.Remove(filepath.Join(st.dir, "blobs", de.Name()))
+		}
+	}
+	if rootEntries, err := os.ReadDir(st.dir); err == nil {
+		for _, de := range rootEntries {
+			if strings.HasPrefix(de.Name(), ".tmp-") {
+				os.Remove(filepath.Join(st.dir, de.Name()))
+			}
+		}
+	}
+	// Persist the validated view so the next open starts clean.
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.flushIndexLocked()
+}
+
+// Get returns the body stored under key, re-hashing it against its address
+// — never trust disk. A corrupt or missing blob drops the entry and
+// reports a miss, so the caller recomputes instead of serving garbage.
+func (st *diskStore) Get(key string) (body []byte, address string, ok bool) {
+	st.mu.Lock()
+	e, found := st.index[key]
+	if !found {
+		st.misses++
+		st.mu.Unlock()
+		return nil, "", false
+	}
+	addr := e.Address
+	st.mu.Unlock()
+
+	body, err := os.ReadFile(st.blobPath(addr))
+	if err != nil || metrics.AddressBytes(body) != addr {
+		st.mu.Lock()
+		// Re-check under the lock — a concurrent Put may have replaced the row.
+		if cur, still := st.index[key]; still && cur.Address == addr {
+			st.dropLocked(key)
+			st.flushIndexLocked()
+		}
+		st.misses++
+		st.mu.Unlock()
+		return nil, "", false
+	}
+	st.mu.Lock()
+	st.hits++
+	st.mu.Unlock()
+	return body, addr, true
+}
+
+// Put persists body under key. Best effort: an I/O failure loses
+// persistence, not correctness — the in-memory cache still has the result.
+func (st *diskStore) Put(key string, body []byte, address string) {
+	if !validAddress(address) {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.index[key]; ok {
+		if e.Address == address {
+			return // already stored
+		}
+		st.dropLocked(key)
+	}
+	if st.refs[address] == 0 {
+		if err := writeFileAtomic(st.blobPath(address), filepath.Join(st.dir, "blobs"), body); err != nil {
+			return
+		}
+		st.size += int64(len(body))
+	}
+	st.refs[address]++
+	st.index[key] = &storeEntry{Address: address, Size: int64(len(body)), Stored: st.now().Unix()}
+	st.gcSizeLocked()
+	st.flushIndexLocked()
+}
+
+// dropLocked removes key's index row, deleting the blob when its last
+// reference goes.
+func (st *diskStore) dropLocked(key string) {
+	e, ok := st.index[key]
+	if !ok {
+		return
+	}
+	delete(st.index, key)
+	st.refs[e.Address]--
+	if st.refs[e.Address] <= 0 {
+		delete(st.refs, e.Address)
+		os.Remove(st.blobPath(e.Address))
+		st.size -= e.Size
+	}
+}
+
+// gcOnce applies the age bound then the size bound, flushing the index if
+// anything went. It returns how many entries were removed.
+func (st *diskStore) gcOnce() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	removed := st.gcAgeLocked() + st.gcSizeLocked()
+	if removed > 0 {
+		st.flushIndexLocked()
+	}
+	return removed
+}
+
+func (st *diskStore) gcAgeLocked() int {
+	if st.maxAge <= 0 {
+		return 0
+	}
+	cutoff := st.now().Add(-st.maxAge).Unix()
+	removed := 0
+	for _, key := range st.keysOldestFirstLocked() {
+		if st.index[key].Stored >= cutoff {
+			break
+		}
+		st.dropLocked(key)
+		removed++
+	}
+	st.removed += uint64(removed)
+	return removed
+}
+
+func (st *diskStore) gcSizeLocked() int {
+	if st.size <= st.maxBytes {
+		return 0
+	}
+	removed := 0
+	for _, key := range st.keysOldestFirstLocked() {
+		if st.size <= st.maxBytes || len(st.index) <= 1 {
+			break
+		}
+		st.dropLocked(key)
+		removed++
+	}
+	st.removed += uint64(removed)
+	return removed
+}
+
+// keysOldestFirstLocked orders index keys by (stored time, key) — a
+// deterministic eviction order regardless of map iteration.
+func (st *diskStore) keysOldestFirstLocked() []string {
+	keys := make([]string, 0, len(st.index))
+	for k := range st.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := st.index[keys[i]], st.index[keys[j]]
+		if a.Stored != b.Stored {
+			return a.Stored < b.Stored
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// flushIndexLocked writes the index via temp+rename. encoding/json sorts
+// map keys, so the file bytes are deterministic for a given state.
+func (st *diskStore) flushIndexLocked() error {
+	data, err := json.Marshal(storeIndex{Version: 1, Entries: st.index})
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(st.dir, "index.json"), st.dir, data)
+}
+
+// startGC runs the GC loop until Close. interval <= 0 means one minute.
+func (st *diskStore) startGC(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	st.gcStop = make(chan struct{})
+	st.gcDone = make(chan struct{})
+	go func() {
+		defer close(st.gcDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-st.gcStop:
+				return
+			case <-t.C:
+				st.gcOnce()
+			}
+		}
+	}()
+}
+
+// Close stops the GC loop and waits for it to exit. Idempotent; the index
+// is already durable (flushed on every mutation), so there is nothing else
+// to do.
+func (st *diskStore) Close() {
+	st.stopOnce.Do(func() {
+		if st.gcStop != nil {
+			close(st.gcStop)
+			<-st.gcDone
+		}
+	})
+}
+
+// diskStats is the /metrics (and test) view of the store.
+type diskStats struct {
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+	Hits     uint64
+	Misses   uint64
+	Removed  uint64
+}
+
+func (st *diskStore) Stats() diskStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return diskStats{
+		Entries:  len(st.index),
+		Bytes:    st.size,
+		MaxBytes: st.maxBytes,
+		Hits:     st.hits,
+		Misses:   st.misses,
+		Removed:  st.removed,
+	}
+}
+
+// blobPath maps an address "sha256:<hex>" to its file. validAddress gates
+// every address before it reaches here, so the name is always a safe flat
+// filename.
+func (st *diskStore) blobPath(address string) string {
+	return filepath.Join(st.dir, "blobs", "sha256-"+strings.TrimPrefix(address, "sha256:"))
+}
+
+// addressOfBlobName inverts blobPath's naming, "" for foreign files.
+func addressOfBlobName(name string) string {
+	hex, ok := strings.CutPrefix(name, "sha256-")
+	if !ok {
+		return ""
+	}
+	addr := "sha256:" + hex
+	if !validAddress(addr) {
+		return ""
+	}
+	return addr
+}
+
+// validAddress accepts exactly the artifact address form sha256:<64 hex>.
+// Anything else — including a corrupt index trying to smuggle a path — is
+// rejected before it can touch the filesystem.
+func validAddress(address string) bool {
+	hex, ok := strings.CutPrefix(address, "sha256:")
+	if !ok || len(hex) != 64 {
+		return false
+	}
+	for i := 0; i < len(hex); i++ {
+		c := hex[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// writeFileAtomic writes data to path via a temp file in tmpDir (same
+// filesystem) + fsync + rename, so a crash never leaves a torn file.
+func writeFileAtomic(path, tmpDir string, data []byte) error {
+	f, err := os.CreateTemp(tmpDir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"lotuseater/internal/metrics"
+)
+
+// TestStoreSurvivesRestart is the acceptance pin for disk persistence: a
+// server computes a result, dies (Close — the hard-kill equivalent for
+// everything in memory), and a fresh server over the same store directory
+// answers GET /results/{key} from disk with the identical ETag and
+// byte-identical body, without executing a single simulation.
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Version: "v-test", StoreDir: dir}
+
+	s1, ts1 := newTestServer(t, cfg)
+	resp := submit(t, ts1.URL, fmt.Sprintf(`{"spec": %s, "seed": 7}`, tinySpec))
+	waitDone(t, ts1.URL, resp.Key)
+	code, hdr1, body1 := getBody(t, ts1.URL+"/results/"+resp.Key)
+	if code != http.StatusOK {
+		t.Fatalf("first server result: status %d", code)
+	}
+	etag1 := hdr1.Get("ETag")
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh process, same directory: the in-memory cache starts empty, so
+	// this answer can only come from disk.
+	s2, ts2 := newTestServer(t, cfg)
+	code, hdr2, body2 := getBody(t, ts2.URL+"/results/"+resp.Key)
+	if code != http.StatusOK {
+		t.Fatalf("restarted server result: status %d", code)
+	}
+	if hdr2.Get("ETag") != etag1 {
+		t.Fatalf("ETag changed across restart: %q vs %q", hdr2.Get("ETag"), etag1)
+	}
+	if string(body2) != string(body1) {
+		t.Fatalf("body changed across restart (%d vs %d bytes)", len(body2), len(body1))
+	}
+	if s2.Runs() != 0 {
+		t.Fatalf("restarted server recomputed (%d runs) instead of reading disk", s2.Runs())
+	}
+
+	// A re-submit is an immediate cache hit too — no queue, no run.
+	re := submit(t, ts2.URL, fmt.Sprintf(`{"spec": %s, "seed": 7}`, tinySpec))
+	if !re.Cached || re.Status != StateDone {
+		t.Fatalf("resubmit after restart: %+v, want cached done", re)
+	}
+	if s2.Runs() != 0 {
+		t.Fatalf("resubmit ran %d simulations", s2.Runs())
+	}
+}
+
+// TestStoreNeverTrustsDisk: a blob corrupted (or truncated) while the
+// server was away fails its re-hash on read and reports a miss — the entry
+// drops and the server recomputes rather than serving garbage.
+func TestStoreNeverTrustsDisk(t *testing.T) {
+	dir := t.TempDir()
+	st, err := openDiskStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"canonical":"artifact"}`)
+	addr := metrics.AddressBytes(body)
+	st.Put("key-1", body, addr)
+
+	// Corrupt the blob in place, keeping its size (so index validation at
+	// the next open cannot catch it — only the content re-hash can).
+	blob := st.blobPath(addr)
+	raw, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(blob, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, ok := st.Get("key-1"); ok {
+		t.Fatal("corrupt blob served as a hit")
+	}
+	if _, err := os.Stat(blob); !os.IsNotExist(err) {
+		t.Fatal("corrupt blob not removed after failed verification")
+	}
+	if stats := st.Stats(); stats.Entries != 0 || stats.Misses != 1 {
+		t.Fatalf("stats after corruption: %+v", stats)
+	}
+	st.Close()
+}
+
+// TestStoreGC: the age and size bounds evict deterministically — oldest
+// stored first, newest always survives — under an injected clock.
+func TestStoreGC(t *testing.T) {
+	mkBody := func(tag string, n int) []byte {
+		b := make([]byte, n)
+		copy(b, tag)
+		return b
+	}
+	put := func(st *diskStore, key, tag string, n int) {
+		body := mkBody(tag, n)
+		st.Put(key, body, metrics.AddressBytes(body))
+	}
+
+	t.Run("age bound", func(t *testing.T) {
+		st, err := openDiskStore(t.TempDir(), 0, time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		now := time.Unix(1_000_000, 0)
+		st.now = func() time.Time { return now }
+		put(st, "old", "a", 10)
+		now = now.Add(2 * time.Hour)
+		put(st, "fresh", "b", 10)
+		if removed := st.gcOnce(); removed != 1 {
+			t.Fatalf("age GC removed %d entries, want 1", removed)
+		}
+		if _, _, ok := st.Get("old"); ok {
+			t.Fatal("expired entry survived age GC")
+		}
+		if _, _, ok := st.Get("fresh"); !ok {
+			t.Fatal("fresh entry evicted by age GC")
+		}
+	})
+
+	t.Run("size bound evicts oldest first", func(t *testing.T) {
+		st, err := openDiskStore(t.TempDir(), 100, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		now := time.Unix(2_000_000, 0)
+		st.now = func() time.Time { return now }
+		for i, key := range []string{"k0", "k1", "k2"} {
+			put(st, key, fmt.Sprintf("b%d", i), 40)
+			now = now.Add(time.Second)
+		}
+		// 120 bytes against a 100-byte budget: k0 (oldest) goes, inline on Put.
+		if _, _, ok := st.Get("k0"); ok {
+			t.Fatal("oldest entry survived the size bound")
+		}
+		for _, key := range []string{"k1", "k2"} {
+			if _, _, ok := st.Get(key); !ok {
+				t.Fatalf("entry %s evicted out of order", key)
+			}
+		}
+	})
+
+	t.Run("newest survives an over-budget artifact", func(t *testing.T) {
+		st, err := openDiskStore(t.TempDir(), 50, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		now := time.Unix(3_000_000, 0)
+		st.now = func() time.Time { return now }
+		put(st, "small", "a", 10)
+		now = now.Add(time.Second)
+		put(st, "huge", "b", 500)
+		if _, _, ok := st.Get("small"); ok {
+			t.Fatal("small entry survived despite the huge newest entry")
+		}
+		if _, _, ok := st.Get("huge"); !ok {
+			t.Fatal("newest entry did not survive its own Put")
+		}
+	})
+}
+
+// TestStoreIndexSurvivesReload: a reopened store sees exactly the surviving
+// entries, shares blobs between keys with identical bodies, and sweeps
+// leftovers that nothing references.
+func TestStoreIndexSurvivesReload(t *testing.T) {
+	dir := t.TempDir()
+	st, err := openDiskStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := []byte("shared-body-bytes")
+	addr := metrics.AddressBytes(shared)
+	st.Put("k1", shared, addr)
+	st.Put("k2", shared, addr) // same bytes: one blob, two index rows
+	if stats := st.Stats(); stats.Entries != 2 || stats.Bytes != int64(len(shared)) {
+		t.Fatalf("dedup accounting: %+v", stats)
+	}
+	st.Close()
+
+	// Drop a stray file and a fake temp file; reload must sweep both.
+	if err := os.WriteFile(filepath.Join(dir, "blobs", "junk"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-123"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := openDiskStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for _, key := range []string{"k1", "k2"} {
+		body, gotAddr, ok := st2.Get(key)
+		if !ok || string(body) != string(shared) || gotAddr != addr {
+			t.Fatalf("entry %s after reload: ok=%v addr=%q", key, ok, gotAddr)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "blobs", "junk")); !os.IsNotExist(err) {
+		t.Fatal("unreferenced blob not swept on reload")
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-123")); !os.IsNotExist(err) {
+		t.Fatal("stale temp file not swept on reload")
+	}
+}
+
+// TestStoreGCLoopLifecycle: the GC loop starts with the server, actually
+// collects on its ticks, and drains on shutdown — no orphaned tickers or
+// goroutines after Close.
+func TestStoreGCLoopLifecycle(t *testing.T) {
+	warmPool(t)
+	base := runtime.NumGoroutine()
+
+	dir := t.TempDir()
+	s := mustNew(t, Config{
+		Version:         "v-test",
+		StoreDir:        dir,
+		StoreMaxAge:     time.Millisecond,
+		StoreGCInterval: 5 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s)
+
+	resp := submit(t, ts.URL, fmt.Sprintf(`{"spec": %s, "seed": 13}`, tinySpec))
+	waitDone(t, ts.URL, resp.Key)
+
+	// With a millisecond max age, the running GC loop must expire the entry
+	// on one of its ticks — proof the loop is alive without poking internals.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.disk.Stats().Entries > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("GC loop never expired the entry: %+v", s.disk.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, base)
+
+	// Close again: idempotent, no panic, no hang.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
