@@ -40,12 +40,25 @@ type Strategy struct {
 	n        int
 	placed   []int
 	targeter Targeter
+
+	// Departure overlay (population churn). The targeters above assume a
+	// fixed node universe; under churn a satiated node that departs takes
+	// its satiation with it, and a later arrival reusing the index must NOT
+	// inherit it. pendingDepartures accumulates NodeDeparted calls; Targets
+	// folds them into effective (a Without successor of the targeter's set)
+	// and clears them whenever the inner targeter redraws (a redraw
+	// re-evaluates targeting from scratch and may legitimately pick the
+	// reused index again).
+	pendingDepartures []int
+	innerSeen         *TargetSet
+	effective         *TargetSet
 }
 
 // Reset returns the strategy to its pre-Place state so it can host a fresh
 // replicate.
 func (s *Strategy) Reset() {
 	s.n, s.placed, s.targeter = 0, nil, nil
+	s.pendingDepartures, s.innerSeen, s.effective = nil, nil, nil
 }
 
 // Place implements the placement hook: it selects the attacker's nodes and
@@ -95,7 +108,31 @@ func (s *Strategy) Targets(round int) *TargetSet {
 	if s.targeter == nil {
 		panic("attack: Strategy.Targets called before Place")
 	}
-	return s.targeter.Satiated(round)
+	inner := s.targeter.Satiated(round)
+	if inner != s.innerSeen {
+		// New targeting epoch: the targeter re-evaluated its set from
+		// scratch, so the historical departure exclusions (folded into the
+		// old effective set) no longer apply — a redrawn set targeting a
+		// reused index is targeting the new occupant. Departures recorded
+		// since the last call are NOT dropped: they precede this round's
+		// exchanges whether or not a redraw landed on the same round, so
+		// they fold into the fresh set below.
+		s.innerSeen, s.effective = inner, inner
+	}
+	if len(s.pendingDepartures) > 0 {
+		s.effective = s.effective.Without(s.pendingDepartures...)
+		s.pendingDepartures = s.pendingDepartures[:0]
+	}
+	return s.effective
+}
+
+// NodeDeparted implements sim.DepartureAware: the departing node is removed
+// from the effective target set at the next Targets call and stays excluded
+// until the underlying targeter redraws (a static targeter never does, so an
+// index vacated by a satiated node never re-enters the set for the rest of
+// the run — the arrival reusing it starts unsatiated).
+func (s *Strategy) NodeDeparted(round, node int) {
+	s.pendingDepartures = append(s.pendingDepartures, node)
 }
 
 // Satiated makes a placed Strategy usable anywhere a Targeter is expected.

@@ -1,6 +1,8 @@
 package attack
 
 import (
+	"sort"
+
 	"lotuseater/internal/bitset"
 )
 
@@ -116,6 +118,39 @@ func (t *TargetSet) diffFrom(prev *TargetSet) {
 	t.bits.DiffEach(prev.bits, func(v int) { added = append(added, v) })
 	prev.bits.DiffEach(t.bits, func(v int) { removed = append(removed, v) })
 	t.added, t.removed = added, removed
+}
+
+// Without returns the successor set with the given nodes removed: same
+// universe, epoch+1, and a change journal whose Removed lists exactly the
+// nodes that were present (Added is empty). Nodes already absent or out of
+// range are ignored; if nothing changes, t itself is returned (no epoch
+// bump), so callers keying on pointer identity see no spurious new epoch.
+// This is the lifecycle-correctness primitive: under churn a departed
+// node's satiation leaves with it, and journal consumers (per-node target
+// flags) apply the removal in O(|removed|) like any other epoch change.
+func (t *TargetSet) Without(nodes ...int) *TargetSet {
+	removed := make([]int, 0, len(nodes))
+	for _, v := range nodes {
+		if t.bits.Has(v) {
+			removed = append(removed, v)
+		}
+	}
+	if len(removed) == 0 {
+		return t
+	}
+	sort.Ints(removed)
+	bits := t.bits.Clone()
+	for _, v := range removed {
+		bits.Remove(v)
+	}
+	members := make([]int, 0, bits.Len())
+	bits.ForEach(func(i int) { members = append(members, i) })
+	return &TargetSet{
+		bits:    bits,
+		members: members,
+		epoch:   t.epoch + 1,
+		removed: removed,
+	}
 }
 
 // Count returns the number of targeted nodes; a convenience mirroring the

@@ -58,8 +58,8 @@ var benchSet = []string{
 // BENCH_scenarios.json for the performance trajectory. It then runs the
 // adaptive bench — fixed-budget vs CI-targeted replication on the three
 // *-auto registry scenarios — into BENCH_adaptive.json, and the kernel
-// bench — single-replicate ns/round and allocs/round for gossip and swarm
-// at n in {10k, 100k, 1m} — into BENCH_kernel.json. With -cluster-out it
+// bench — single-replicate ns/round and allocs/round for gossip (static
+// and churning) and swarm at n in {10k, 100k, 1m} — into BENCH_kernel.json. With -cluster-out it
 // also measures 1-vs-2-worker distributed throughput through a loopback
 // coordinator/worker cluster into BENCH_cluster.json.
 func Bench(w io.Writer, args []string) error {

@@ -63,6 +63,16 @@ func TestGoldenScenariosShow(t *testing.T) {
 	checkGolden(t, "scenarios-show-gossip-trade.txt", []byte(b.String()))
 }
 
+// TestGoldenScenariosShowChurn pins the canonical JSON of a spec carrying a
+// population block — churn rates survive the round-trip in canonical form.
+func TestGoldenScenariosShowChurn(t *testing.T) {
+	var b strings.Builder
+	if err := ScenariosShow(&b, []string{"gossip-trade-churn"}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "scenarios-show-gossip-trade-churn.txt", []byte(b.String()))
+}
+
 // TestGoldenScenariosRun: a small spec-file run pinned in both text and
 // JSON, exercising the same path `scenarios run -spec file.json` takes.
 func TestGoldenScenariosRun(t *testing.T) {
@@ -77,4 +87,19 @@ func TestGoldenScenariosRun(t *testing.T) {
 		}
 		checkGolden(t, "scenarios-run-golden-tiny."+format, []byte(b.String()))
 	}
+}
+
+// TestGoldenScenariosRunTrace: the same tiny spec replaying a churn trace
+// file — pins the trace-replay path bit-for-bit, on any worker count.
+func TestGoldenScenariosRunTrace(t *testing.T) {
+	var b strings.Builder
+	err := ScenariosRun(&b, []string{
+		"-spec", filepath.Join("testdata", "golden-tiny.json"),
+		"-trace", filepath.Join("testdata", "golden-tiny-trace.json"),
+		"-seed", "7", "-format", "json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "scenarios-run-golden-tiny-trace.json", []byte(b.String()))
 }

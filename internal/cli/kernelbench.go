@@ -12,7 +12,9 @@ import (
 	"lotuseater/internal/attack"
 	"lotuseater/internal/gossip"
 	"lotuseater/internal/metrics"
+	"lotuseater/internal/population"
 	"lotuseater/internal/sim"
+	"lotuseater/internal/simrng"
 	"lotuseater/internal/swarm"
 )
 
@@ -53,14 +55,15 @@ type kernelBenchFile struct {
 var kernelBenchSizes = []int{10_000, 100_000, 1_000_000}
 
 // kernelBench measures ns/round and allocs/round for one replicate of the
-// gossip and swarm substrates at each of the given population sizes, and
+// gossip (static and churning) and swarm substrates at each of the given
+// population sizes, and
 // returns the entries so the caller can gate them against a baseline.
 // rounds is the measured steady-state round count (the CI default is low;
 // raise it locally for tighter numbers).
 func kernelBench(w io.Writer, seed uint64, rounds int, sizes []int, out string) ([]KernelBenchResult, error) {
 	var entries []KernelBenchResult
 	for _, n := range sizes {
-		for _, sub := range []string{"gossip", "swarm"} {
+		for _, sub := range []string{"gossip", "gossip-churn", "swarm"} {
 			r, err := kernelBenchOne(sub, n, rounds, seed)
 			if err != nil {
 				return nil, fmt.Errorf("kernel bench %s/n=%d: %w", sub, n, err)
@@ -174,7 +177,7 @@ func kernelBenchOne(substrate string, n, rounds int, seed uint64) (KernelBenchRe
 // only for substrates with phase instrumentation (swarm).
 func kernelBenchModel(substrate string, n, rounds int, seed uint64) (sim.Model, int, *swarm.PhaseProfile, error) {
 	switch substrate {
-	case "gossip":
+	case "gossip", "gossip-churn":
 		cfg := gossip.DefaultConfig()
 		cfg.Nodes = n
 		cfg.UpdatesPerRound = 1
@@ -187,7 +190,22 @@ func kernelBenchModel(substrate string, n, rounds int, seed uint64) (sim.Model, 
 		cfg.Rounds = warmup + rounds + cfg.Lifetime
 		cfg.Warmup = 0
 		adv := &attack.Strategy{Kind: attack.Ideal, Fraction: 0.02, SatiateFraction: 0.30}
-		e, err := gossip.New(cfg, seed, gossip.WithAdversary(adv))
+		opts := []gossip.Option{gossip.WithAdversary(adv)}
+		if substrate == "gossip-churn" {
+			// The same replicate with a synthesized lifecycle schedule
+			// spanning the whole horizon: the delta against the plain gossip
+			// row is the cost of the churn drain plus the presence gating on
+			// the exchange paths.
+			minPresent := n / 10
+			if minPresent < 2 {
+				minPresent = 2
+			}
+			events := population.Synthesize(
+				population.Rates{LeaveRate: 0.002, JoinRate: 0.01},
+				n, cfg.Rounds, minPresent, simrng.New(seed).Child("bench-churn"))
+			opts = append(opts, gossip.WithChurn(events))
+		}
+		e, err := gossip.New(cfg, seed, opts...)
 		return e, warmup, nil, err
 	case "swarm":
 		cfg := swarm.DefaultConfig()

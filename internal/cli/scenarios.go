@@ -91,6 +91,7 @@ func ScenariosRun(w io.Writer, args []string) error {
 	var sets setFlags
 	fs.Var(&sets, "set", "override a spec field, key=value (repeatable)")
 	specPath := fs.String("spec", "", "load the scenario from a JSON spec file instead of the registry")
+	tracePath := fs.String("trace", "", "replay a churn trace file (examples/traces/ format) as the spec's population churn")
 	seed := fs.Uint64("seed", 1, "random seed")
 	format := fs.String("format", "text", "output format: text|csv|json")
 	replicates := fs.Int("replicates", 0, "override replicates per sweep point (0 = spec value; dead under -target-ci or an active precision plan)")
@@ -107,6 +108,15 @@ func ScenariosRun(w io.Writer, args []string) error {
 	spec, err := resolveSpec(name, *specPath)
 	if err != nil {
 		return err
+	}
+	if *tracePath != "" {
+		tr, err := scenario.LoadTrace(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.ApplyTo(spec); err != nil {
+			return err
+		}
 	}
 	if *targetCI != 0 {
 		sets = append(sets, fmt.Sprintf("precision.halfWidth=%g", *targetCI))

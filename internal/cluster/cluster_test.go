@@ -28,6 +28,25 @@ const tinyFixed = `{
   "params": {"symbols": 4, "payload": 8}
 }`
 
+// tinyChurned is the fixed sweep with a population block: rate-driven
+// churn plus Zipf demand, so lifecycle events and weighted picks cross the
+// wire too — the cluster must replay them from the replicate streams
+// exactly as a single process does.
+const tinyChurned = `{
+  "name": "tiny-churned",
+  "substrate": "coding",
+  "nodes": 24,
+  "rounds": 8,
+  "replicates": 12,
+  "adversary": {"kind": "ideal", "fraction": 0.2, "satiateFraction": 0.5},
+  "sweep": {"axis": "adversary.fraction", "from": 0, "to": 0.4, "points": 3},
+  "population": {
+    "churn": {"leaveRate": 0.03, "joinRate": 0.1},
+    "popularity": {"kind": "zipf", "exponent": 1.1}
+  },
+  "params": {"symbols": 4, "payload": 8}
+}`
+
 // tinyAdaptive is the same sweep under a precision plan, so points draw
 // waves until their CI target is met — the work-stealing path.
 const tinyAdaptive = `{
@@ -236,12 +255,27 @@ func fetchResult(t *testing.T, base, key string) ([]byte, string) {
 // adaptive sweep, under per-node pool widths 1 and 8 — and a resubmission
 // is a cache hit that runs nothing.
 func TestClusterMatchesSingleProcess(t *testing.T) {
+	// The registry's churn acceptance scenario rides along verbatim: the
+	// same spec must answer identically local, through the serve cache, and
+	// across a two-worker cluster.
+	churnSpec, ok := scenario.Get("gossip-trade-churn")
+	if !ok {
+		t.Fatal("gossip-trade-churn missing from the registry")
+	}
+	churnSpec.Sweep.Points = 2
+	churnSpec.Replicates = 2
+	churnJSON, err := churnSpec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name string
 		spec string
 		seed uint64
 	}{
 		{"fixed", tinyFixed, 5},
+		{"churned", tinyChurned, 5},
+		{"gossip-trade-churn", string(churnJSON), 5},
 		{"adaptive", tinyAdaptive, 5},
 	}
 	for _, c := range cases {

@@ -7,6 +7,7 @@ import (
 	"lotuseater/internal/attack"
 	"lotuseater/internal/bitset"
 	"lotuseater/internal/graph"
+	"lotuseater/internal/population"
 	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
@@ -39,6 +40,20 @@ type DisseminationConfig struct {
 	// Allocation maps node -> initial source symbol (plain mode only).
 	// Nil means node v starts with symbol v mod Symbols.
 	Allocation []int
+	// Churn is an optional round-sorted lifecycle schedule. A departed
+	// node neither contacts nor responds; a (re)arrival is a fresh node
+	// holding only its initial unit. Events naming attacker slots are
+	// ignored. Nil means the static fixed universe.
+	Churn []population.Event
+	// NodeContacts optionally overrides Contacts per node (population
+	// classes map "capacity" here). Nil means the scalar everywhere;
+	// otherwise length Graph.N().
+	NodeContacts []int
+	// SymbolWeights optionally biases which symbol a plain-mode sender
+	// picks among those the receiver lacks (Zipf/weighted content
+	// popularity; length Symbols, non-negative, positive sum). Coded mode
+	// recodes over the full span, so weights apply to plain mode only.
+	SymbolWeights []float64
 }
 
 // Validate reports the first problem with the configuration, or nil.
@@ -56,6 +71,22 @@ func (c DisseminationConfig) Validate() error {
 		return fmt.Errorf("coding: Rounds must be positive, got %d", c.Rounds)
 	case c.Allocation != nil && len(c.Allocation) != c.Graph.N():
 		return fmt.Errorf("coding: Allocation has %d entries for %d nodes", len(c.Allocation), c.Graph.N())
+	case c.NodeContacts != nil && len(c.NodeContacts) != c.Graph.N():
+		return fmt.Errorf("coding: NodeContacts has %d entries for %d nodes", len(c.NodeContacts), c.Graph.N())
+	case c.SymbolWeights != nil && c.Coded:
+		return errors.New("coding: SymbolWeights applies to plain mode only")
+	case c.SymbolWeights != nil && len(c.SymbolWeights) != c.Symbols:
+		return fmt.Errorf("coding: SymbolWeights has %d entries for %d symbols", len(c.SymbolWeights), c.Symbols)
+	case c.SymbolWeights != nil && population.Normalize(c.SymbolWeights) == nil:
+		return errors.New("coding: SymbolWeights must be non-negative with a positive finite sum")
+	}
+	for i, k := range c.NodeContacts {
+		if k < 0 {
+			return fmt.Errorf("coding: NodeContacts[%d] must be non-negative, got %d", i, k)
+		}
+	}
+	if err := population.ValidateSchedule(c.Churn, c.Graph.N()); err != nil {
+		return fmt.Errorf("coding: %w", err)
 	}
 	return nil
 }
@@ -97,6 +128,13 @@ type Dissemination struct {
 	decs    []*Decoder    // coded mode
 	plain   []*bitset.Set // plain mode
 	sources [][]byte
+
+	// Lifecycle state: departed stays nil without churn so the static
+	// path is byte-identical to a build without the model. symWeights is
+	// the normalized SymbolWeights vector, nil when unbiased.
+	churn      population.Cursor
+	departed   []bool
+	symWeights []float64
 
 	round  int
 	satBuf []bool // per-round start-of-round satiation snapshot, reused
@@ -199,7 +237,69 @@ func NewDissemination(cfg DisseminationConfig, seed uint64, targeter attack.Targ
 		}
 		d.targeter = attack.TargeterFrom(d.adv)
 	}
+	if len(cfg.Churn) > 0 {
+		d.churn = population.NewCursor(cfg.Churn)
+		d.departed = make([]bool, n)
+	}
+	if cfg.SymbolWeights != nil {
+		d.symWeights = population.Normalize(cfg.SymbolWeights)
+	}
 	return d, nil
+}
+
+// gone reports whether node v is currently departed. Always false in a
+// static run, where departed stays nil.
+func (d *Dissemination) gone(v int) bool { return d.departed != nil && d.departed[v] }
+
+// contactsOf returns node v's per-round contact budget: the per-class
+// override when one is installed, the scalar config otherwise.
+func (d *Dissemination) contactsOf(v int) int {
+	if d.cfg.NodeContacts != nil {
+		return d.cfg.NodeContacts[v]
+	}
+	return d.cfg.Contacts
+}
+
+// leaveNode removes node v; its information state is frozen in place but
+// unreachable, and the adversary is told so a satiated slot that later
+// re-arrives is not inherited as a standing target.
+func (d *Dissemination) leaveNode(v int) {
+	if d.gone(v) {
+		return
+	}
+	d.departed[v] = true
+	if d.adv != nil {
+		sim.NotifyDeparture(d.adv, d.round, v)
+	}
+}
+
+// joinNode (re)admits node v as a fresh participant holding only its
+// initial unit: the allocated source symbol in plain mode, the matching
+// unit vector in coded mode (arrivals mid-run have no build-time random
+// combination to draw from).
+func (d *Dissemination) joinNode(v int) error {
+	if !d.gone(v) {
+		return nil
+	}
+	d.departed[v] = false
+	if d.cfg.Coded {
+		dec, err := NewDecoder(d.cfg.Symbols, d.cfg.PayloadSize)
+		if err != nil {
+			return err
+		}
+		if _, err := dec.Add(d.enc.Unit(v % d.cfg.Symbols)); err != nil {
+			return err
+		}
+		d.decs[v] = dec
+		return nil
+	}
+	d.plain[v].Clear()
+	tok := v % d.cfg.Symbols
+	if d.cfg.Allocation != nil {
+		tok = d.cfg.Allocation[v]
+	}
+	d.plain[v].Add(tok)
+	return nil
 }
 
 // satiateNode gives v the full information unconditionally (attacker nodes,
@@ -316,6 +416,20 @@ func (d *Dissemination) Snapshot() (any, error) {
 
 func (d *Dissemination) step() error {
 	n := d.cfg.Graph.N()
+	// 0. Lifecycle: departures and arrivals due this round take effect
+	// before satiation, so the attacker never serves a node that just left.
+	for ev, ok := d.churn.Next(d.round); ok; ev, ok = d.churn.Next(d.round) {
+		if d.isAttacker != nil && d.isAttacker[ev.Node] {
+			continue // adversary infrastructure does not churn
+		}
+		if ev.Join {
+			if err := d.joinNode(ev.Node); err != nil {
+				return err
+			}
+		} else {
+			d.leaveNode(ev.Node)
+		}
+	}
 	// 1. Attacker satiation: targets get the full information for free. A
 	// legacy targeter always delivers instantly; an adversary strategy does
 	// so only when it satiates out of protocol (ideal) — trade attackers
@@ -327,7 +441,7 @@ func (d *Dissemination) step() error {
 		}
 		// Sparse iteration: O(|satiated set|) per round, not O(n).
 		for _, v := range targets.Members() {
-			if d.satiated(v) || (d.isAttacker != nil && d.isAttacker[v]) {
+			if d.gone(v) || d.satiated(v) || (d.isAttacker != nil && d.isAttacker[v]) {
 				continue
 			}
 			if err := d.satiateLimited(v); err != nil {
@@ -370,10 +484,13 @@ func (d *Dissemination) step() error {
 			}
 		})
 		if len(cands) > 0 {
-			transfers = append(transfers, transfer{from: src, to: dst, sym: cands[rng.IntN(len(cands))]})
+			transfers = append(transfers, transfer{from: src, to: dst, sym: d.pickSymbol(cands, rng)})
 		}
 	}
 	for v := 0; v < n; v++ {
+		if d.gone(v) {
+			continue
+		}
 		if d.isAttacker != nil && d.isAttacker[v] {
 			// Attacker nodes never collect. Trade attackers initiate
 			// contacts to serve their satiation targets; crash and ideal
@@ -390,9 +507,12 @@ func (d *Dissemination) step() error {
 		if len(nb) == 0 {
 			continue
 		}
-		c := min(d.cfg.Contacts, len(nb))
+		c := min(d.contactsOf(v), len(nb))
 		for _, idx := range rng.SampleInts(len(nb), c) {
 			p := nb[idx]
+			if d.gone(p) {
+				continue
+			}
 			if d.isAttacker != nil && d.isAttacker[p] {
 				// The contacted attacker serves per OnExchange, one-way.
 				if d.adv.OnExchange(d.round, p, v) {
@@ -430,14 +550,42 @@ func (d *Dissemination) attackerContacts(v int, sat []bool, rng *simrng.Source, 
 	if len(nb) == 0 {
 		return
 	}
-	c := min(d.cfg.Contacts, len(nb))
+	c := min(d.contactsOf(v), len(nb))
 	for _, idx := range rng.SampleInts(len(nb), c) {
 		p := nb[idx]
-		if d.isAttacker[p] || sat[p] || !d.adv.OnExchange(d.round, v, p) {
+		if d.gone(p) || d.isAttacker[p] || sat[p] || !d.adv.OnExchange(d.round, v, p) {
 			continue
 		}
 		queue(v, p)
 	}
+}
+
+// pickSymbol chooses which candidate symbol a plain-mode sender moves:
+// uniform (the historical single IntN draw) without popularity weights,
+// otherwise one Float64 draw walked over the candidates' weight mass —
+// popular symbols spread first, starving the tail the way a demand-driven
+// system would.
+func (d *Dissemination) pickSymbol(cands []int, rng *simrng.Source) int {
+	if d.symWeights == nil {
+		return cands[rng.IntN(len(cands))]
+	}
+	total := 0.0
+	for _, s := range cands {
+		total += d.symWeights[s]
+	}
+	if total <= 0 {
+		// Every candidate has zero popularity; fall back to uniform.
+		return cands[rng.IntN(len(cands))]
+	}
+	x := rng.Float64() * total
+	acc := 0.0
+	for _, s := range cands {
+		acc += d.symWeights[s]
+		if x < acc {
+			return s
+		}
+	}
+	return cands[len(cands)-1]
 }
 
 func (d *Dissemination) finish() (DisseminationResult, error) {

@@ -8,6 +8,7 @@ import (
 
 	"lotuseater/internal/attack"
 	"lotuseater/internal/defense"
+	"lotuseater/internal/population"
 	"lotuseater/internal/sign"
 	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
@@ -40,6 +41,20 @@ type Engine struct {
 	attackers  []int
 	isAttacker []bool
 	evicted    []bool
+
+	// Population model (all nil/empty without one; every gate below keeps
+	// the static-population code path byte-identical). churn replays the
+	// compiled lifecycle schedule; departed/presentSince track presence.
+	// nodeAltruism overrides cfg.Altruism per node (maxAltruism caches the
+	// short-circuit guard); copiesFor maps a drawn popularity rank to the
+	// seeding fan-out for that update.
+	churn         population.Cursor
+	departed      []bool
+	presentSince  []int
+	nodeAltruism  []float64
+	maxAltruism   float64
+	updateWeights []float64
+	copiesFor     []int
 
 	round          int
 	live           []*liveUpdate
@@ -121,6 +136,31 @@ func WithSequential() Option {
 	return func(e *Engine) { e.parallel = false }
 }
 
+// WithChurn installs a lifecycle schedule: each event's node leaves or
+// (re)joins at the top of its round, before seeding and exchanges. The
+// schedule must be sorted by round with nodes in [0, Nodes). A node's
+// copies leave the network with it; an index that rejoins is a fresh node
+// (empty holdings, measured only for updates released after its return).
+func WithChurn(events []population.Event) Option {
+	return func(e *Engine) { e.churn = population.NewCursor(events) }
+}
+
+// WithNodeAltruism overrides cfg.Altruism per node (len must be Nodes,
+// values in [0,1]) — the heterogeneous-classes axis mapped onto the
+// gossip substrate's one behavioral knob. Nil keeps the scalar config.
+func WithNodeAltruism(a []float64) Option {
+	return func(e *Engine) { e.nodeAltruism = a }
+}
+
+// WithUpdateWeights skews seeding by content popularity: each released
+// update draws a rank from the weight vector (a normalized popularity
+// catalog, e.g. Zipf) and is seeded to CopiesSeeded scaled by that rank's
+// weight relative to uniform — popular content starts wide, niche content
+// starts narrow. Nil keeps the uniform CopiesSeeded fan-out.
+func WithUpdateWeights(w []float64) Option {
+	return func(e *Engine) { e.updateWeights = w }
+}
+
 // evalParallelMinNodes is the population size at which the engine starts
 // sharding per-node planning evaluation across the worker pool by default.
 const evalParallelMinNodes = 1 << 15
@@ -169,6 +209,42 @@ func New(cfg Config, seed uint64, opts ...Option) (*Engine, error) {
 	e.advTrades = sim.TradesInProtocol(e.adv)
 	e.advInstant = sim.SatiatesInstantly(e.adv)
 
+	// Population model wiring. Everything stays nil/scalar without one, so
+	// the static-population engine is untouched byte for byte.
+	if err := population.ValidateSchedule(e.churn.Events(), n); err != nil {
+		return nil, fmt.Errorf("gossip: churn: %w", err)
+	}
+	e.maxAltruism = cfg.Altruism
+	if e.nodeAltruism != nil {
+		if len(e.nodeAltruism) != n {
+			return nil, fmt.Errorf("gossip: node altruism has %d entries, want %d", len(e.nodeAltruism), n)
+		}
+		e.maxAltruism = 0
+		for _, a := range e.nodeAltruism {
+			if a < 0 || a > 1 {
+				return nil, fmt.Errorf("gossip: node altruism %g outside [0,1]", a)
+			}
+			if a > e.maxAltruism {
+				e.maxAltruism = a
+			}
+		}
+	}
+	if w := population.Normalize(e.updateWeights); w != nil {
+		e.copiesFor = make([]int, len(w))
+		for i, wi := range w {
+			c := int(float64(cfg.CopiesSeeded)*wi*float64(len(w)) + 0.5)
+			if c < 1 {
+				c = 1
+			}
+			if c > n {
+				c = n
+			}
+			e.copiesFor[i] = c
+		}
+	} else if e.updateWeights != nil {
+		return nil, fmt.Errorf("gossip: update weights must be non-negative with a positive sum")
+	}
+
 	// Roles: the adversary places its nodes, then obedient nodes are chosen
 	// among the rest.
 	e.roles = make([]Role, n)
@@ -198,6 +274,8 @@ func New(cfg Config, seed uint64, opts ...Option) (*Engine, error) {
 	}
 
 	e.evicted = make([]bool, n)
+	e.departed = make([]bool, n)
+	e.presentSince = make([]int, n)
 	e.delivered = make([]int, n)
 	e.total = make([]int, n)
 	e.deliveredIso = make([]int, n)
@@ -291,6 +369,16 @@ func (e *Engine) Step() error {
 	if e.round >= e.cfg.Rounds {
 		return fmt.Errorf("gossip: horizon of %d rounds exhausted", e.cfg.Rounds) //lotus:ignore allocfree cold guard, never taken in a steady-state round
 	}
+	// Lifecycle first: this round's departures and arrivals precede every
+	// exchange, and the adversary learns of departures before its Targets
+	// call below (a departed target's satiation leaves with it).
+	for ev, ok := e.churn.Next(e.round); ok; ev, ok = e.churn.Next(e.round) {
+		if ev.Join {
+			e.joinNode(ev.Node)
+		} else {
+			e.leaveNode(ev.Node)
+		}
+	}
 	targets := e.targeter.Satiated(e.round)
 	if targets.Cap() != e.cfg.Nodes {
 		return fmt.Errorf("gossip: targeter returned a set over %d nodes, want %d", targets.Cap(), e.cfg.Nodes) //lotus:ignore allocfree cold guard against a misbehaving custom targeter
@@ -313,6 +401,37 @@ func (e *Engine) Step() error {
 	e.retireExpired()
 	e.round++
 	return nil
+}
+
+// leaveNode removes v from the population: its copies leave the network
+// with it (holder bits cleared across live updates, O(live) per event),
+// it stops initiating and answering exchanges, and the adversary is told
+// so a reused index cannot inherit its satiation. Leaving twice is a
+// no-op, so arbitrary traces replay safely.
+//
+//lotus:allocfree
+func (e *Engine) leaveNode(v int) {
+	if e.departed[v] {
+		return
+	}
+	e.departed[v] = true
+	for _, u := range e.live {
+		u.holders[v] = false
+	}
+	sim.NotifyDeparture(e.adv, e.round, v)
+}
+
+// joinNode puts a fresh node on index v: empty holdings (leaveNode
+// already cleared them), measured only against updates released from this
+// round on. Joining while present is a no-op.
+//
+//lotus:allocfree
+func (e *Engine) joinNode(v int) {
+	if !e.departed[v] {
+		return
+	}
+	e.departed[v] = false
+	e.presentSince[v] = e.round
 }
 
 // takeHolders returns a zeroed length-Nodes holder array, recycling one
@@ -344,7 +463,17 @@ func (e *Engine) seedUpdates() {
 			holders:  e.takeHolders(),
 			measured: e.round >= e.measStart && e.round <= e.measEnd,
 		}
-		for _, v := range rng.SampleInts(e.cfg.Nodes, e.cfg.CopiesSeeded) {
+		// Uniform demand seeds a fixed fan-out; with a popularity catalog
+		// the update first draws its rank and seeds the rank's fan-out —
+		// popular content starts wide, niche content narrow.
+		copies := e.cfg.CopiesSeeded
+		if e.copiesFor != nil {
+			copies = e.copiesFor[rng.IntN(len(e.copiesFor))]
+		}
+		for _, v := range rng.SampleInts(e.cfg.Nodes, copies) {
+			if e.departed[v] {
+				continue // the copy lands on an empty seat and is lost
+			}
 			u.holders[v] = true
 			if e.isAttacker[v] && !e.evicted[v] {
 				u.pool = true
@@ -371,7 +500,7 @@ func (e *Engine) idealDeliver() {
 			continue
 		}
 		for _, v := range targets.Members() {
-			if e.isAttacker[v] || u.holders[v] {
+			if e.isAttacker[v] || e.departed[v] || u.holders[v] {
 				continue
 			}
 			if e.roles[v] == RoleObedient && e.def != nil {
@@ -442,11 +571,11 @@ func (e *Engine) plan(label string, initiates func(v int) bool) []pairing {
 	e.permBuf = order
 	pairs := e.pairBuf[:0]
 	for _, v := range order {
-		if e.evicted[v] || !flags[v] {
+		if e.evicted[v] || e.departed[v] || !flags[v] {
 			continue
 		}
 		p := sign.Partner(e.pseed, label, e.round, v, e.cfg.Nodes)
-		if e.evicted[p] {
+		if e.evicted[p] || e.departed[p] {
 			continue // the slot is wasted, like contacting a crashed node
 		}
 		pairs = append(pairs, pairing{initiator: v, partner: p})
@@ -567,6 +696,14 @@ func (e *Engine) retireExpired() {
 		relTargets := e.targetsByRound[u.release]
 		for v := 0; v < e.cfg.Nodes; v++ {
 			if e.isAttacker[v] {
+				continue
+			}
+			// Churn gates the denominator: a node counts toward an update's
+			// delivery statistics only if it is still present and was
+			// already present at release — nobody "misses" an update that
+			// circulated while their seat was empty. All-false/zero without
+			// churn, so the static path is untouched.
+			if e.departed[v] || e.presentSince[v] > u.release {
 				continue
 			}
 			got := u.holders[v]

@@ -33,7 +33,7 @@ func (e *Engine) attackerServes(att, peer int) bool {
 //lotus:allocfree
 func (e *Engine) execBalanced(p pairing) {
 	i, j := p.initiator, p.partner
-	if e.evicted[i] || e.evicted[j] {
+	if e.evicted[i] || e.evicted[j] || e.departed[i] || e.departed[j] {
 		return
 	}
 	ai, aj := e.isAttacker[i], e.isAttacker[j]
@@ -76,16 +76,31 @@ func (e *Engine) honestBalanced(i, j int) {
 //
 //lotus:allocfree
 func (e *Engine) maybeAltruistic(i, j int, needI, needJ []int) {
-	if e.cfg.Altruism <= 0 || e.cfg.AltruisticGive <= 0 {
+	if e.maxAltruism <= 0 || e.cfg.AltruisticGive <= 0 {
 		return
 	}
+	// The giver's altruism decides each gift: j gives to i in the first
+	// branch, i gives to j in the second. altruismOf is cfg.Altruism for
+	// every node without per-class overrides, so the homogeneous draw
+	// sequence is unchanged.
 	rng := e.rng.ChildN("altruism", e.round*e.cfg.Nodes+i)
-	if len(needI) > 0 && len(needJ) == 0 && rng.Bool(e.cfg.Altruism) {
+	if len(needI) > 0 && len(needJ) == 0 && rng.Bool(e.altruismOf(j)) {
 		e.deliver(j, i, needI[:min(len(needI), e.cfg.AltruisticGive)], 0, false)
 	}
-	if len(needJ) > 0 && len(needI) == 0 && rng.Bool(e.cfg.Altruism) {
+	if len(needJ) > 0 && len(needI) == 0 && rng.Bool(e.altruismOf(i)) {
 		e.deliver(i, j, needJ[:min(len(needJ), e.cfg.AltruisticGive)], 0, false)
 	}
+}
+
+// altruismOf returns node v's altruism: the per-class override when the
+// population model installed one, the scalar config otherwise.
+//
+//lotus:allocfree
+func (e *Engine) altruismOf(v int) float64 {
+	if e.nodeAltruism != nil {
+		return e.nodeAltruism[v]
+	}
+	return e.cfg.Altruism
 }
 
 // attackerBalanced is a trade attacker's balanced exchange. The attacker
@@ -170,7 +185,7 @@ func (e *Engine) fileReport(from, to int, indices []int) {
 //lotus:allocfree
 func (e *Engine) execPush(p pairing) {
 	i, j := p.initiator, p.partner
-	if e.evicted[i] || e.evicted[j] {
+	if e.evicted[i] || e.evicted[j] || e.departed[i] || e.departed[j] {
 		return
 	}
 	ai, aj := e.isAttacker[i], e.isAttacker[j]

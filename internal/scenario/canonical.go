@@ -29,7 +29,14 @@ import (
 //   - with no sweep axis the from/to/points knobs are dead → zero SweepSpec;
 //     with an axis, points below the 2-point minimum run as 2 → 2;
 //   - metric "" is the substrate default → the default's name;
-//   - empty params and target lists → nil.
+//   - empty params and target lists → nil;
+//   - a population block that models nothing folds away piecewise: churn
+//     with zero rates and no trace → nil, a single class with no trait
+//     overrides → nil (a single class *with* overrides keeps them, weight
+//     normalized to 1), uniform popularity (kind uniform, or an explicit
+//     numerically-uniform weight vector) → nil, and the whole block → nil
+//     once all three axes folded — so a degenerate population spec caches
+//     and replays byte-identically to one without the block.
 //
 // Canonicalization is idempotent — the canonical form of a canonical spec
 // is itself — which is what makes Spec → canonical JSON → Spec → canonical
@@ -86,6 +93,7 @@ func (s *Spec) canonicalized() *Spec {
 	if len(c.Params) == 0 {
 		c.Params = nil
 	}
+	c.Population = c.Population.canonicalized()
 	return c
 }
 

@@ -67,6 +67,29 @@ func FuzzDecode(f *testing.F) {
 		`{"name":"x","substrate":"gossip","precision":{"halfWidth":0.01,"batch":-4}}`,
 		`{"name":"x","substrate":"token","precision":{"halfWidth":0.01,"relative":true,"minReps":2,"maxReps":24,"batch":4}}`,
 		`{"name":"x","substrate":"scrip","replicates":9,"precision":{"maxReps":7}}`,
+		// Hostile population blocks: negative churn rates, schedules that
+		// name nodes outside the population or run backwards in time,
+		// degenerate class tables, and popularity models with impossible
+		// exponents or weight vectors.
+		`{"name":"x","substrate":"gossip","population":{"churn":{"leaveRate":-0.1}}}`,
+		`{"name":"x","substrate":"gossip","population":{"churn":{"joinRate":1e308}}}`,
+		`{"name":"x","substrate":"gossip","population":{"churn":{"start":-5}}}`,
+		`{"name":"x","substrate":"gossip","nodes":4,"population":{"churn":{"trace":[{"round":0,"node":99,"op":"leave"}]}}}`,
+		`{"name":"x","substrate":"gossip","population":{"churn":{"trace":[{"round":5,"node":0,"op":"leave"},{"round":2,"node":0,"op":"join"}]}}}`,
+		`{"name":"x","substrate":"gossip","population":{"churn":{"trace":[{"round":0,"node":0,"op":"vanish"}]}}}`,
+		`{"name":"x","substrate":"gossip","population":{"churn":{"trace":[{"round":-1,"node":0,"op":"leave"}]}}}`,
+		`{"name":"x","substrate":"gossip","population":{"classes":[]}}`,
+		`{"name":"x","substrate":"gossip","population":{"classes":[{"name":"a","weight":0.3},{"name":"b","weight":0.3}]}}`,
+		`{"name":"x","substrate":"gossip","population":{"classes":[{"name":"a","weight":-1},{"name":"a","weight":2}]}}`,
+		`{"name":"x","substrate":"gossip","population":{"classes":[{"name":"a","weight":1,"altruism":1.5}]}}`,
+		`{"name":"x","substrate":"token","population":{"classes":[{"name":"a","weight":1,"capacity":-2}]}}`,
+		`{"name":"x","substrate":"gossip","population":{"popularity":{"kind":"zipf","exponent":0}}}`,
+		`{"name":"x","substrate":"gossip","population":{"popularity":{"kind":"zipf","exponent":-1.1}}}`,
+		`{"name":"x","substrate":"gossip","population":{"popularity":{"kind":"weights","weights":[]}}}`,
+		`{"name":"x","substrate":"coding","params":{"symbols":4},"population":{"popularity":{"kind":"weights","weights":[0.5,0.5]}}}`,
+		`{"name":"x","substrate":"gossip","population":{"popularity":{"kind":"weights","weights":[-1,2]}}}`,
+		`{"name":"x","substrate":"gossip","population":{"popularity":{"kind":"lognormal"}}}`,
+		`{"name":"x","substrate":"swarm","population":{"popularity":{"kind":"zipf","exponent":1.1,"items":-3}}}`,
 	} {
 		f.Add([]byte(hostile))
 	}
@@ -139,6 +162,15 @@ func FuzzSet(f *testing.F) {
 		{"title", "x\x00y"},
 		{"", ""},
 		{"unknown.key", "value"},
+		{"population.churn.leaveRate", "0.02"},
+		{"population.churn.leaveRate", "-0.5"},
+		{"population.churn.joinRate", "inf"},
+		{"population.churn.start", "-3"},
+		{"population.popularity.kind", "zipf"},
+		{"population.popularity.kind", "lognormal"},
+		{"population.popularity.exponent", "0"},
+		{"population.popularity.exponent", "NaN"},
+		{"population.popularity.items", "-7"},
 	} {
 		f.Add(seed[0], seed[1])
 	}

@@ -142,6 +142,199 @@ func TestInvariantMonotoneHarm(t *testing.T) {
 	}
 }
 
+// The population-model invariants: every degenerate population block must
+// be the NO-population program, bit for bit. These are what license the
+// draw-parity discipline in the engines — a churn cursor that never fires,
+// a class table that folds to the scalar knobs, and a uniform popularity
+// kind must all leave every RNG stream untouched.
+
+// TestInvariantZeroChurnIsStatic: a churn block with zero rates and no
+// trace schedules nothing — the run must reproduce the static artifact
+// bit-identically on every substrate, under workers 1 and 8.
+func TestInvariantZeroChurnIsStatic(t *testing.T) {
+	for _, substrate := range Substrates {
+		t.Run(substrate, func(t *testing.T) {
+			t.Parallel()
+			static := invariantSpec(t, "trade", substrate)
+			churned := static.Clone()
+			churned.Population = &PopulationSpec{Churn: &ChurnSpec{}}
+			for _, workers := range []int{1, 8} {
+				opts := RunOptions{Workers: workers, Replicates: 2}
+				got := dataBytes(t, churned, 7, opts)
+				want := dataBytes(t, static, 7, opts)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("workers %d: zero-rate churn diverges from the static run on %s", workers, substrate)
+				}
+			}
+		})
+	}
+}
+
+// TestInvariantSingleClassIsHomogeneous: one agent class is no classes.
+// Three forms, each bit-identical to the class-free run:
+//
+//   - a trait-free class on every substrate (canonicalization folds it
+//     away entirely);
+//   - a single class overriding altruism ≡ the substrate's scalar
+//     altruism param (the classScalar fold);
+//   - two classes with identical traits ≡ the homogeneous run — the
+//     per-node arrays materialize, but hold the same value everywhere,
+//     and the class-assignment draws come from a dedicated child stream
+//     that perturbs nothing else.
+func TestInvariantSingleClassIsHomogeneous(t *testing.T) {
+	one := 1.0
+	alt := 0.7
+	t.Run("trait-free", func(t *testing.T) {
+		for _, substrate := range Substrates {
+			t.Run(substrate, func(t *testing.T) {
+				t.Parallel()
+				plain := invariantSpec(t, "trade", substrate)
+				classed := plain.Clone()
+				classed.Population = &PopulationSpec{Classes: []ClassSpec{{Name: "everyone", Weight: 1}}}
+				opts := RunOptions{Workers: 4, Replicates: 2}
+				if !bytes.Equal(dataBytes(t, classed, 7, opts), dataBytes(t, plain, 7, opts)) {
+					t.Fatalf("a trait-free class changed the %s run", substrate)
+				}
+			})
+		}
+	})
+	t.Run("scalar-fold", func(t *testing.T) {
+		for _, substrate := range []string{"gossip", "token"} {
+			t.Run(substrate, func(t *testing.T) {
+				t.Parallel()
+				plain := invariantSpec(t, "trade", substrate)
+				if plain.Params == nil {
+					plain.Params = map[string]float64{}
+				}
+				plain.Params["altruism"] = alt
+				classed := plain.Clone()
+				classed.Params = map[string]float64{}
+				for k, v := range plain.Params {
+					if k != "altruism" {
+						classed.Params[k] = v
+					}
+				}
+				classed.Population = &PopulationSpec{Classes: []ClassSpec{{Name: "everyone", Weight: 1, Altruism: &alt}}}
+				opts := RunOptions{Workers: 4, Replicates: 2}
+				if !bytes.Equal(dataBytes(t, classed, 7, opts), dataBytes(t, plain, 7, opts)) {
+					t.Fatalf("single-class altruism diverges from the altruism param on %s", substrate)
+				}
+			})
+		}
+	})
+	t.Run("identical-classes", func(t *testing.T) {
+		for _, substrate := range []string{"gossip", "token", "coding"} {
+			t.Run(substrate, func(t *testing.T) {
+				t.Parallel()
+				plain := invariantSpec(t, "trade", substrate)
+				classed := plain.Clone()
+				cl := ClassSpec{Weight: 0.5, Capacity: &one}
+				a, b := cl, cl
+				a.Name, b.Name = "left", "right"
+				classed.Population = &PopulationSpec{Classes: []ClassSpec{a, b}}
+				opts := RunOptions{Workers: 4, Replicates: 2}
+				if !bytes.Equal(dataBytes(t, classed, 7, opts), dataBytes(t, plain, 7, opts)) {
+					t.Fatalf("two identical classes diverge from the homogeneous run on %s", substrate)
+				}
+			})
+		}
+	})
+}
+
+// TestInvariantUniformPopularityIsNone: uniform demand is no demand model
+// — on every substrate with an item catalogue, kind "uniform" must
+// reproduce the no-popularity run bit for bit.
+func TestInvariantUniformPopularityIsNone(t *testing.T) {
+	for _, substrate := range []string{"gossip", "swarm", "coding"} {
+		t.Run(substrate, func(t *testing.T) {
+			t.Parallel()
+			plain := invariantSpec(t, "trade", substrate)
+			uniform := plain.Clone()
+			uniform.Population = &PopulationSpec{Popularity: &PopularitySpec{Kind: "uniform"}}
+			for _, workers := range []int{1, 8} {
+				opts := RunOptions{Workers: workers, Replicates: 2}
+				if !bytes.Equal(dataBytes(t, uniform, 7, opts), dataBytes(t, plain, 7, opts)) {
+					t.Fatalf("workers %d: uniform popularity diverges from none on %s", workers, substrate)
+				}
+			}
+		})
+	}
+}
+
+// TestInvariantChurnMonotoneHarm: the monotone-harm law survives churn.
+// Replicate i synthesizes the same arrival/departure schedule at every
+// attacker fraction (the churn stream is a child of the replicate stream,
+// independent of the adversary axis), so common-random-numbers pairing
+// still holds and the tolerance can stay tight.
+func TestInvariantChurnMonotoneHarm(t *testing.T) {
+	const replicates = 3
+	for _, substrate := range Substrates {
+		t.Run(substrate, func(t *testing.T) {
+			t.Parallel()
+			spec := invariantSpec(t, "trade", substrate)
+			spec.Population = &PopulationSpec{Churn: &ChurnSpec{LeaveRate: 0.01, JoinRate: 0.05}}
+			spec.Sweep = SweepSpec{Axis: "adversary.fraction", From: 0, To: 0.4, Points: 3}
+			a, err := Run(spec, 17, RunOptions{Replicates: replicates})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean, stddev := a.Series[0], a.Series[1]
+			tol := func(i, j int) float64 {
+				se := (stddev.Points[i].Y + stddev.Points[j].Y) / math.Sqrt(replicates)
+				return 0.03 + 2*se
+			}
+			if attackBackfires["trade/"+substrate] {
+				base := mean.Points[0].Y
+				for i := 1; i < len(mean.Points); i++ {
+					if mean.Points[i].Y < base-0.15 {
+						t.Fatalf("trade on churning %s should backfire, but collapsed delivery at fraction %.2f: %.4f vs baseline %.4f",
+							substrate, mean.Points[i].X, mean.Points[i].Y, base)
+					}
+				}
+				return
+			}
+			for i := 1; i < len(mean.Points); i++ {
+				prev, cur := mean.Points[i-1].Y, mean.Points[i].Y
+				if cur > prev+tol(i-1, i) {
+					t.Fatalf("raising trade pressure improved churning %s delivery: %.4f at %.2f -> %.4f at %.2f (tol %.4f)",
+						substrate, prev, mean.Points[i-1].X, cur, mean.Points[i].X, tol(i-1, i))
+				}
+			}
+		})
+	}
+}
+
+// TestInvariantPopulationWorkerParity: every population-model scenario in
+// the registry — churn on all five substrates, Zipf demand, and the
+// heterogeneous class mix — answers bit-identically under workers 1 and
+// 8. This is the population analogue of the determinism table: lifecycle
+// events, class assignment, and weighted picks all live in per-replicate
+// streams, so scheduling cannot leak in.
+func TestInvariantPopulationWorkerParity(t *testing.T) {
+	names := []string{
+		"gossip-trade-churn", "token-churn", "scrip-churn", "swarm-churn", "coding-churn",
+		"gossip-zipf", "swarm-zipf", "coding-zipf", "scrip-classes",
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, ok := Get(name)
+			if !ok {
+				t.Fatalf("%s missing from the registry", name)
+			}
+			spec.Sweep = SweepSpec{}
+			if spec.Substrate == "scrip" {
+				spec.Rounds = 1200
+			}
+			one := dataBytes(t, spec, 7, RunOptions{Workers: 1, Replicates: 2})
+			eight := dataBytes(t, spec, 7, RunOptions{Workers: 8, Replicates: 2})
+			if !bytes.Equal(one, eight) {
+				t.Fatalf("%s diverges between workers 1 and 8", name)
+			}
+		})
+	}
+}
+
 // TestInvariantAdaptiveDegeneratesToFixed: an adaptive run that can never
 // stop early is the fixed run. Two forms, both per attack x substrate and
 // per worker count:

@@ -193,6 +193,135 @@ func init() {
 
 	registerCrossProduct()
 	registerAutoVariants()
+	registerPopulationVariants()
+}
+
+// registerPopulationVariants exercises the population model's three axes
+// as canned scenarios: rate-driven churn on every substrate that has
+// lifecycle hooks, Zipf demand on the item-oriented substrates, and a
+// heterogeneous class mix on the scrip economy. Small shapes keep each
+// runnable in CI; everything here is ordinary spec data, so `-set
+// population.churn.leaveRate=...` retunes them like any other knob.
+func registerPopulationVariants() {
+	churn := func(leave, join float64) *PopulationSpec {
+		return &PopulationSpec{Churn: &ChurnSpec{LeaveRate: leave, JoinRate: join}}
+	}
+	zipf := func(s float64) *PopulationSpec {
+		return &PopulationSpec{Popularity: &PopularitySpec{Kind: "zipf", Exponent: s}}
+	}
+	Register(&Spec{
+		Name:        "gossip-trade-churn",
+		Title:       "Trade lotus-eater vs a churning BAR Gossip",
+		Description: "the trade attack with nodes joining and leaving: departures shrink the satiated set, arrivals are fresh targets",
+		Substrate:   "gossip",
+		Nodes:       100,
+		Rounds:      40,
+		Adversary:   AdversarySpec{Kind: "trade", Fraction: 0.15, SatiateFraction: 0.70},
+		Sweep:       SweepSpec{Axis: "population.churn.leaveRate", From: 0, To: 0.05, Points: 4},
+		Replicates:  2,
+		Population:  churn(0, 0.10),
+	})
+	Register(&Spec{
+		Name:        "token-churn",
+		Title:       "Ideal satiation of a churning token collection",
+		Description: "half-system satiation while 2% of nodes leave and 10% of the absent return each round",
+		Substrate:   "token",
+		Nodes:       96,
+		Rounds:      60,
+		Adversary:   AdversarySpec{Kind: "ideal", Fraction: 0.10, SatiateFraction: 0.5},
+		Replicates:  3,
+		Params:      map[string]float64{"tokens": 24},
+		Population:  churn(0.02, 0.10),
+	})
+	Register(&Spec{
+		Name:        "scrip-churn",
+		Title:       "Earned-budget satiation of a churning scrip economy",
+		Description: "the money-supply bound under churn: leavers take their wallets, arrivals bring fresh endowment",
+		Substrate:   "scrip",
+		Nodes:       120,
+		Rounds:      6000,
+		Adversary:   AdversarySpec{Kind: "trade", Fraction: 0.05, SatiateFraction: 0.5},
+		Metric:      "satiated-targets",
+		Replicates:  2,
+		Population:  churn(0.001, 0.01),
+	})
+	Register(&Spec{
+		Name:        "swarm-churn",
+		Title:       "Ideal satiation of a churning swarm",
+		Description: "leechers depart mid-download and rejoin empty; the torrent stays alive while arrivals are due",
+		Substrate:   "swarm",
+		Nodes:       60,
+		Rounds:      250,
+		Adversary:   AdversarySpec{Kind: "ideal", Fraction: 0.10, SatiateFraction: 0.3},
+		Replicates:  2,
+		Params:      map[string]float64{"pieces": 64, "uplink": 16},
+		Population:  churn(0.01, 0.05),
+	})
+	Register(&Spec{
+		Name:        "coding-churn",
+		Title:       "Plain dissemination under churn",
+		Description: "departures freeze information in unreachable nodes; rejoiners restart from one symbol",
+		Substrate:   "coding",
+		Nodes:       64,
+		Rounds:      40,
+		Adversary:   AdversarySpec{Kind: "ideal", Fraction: 0.10, SatiateFraction: 0.5},
+		Replicates:  3,
+		Params:      map[string]float64{"symbols": 16},
+		Population:  churn(0.02, 0.10),
+	})
+	Register(&Spec{
+		Name:        "gossip-zipf",
+		Title:       "Zipf update demand vs the trade lotus-eater",
+		Description: "popular updates seed wide, the tail seeds thin: skewed demand changes what satiation is worth",
+		Substrate:   "gossip",
+		Nodes:       100,
+		Rounds:      40,
+		Adversary:   AdversarySpec{Kind: "trade", Fraction: 0.15, SatiateFraction: 0.70},
+		Sweep:       SweepSpec{Axis: "population.popularity.exponent", From: 0.2, To: 1.6, Points: 4},
+		Replicates:  2,
+		Population:  zipf(1.0),
+	})
+	Register(&Spec{
+		Name:        "swarm-zipf",
+		Title:       "Popularity-skewed rarest-first",
+		Description: "weighted tie-breaking concentrates demand on popular pieces — the artificial last-pieces problem gets easier to induce",
+		Substrate:   "swarm",
+		Nodes:       60,
+		Rounds:      250,
+		Adversary:   AdversarySpec{Kind: "ideal", Fraction: 0.10, SatiateFraction: 0.3},
+		Replicates:  2,
+		Params:      map[string]float64{"pieces": 64, "uplink": 16},
+		Population:  zipf(1.1),
+	})
+	Register(&Spec{
+		Name:        "coding-zipf",
+		Title:       "Zipf symbol demand vs plain dissemination",
+		Description: "plain mode moves popular symbols first; coding is immune by construction (recodings span everything)",
+		Substrate:   "coding",
+		Nodes:       64,
+		Rounds:      40,
+		Adversary:   AdversarySpec{Kind: "ideal", Fraction: 0.10, SatiateFraction: 0.5},
+		Replicates:  3,
+		Params:      map[string]float64{"symbols": 16},
+		Population:  zipf(1.2),
+	})
+	patience := 2.5
+	altruism := 0.05
+	Register(&Spec{
+		Name:        "scrip-classes",
+		Title:       "Heterogeneous scrip economy",
+		Description: "a hoarder class (patience 2.5x) alongside a mildly altruistic majority: satiating hoarders costs the attacker more",
+		Substrate:   "scrip",
+		Nodes:       120,
+		Rounds:      6000,
+		Adversary:   AdversarySpec{Kind: "trade", Fraction: 0.05, SatiateFraction: 0.5},
+		Metric:      "satiated-targets",
+		Replicates:  2,
+		Population: &PopulationSpec{Classes: []ClassSpec{
+			{Name: "hoarders", Weight: 0.25, Patience: &patience},
+			{Name: "regulars", Weight: 0.75, Altruism: &altruism},
+		}},
+	})
 }
 
 // registerAutoVariants derives adaptive-precision twins of the noisiest

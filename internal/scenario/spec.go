@@ -198,6 +198,10 @@ type Spec struct {
 	// Replicates count with adaptive, CI-targeted replication per sweep
 	// point (see PrecisionSpec).
 	Precision *PrecisionSpec `json:"precision,omitempty"`
+	// Population configures churn, heterogeneous agent classes, and
+	// content popularity; nil is the paper's static homogeneous
+	// uniform-demand population (see PopulationSpec).
+	Population *PopulationSpec `json:"population,omitempty"`
 	// Metric names the per-run statistic folded into the accumulators; see
 	// `lotus-sim scenarios show` output or substrate.go for the per-
 	// substrate menu. Empty means the substrate default.
@@ -229,6 +233,9 @@ func (s *Spec) Validate() error {
 		return err
 	}
 	if err := s.Precision.Validate(); err != nil {
+		return err
+	}
+	if err := s.Population.Validate(s.Nodes); err != nil {
 		return err
 	}
 	if s.Nodes < 0 || s.Rounds < 0 || s.Replicates < 0 {
@@ -288,6 +295,7 @@ func (s *Spec) Clone() *Spec {
 		p := *s.Precision
 		out.Precision = &p
 	}
+	out.Population = s.Population.clone()
 	return &out
 }
 
@@ -347,6 +355,29 @@ func (s *Spec) precision() *PrecisionSpec {
 	return s.Precision
 }
 
+// populationChurn and populationPopularity lazily allocate the nested
+// population blocks for the `-set population.*` override path, mirroring
+// precision(). Canonicalization folds untouched blocks back to nil.
+func (s *Spec) populationChurn() *ChurnSpec {
+	if s.Population == nil {
+		s.Population = &PopulationSpec{}
+	}
+	if s.Population.Churn == nil {
+		s.Population.Churn = &ChurnSpec{}
+	}
+	return s.Population.Churn
+}
+
+func (s *Spec) populationPopularity() *PopularitySpec {
+	if s.Population == nil {
+		s.Population = &PopulationSpec{}
+	}
+	if s.Population.Popularity == nil {
+		s.Population.Popularity = &PopularitySpec{}
+	}
+	return s.Population.Popularity
+}
+
 // setParam sets a substrate knob, allocating the map on first use.
 func (s *Spec) setParam(key string, v float64) {
 	if s.Params == nil {
@@ -374,6 +405,15 @@ func (s *Spec) applyAxis(x float64) error {
 		s.Nodes = int(x)
 	case "rounds":
 		s.Rounds = int(x)
+	case "population.churn.leaveRate":
+		s.populationChurn().LeaveRate = x
+	case "population.churn.joinRate":
+		s.populationChurn().JoinRate = x
+	case "population.popularity.exponent":
+		s.populationPopularity().Exponent = x
+		if s.populationPopularity().Kind == "" {
+			s.populationPopularity().Kind = "zipf"
+		}
 	default:
 		if key, ok := strings.CutPrefix(axis, "params."); ok && key != "" {
 			s.setParam(key, x)
@@ -517,6 +557,38 @@ func (s *Spec) Set(key, value string) error {
 			return err
 		}
 		s.precision().Batch = v
+	case "population.churn.leaveRate":
+		v, err := number()
+		if err != nil {
+			return err
+		}
+		s.populationChurn().LeaveRate = v
+	case "population.churn.joinRate":
+		v, err := number()
+		if err != nil {
+			return err
+		}
+		s.populationChurn().JoinRate = v
+	case "population.churn.start":
+		v, err := integer()
+		if err != nil {
+			return err
+		}
+		s.populationChurn().Start = v
+	case "population.popularity.kind":
+		s.populationPopularity().Kind = value
+	case "population.popularity.exponent":
+		v, err := number()
+		if err != nil {
+			return err
+		}
+		s.populationPopularity().Exponent = v
+	case "population.popularity.items":
+		v, err := integer()
+		if err != nil {
+			return err
+		}
+		s.populationPopularity().Items = v
 	case "sweep.axis":
 		s.Sweep.Axis = value
 	case "sweep.from":

@@ -103,9 +103,26 @@ var substrates = map[string]*substrate{
 					cfg.ObedientFraction = 1
 				}
 			}
+			if cl := s.classScalar(); cl != nil && cl.Altruism != nil {
+				cfg.Altruism = *cl.Altruism
+			}
 			opts := []gossip.Option{gossip.WithAdversary(adv)}
 			if def != nil {
 				opts = append(opts, gossip.WithDefense(def))
+			}
+			assign := s.classAssignment(cfg.Nodes, rng)
+			if alt := s.altruismByClass(assign, cfg.Altruism); alt != nil {
+				opts = append(opts, gossip.WithNodeAltruism(alt))
+			}
+			if events := s.churnEvents(cfg.Nodes, cfg.Rounds, rng); len(events) > 0 {
+				opts = append(opts, gossip.WithChurn(events))
+			}
+			weights, err := s.popularityWeights(0)
+			if err != nil {
+				return nil, err
+			}
+			if weights != nil {
+				opts = append(opts, gossip.WithUpdateWeights(weights))
 			}
 			return gossip.New(cfg, rng.Uint64(), opts...)
 		},
@@ -136,6 +153,16 @@ var substrates = map[string]*substrate{
 				Altruism: s.param("altruism", 0),
 				Rounds:   rounds,
 			}
+			if cl := s.classScalar(); cl != nil {
+				if cl.Altruism != nil {
+					cfg.Altruism = *cl.Altruism
+				}
+				cfg.Contacts = scaleInt(cfg.Contacts, cl.Capacity)
+			}
+			assign := s.classAssignment(n, rng)
+			cfg.NodeAltruism = s.altruismByClass(assign, cfg.Altruism)
+			cfg.NodeContacts = s.intsByClass(assign, cfg.Contacts, capacityOf)
+			cfg.Churn = s.churnEvents(n, rounds, rng)
 			opts := []tokenmodel.Option{
 				tokenmodel.WithAdversary(adv),
 				tokenmodel.WithWorkspace(ws),
@@ -167,6 +194,18 @@ var substrates = map[string]*substrate{
 			cfg.MoneyPerCapita = int(s.param("money", float64(cfg.MoneyPerCapita)))
 			cfg.Cost = s.param("cost", cfg.Cost)
 			cfg.AltruistFraction = s.param("altruists", cfg.AltruistFraction)
+			if cl := s.classScalar(); cl != nil {
+				if cl.Altruism != nil {
+					cfg.AltruistFraction = *cl.Altruism
+				}
+				cfg.MoneyPerCapita = scaleInt(cfg.MoneyPerCapita, cl.Capacity)
+				cfg.Threshold = scaleInt(cfg.Threshold, cl.Patience)
+			}
+			assign := s.classAssignment(cfg.Agents, rng)
+			cfg.NodeAltruist = s.altruismByClass(assign, cfg.AltruistFraction)
+			cfg.NodeBalance = s.intsByClass(assign, cfg.MoneyPerCapita, capacityOf)
+			cfg.NodeThreshold = s.intsByClass(assign, cfg.Threshold, patienceOf)
+			cfg.Churn = s.churnEvents(cfg.Agents, cfg.Rounds, rng)
 			opts := []scrip.Option{scrip.WithAdversary(adv)}
 			if def != nil {
 				opts = append(opts, scrip.WithDefense(def))
@@ -201,6 +240,16 @@ var substrates = map[string]*substrate{
 			if def != nil {
 				opts = append(opts, swarm.WithDefense(def))
 			}
+			if events := s.churnEvents(cfg.Leechers, cfg.Ticks, rng); len(events) > 0 {
+				opts = append(opts, swarm.WithChurn(events))
+			}
+			weights, err := s.popularityWeights(cfg.Pieces)
+			if err != nil {
+				return nil, err
+			}
+			if weights != nil {
+				opts = append(opts, swarm.WithPieceWeights(weights))
+			}
 			return swarm.New(cfg, rng.Uint64(), opts...)
 		},
 	},
@@ -228,6 +277,17 @@ var substrates = map[string]*substrate{
 				Rounds:      rounds,
 				Coded:       s.param("coded", 0) != 0,
 			}
+			if cl := s.classScalar(); cl != nil {
+				cfg.Contacts = scaleInt(cfg.Contacts, cl.Capacity)
+			}
+			assign := s.classAssignment(n, rng)
+			cfg.NodeContacts = s.intsByClass(assign, cfg.Contacts, capacityOf)
+			cfg.Churn = s.churnEvents(n, rounds, rng)
+			weights, err := s.popularityWeights(cfg.Symbols)
+			if err != nil {
+				return nil, err
+			}
+			cfg.SymbolWeights = weights
 			opts := []coding.DisseminationOption{coding.WithAdversary(adv)}
 			if def != nil {
 				opts = append(opts, coding.WithDefense(def))
@@ -293,5 +353,6 @@ var (
 	_ sim.Adversary       = (*attack.Strategy)(nil)
 	_ sim.ProtocolTrader  = (*attack.Strategy)(nil)
 	_ sim.InstantSatiator = (*attack.Strategy)(nil)
+	_ sim.DepartureAware  = (*attack.Strategy)(nil)
 	_ sim.Defense         = (*defense.Limit)(nil)
 )

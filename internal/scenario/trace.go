@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace is the on-disk churn trace format (examples/traces/): a recorded
+// or hand-written lifecycle schedule a spec replays bit-identically. The
+// file is plain JSON —
+//
+//	{
+//	  "version": 1,
+//	  "description": "flash crowd then exodus",
+//	  "events": [
+//	    {"round": 0, "node": 4, "op": "leave"},
+//	    {"round": 3, "node": 4, "op": "join"}
+//	  ]
+//	}
+//
+// — with events sorted by round; same-round events apply in file order.
+// ParseTrace validates the shape, and ApplyTo installs the events as the
+// spec's population.churn.trace, where Spec.Validate re-checks them
+// against the spec's node count.
+type Trace struct {
+	// Version pins the format; 1 is the only version.
+	Version int `json:"version"`
+	// Description says what population story the trace tells.
+	Description string `json:"description,omitempty"`
+	// Events is the schedule, sorted by round.
+	Events []ChurnEvent `json:"events"`
+}
+
+// ParseTrace decodes and validates a trace document. Unknown fields are
+// rejected so a typo'd key fails loudly instead of silently replaying a
+// different population.
+func ParseTrace(data []byte) (*Trace, error) {
+	var tr Trace
+	if err := decodeStrict(data, &tr); err != nil {
+		return nil, fmt.Errorf("scenario: trace: %w", err)
+	}
+	if tr.Version != 1 {
+		return nil, fmt.Errorf("scenario: trace: unsupported version %d (want 1)", tr.Version)
+	}
+	if len(tr.Events) == 0 {
+		return nil, fmt.Errorf("scenario: trace: no events")
+	}
+	prev := 0
+	for i, ev := range tr.Events {
+		if ev.Op != "join" && ev.Op != "leave" {
+			return nil, fmt.Errorf("scenario: trace: events[%d]: unknown op %q (want join|leave)", i, ev.Op)
+		}
+		if ev.Round < 0 {
+			return nil, fmt.Errorf("scenario: trace: events[%d]: negative round %d", i, ev.Round)
+		}
+		if ev.Round < prev {
+			return nil, fmt.Errorf("scenario: trace: events[%d]: round %d before round %d (trace must be sorted)", i, ev.Round, prev)
+		}
+		prev = ev.Round
+		if ev.Node < 0 {
+			return nil, fmt.Errorf("scenario: trace: events[%d]: negative node %d", i, ev.Node)
+		}
+	}
+	return &tr, nil
+}
+
+// LoadTrace reads and parses a trace file.
+func LoadTrace(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTrace(data)
+}
+
+// ApplyTo installs the trace as the spec's churn schedule. The spec must
+// not already drive churn some other way — a trace silently replacing a
+// rate process would run a different population than the spec says.
+func (tr *Trace) ApplyTo(spec *Spec) error {
+	if spec.Population != nil && spec.Population.Churn != nil {
+		c := spec.Population.Churn
+		if c.LeaveRate > 0 || c.JoinRate > 0 || len(c.Trace) > 0 {
+			return fmt.Errorf("scenario: trace: spec already has population churn; drop it before replaying a trace")
+		}
+	}
+	if spec.Population == nil {
+		spec.Population = &PopulationSpec{}
+	}
+	events := make([]ChurnEvent, len(tr.Events))
+	copy(events, tr.Events)
+	spec.Population.Churn = &ChurnSpec{Trace: events}
+	return nil
+}
+
+// decodeStrict unmarshals JSON rejecting unknown fields and trailing
+// documents.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra any
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("trailing data after document")
+	}
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"lotuseater/internal/attack"
+	"lotuseater/internal/population"
 	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
@@ -87,6 +88,26 @@ type Config struct {
 	// "encouraging altruism" defense are deterministic rather than subject
 	// to the binomial luck of random kind assignment.
 	AltruistProviders int
+	// Churn is an optional round-sorted lifecycle schedule. A departed
+	// agent neither requests nor volunteers, and its wallet leaves the
+	// system with it; a (re)arrival on the same slot is a fresh agent of
+	// the slot's kind carrying the initial endowment. Events naming
+	// attacker-controlled slots are ignored — adversary infrastructure
+	// does not churn. Nil means the static fixed-universe economy.
+	Churn []population.Event
+	// NodeThreshold optionally overrides Threshold per agent (population
+	// classes map "patience" here: patient agents satiate later). Nil
+	// means the scalar Threshold everywhere; otherwise length Agents.
+	NodeThreshold []int
+	// NodeBalance optionally overrides MoneyPerCapita per agent
+	// ("capacity": the endowment an agent arrives with). Nil means the
+	// scalar MoneyPerCapita everywhere; otherwise length Agents.
+	NodeBalance []int
+	// NodeAltruist optionally replaces AltruistFraction with a per-agent
+	// altruist probability ("altruism" classes). When non-nil (length
+	// Agents) each agent's kind is drawn independently from its own
+	// probability instead of permuting a global altruist count.
+	NodeAltruist []float64
 }
 
 // DefaultConfig returns a small healthy economy.
@@ -127,6 +148,30 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scrip: SpecialRequestFraction > 0 needs SpecialProviders > 0")
 	case c.AltruistProviders < 0 || c.AltruistProviders > c.SpecialProviders:
 		return fmt.Errorf("scrip: AltruistProviders must be in [0,%d], got %d", c.SpecialProviders, c.AltruistProviders)
+	case c.NodeThreshold != nil && len(c.NodeThreshold) != c.Agents:
+		return fmt.Errorf("scrip: NodeThreshold has %d entries for %d agents", len(c.NodeThreshold), c.Agents)
+	case c.NodeBalance != nil && len(c.NodeBalance) != c.Agents:
+		return fmt.Errorf("scrip: NodeBalance has %d entries for %d agents", len(c.NodeBalance), c.Agents)
+	case c.NodeAltruist != nil && len(c.NodeAltruist) != c.Agents:
+		return fmt.Errorf("scrip: NodeAltruist has %d entries for %d agents", len(c.NodeAltruist), c.Agents)
+	}
+	for i, t := range c.NodeThreshold {
+		if t < 1 {
+			return fmt.Errorf("scrip: NodeThreshold[%d] must be positive, got %d", i, t)
+		}
+	}
+	for i, b := range c.NodeBalance {
+		if b < 0 {
+			return fmt.Errorf("scrip: NodeBalance[%d] must be non-negative, got %d", i, b)
+		}
+	}
+	for i, p := range c.NodeAltruist {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("scrip: NodeAltruist[%d] must be in [0,1], got %g", i, p)
+		}
+	}
+	if err := population.ValidateSchedule(c.Churn, c.Agents); err != nil {
+		return fmt.Errorf("scrip: %w", err)
 	}
 	return nil
 }
@@ -200,6 +245,14 @@ type Sim struct {
 	pool    int // attacker's scrip pool
 	isTgt   []bool
 
+	// Lifecycle state; both stay nil in a static (no-churn) economy so
+	// that code path is byte-identical to a build without the model.
+	// presentHonest counts present non-attacker agents, maintained so a
+	// churned-empty round can idle instead of spinning in pickRequester.
+	churn         population.Cursor
+	departed      []bool
+	presentHonest int
+
 	// Strategy hooks (WithAdversary / WithDefense). The adversary places its
 	// agents, names the balances to keep topped up each round, and its kind
 	// decides the financing: trade attackers spend in-system earnings, ideal
@@ -259,7 +312,7 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 	}
 	for i := range s.kinds {
 		s.kinds[i] = Rational
-		s.balance[i] = cfg.MoneyPerCapita
+		s.balance[i] = s.endowment(i)
 	}
 	nAlt := int(cfg.AltruistFraction*float64(cfg.Agents) + 0.5)
 	nAtt := int(cfg.AttackerFraction*float64(cfg.Agents) + 0.5)
@@ -267,8 +320,20 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 		nAtt = 0 // the adversary places its own agents
 	}
 	perm := s.rng.Child("kinds").Perm(cfg.Agents)
-	for i := 0; i < nAlt && i < len(perm); i++ {
-		s.kinds[perm[i]] = Altruist
+	if cfg.NodeAltruist != nil {
+		// Per-class altruism: each agent's kind is an independent draw
+		// from its own probability, on a dedicated child stream so the
+		// homogeneous perm path above it stays untouched.
+		kindRNG := s.rng.Child("class-kinds")
+		for i := range s.kinds {
+			if kindRNG.Bool(cfg.NodeAltruist[i]) {
+				s.kinds[i] = Altruist
+			}
+		}
+	} else {
+		for i := 0; i < nAlt && i < len(perm); i++ {
+			s.kinds[perm[i]] = Altruist
+		}
 	}
 	for i := nAlt; i < nAlt+nAtt && i < len(perm); i++ {
 		s.kinds[perm[i]] = AttackerAgent
@@ -284,6 +349,15 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 				return nil, fmt.Errorf("scrip: adversary placed agent %d outside [0,%d)", a, cfg.Agents)
 			}
 			s.kinds[a] = AttackerAgent
+		}
+	}
+	if len(cfg.Churn) > 0 {
+		s.churn = population.NewCursor(cfg.Churn)
+		s.departed = make([]bool, cfg.Agents)
+		for _, k := range s.kinds {
+			if k != AttackerAgent {
+				s.presentHonest++
+			}
 		}
 	}
 	return s, nil
@@ -372,6 +446,20 @@ func (s *Sim) Step() error {
 	}
 	rng := s.rng.ChildN("round", s.round)
 
+	// 0. Lifecycle: departures and arrivals due this round take effect
+	// before any request, so the adversary learns of a departure before
+	// it would top the leaver up.
+	for ev, ok := s.churn.Next(s.round); ok; ev, ok = s.churn.Next(s.round) {
+		if s.kinds[ev.Node] == AttackerAgent {
+			continue // adversary infrastructure does not churn
+		}
+		if ev.Join {
+			s.joinAgent(ev.Node)
+		} else {
+			s.leaveAgent(ev.Node)
+		}
+	}
+
 	// 1. Attacker tops targets up to the threshold while its pool lasts;
 	// attacker agents sweep their in-system earnings into the pool first.
 	if s.plan != nil && s.round >= s.plan.StartRound {
@@ -382,7 +470,10 @@ func (s *Sim) Step() error {
 			}
 		}
 		for _, t := range s.plan.Targets {
-			need := s.cfg.Threshold - s.balance[t]
+			if s.gone(t) {
+				continue // no point topping up an absent agent
+			}
+			need := s.thresholdOf(t) - s.balance[t]
 			if need <= 0 {
 				continue
 			}
@@ -396,7 +487,7 @@ func (s *Sim) Step() error {
 		}
 		sat := 0
 		for _, t := range s.plan.Targets {
-			if s.balance[t] >= s.cfg.Threshold {
+			if !s.gone(t) && s.balance[t] >= s.thresholdOf(t) {
 				sat++
 			}
 		}
@@ -408,9 +499,14 @@ func (s *Sim) Step() error {
 		s.adversaryStep()
 	}
 
-	// 2. A uniformly random non-attacker agent requests service. With
-	// probability SpecialRequestFraction the request is a specialty one
-	// that only special providers can serve.
+	// 2. A uniformly random present non-attacker agent requests service.
+	// With probability SpecialRequestFraction the request is a specialty
+	// one that only special providers can serve. If churn has emptied the
+	// honest population the round idles (arrivals may still be due).
+	if s.departed != nil && s.presentHonest == 0 {
+		s.round++
+		return nil
+	}
 	requester := s.pickRequester(rng)
 	s.res.Requests++
 	targeted := s.isTgt[requester]
@@ -424,7 +520,7 @@ func (s *Sim) Step() error {
 	// requests admit only special providers playing their usual strategy.
 	var volunteers []int
 	for i, k := range s.kinds {
-		if i == requester {
+		if i == requester || s.gone(i) {
 			continue
 		}
 		if special && i >= s.cfg.SpecialProviders {
@@ -441,7 +537,7 @@ func (s *Sim) Step() error {
 				volunteers = append(volunteers, i)
 			}
 		case Rational:
-			if s.balance[i] < s.cfg.Threshold {
+			if s.balance[i] < s.thresholdOf(i) {
 				volunteers = append(volunteers, i)
 			}
 		}
@@ -530,11 +626,11 @@ func (s *Sim) adversaryStep() {
 	}
 	live, sat := 0, 0
 	for _, t := range targets.Members() {
-		if t >= s.cfg.Agents || s.kinds[t] == AttackerAgent {
+		if t >= s.cfg.Agents || s.kinds[t] == AttackerAgent || s.gone(t) {
 			continue
 		}
 		live++
-		need := s.cfg.Threshold - s.balance[t]
+		need := s.thresholdOf(t) - s.balance[t]
 		if need > 0 && (s.advTrades || s.advInstant) {
 			grant := need
 			if s.def != nil {
@@ -552,7 +648,7 @@ func (s *Sim) adversaryStep() {
 			s.balance[t] += grant
 			s.res.AttackerSpent += grant
 		}
-		if s.balance[t] >= s.cfg.Threshold {
+		if s.balance[t] >= s.thresholdOf(t) {
 			sat++
 		}
 	}
@@ -565,13 +661,60 @@ func (s *Sim) adversaryStep() {
 func (s *Sim) pickRequester(rng *simrng.Source) int {
 	for {
 		i := rng.IntN(s.cfg.Agents)
-		if s.kinds[i] != AttackerAgent {
+		if s.kinds[i] != AttackerAgent && !s.gone(i) {
 			if !s.isTgt[i] {
 				s.nonTargetRequests++
 			}
 			return i
 		}
 	}
+}
+
+// gone reports whether agent v is currently departed. Always false in a
+// static economy, where departed stays nil.
+func (s *Sim) gone(v int) bool { return s.departed != nil && s.departed[v] }
+
+// thresholdOf returns agent v's satiation threshold: the per-class
+// override when one is installed, the scalar config otherwise.
+func (s *Sim) thresholdOf(v int) int {
+	if s.cfg.NodeThreshold != nil {
+		return s.cfg.NodeThreshold[v]
+	}
+	return s.cfg.Threshold
+}
+
+// endowment returns the scrip agent v starts (or re-arrives) with.
+func (s *Sim) endowment(v int) int {
+	if s.cfg.NodeBalance != nil {
+		return s.cfg.NodeBalance[v]
+	}
+	return s.cfg.MoneyPerCapita
+}
+
+// leaveAgent removes agent v: its wallet leaves the system with it and
+// the adversary is told, so a satiated slot that later re-arrives is
+// treated as the fresh agent it is rather than a standing target.
+func (s *Sim) leaveAgent(v int) {
+	if s.gone(v) {
+		return
+	}
+	s.departed[v] = true
+	s.balance[v] = 0
+	s.presentHonest--
+	if s.adv != nil {
+		sim.NotifyDeparture(s.adv, s.round, v)
+	}
+}
+
+// joinAgent (re)admits agent v as a fresh agent of the slot's kind,
+// carrying the initial endowment.
+func (s *Sim) joinAgent(v int) {
+	if !s.gone(v) {
+		return
+	}
+	s.departed[v] = false
+	s.balance[v] = s.endowment(v)
+	s.presentHonest++
 }
 
 func (s *Sim) finish() Result {

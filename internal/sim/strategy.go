@@ -69,6 +69,27 @@ type InstantSatiator interface {
 	SatiatesInstantly() bool
 }
 
+// DepartureAware is optionally implemented by adversaries that track node
+// lifecycle: under churn, a satiated target that departs takes its
+// satiation with it, and a later arrival reusing the same index is a fresh
+// node the adversary has not satiated. Engines call NodeDeparted for every
+// departure (attacker or honest) before any exchange in the round; the
+// adversary excludes the node from its effective target set until its
+// targeter legitimately re-evaluates (e.g. a rotation redraw).
+type DepartureAware interface {
+	NodeDeparted(round, node int)
+}
+
+// NotifyDeparture forwards a departure to a, if a tracks lifecycle.
+// Adversaries that do not implement DepartureAware keep their fixed-universe
+// behavior (safe for static populations; churned scenarios use
+// attack.Strategy, which implements it).
+func NotifyDeparture(a Adversary, round, node int) {
+	if d, ok := a.(DepartureAware); ok {
+		d.NodeDeparted(round, node)
+	}
+}
+
 // TradesInProtocol reports whether a's attacker nodes participate in
 // protocol exchanges. Adversaries that do not implement ProtocolTrader are
 // assumed to stay out of protocol.

@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"lotuseater/internal/graph"
+	"lotuseater/internal/population"
 	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
@@ -278,6 +279,25 @@ func WithDefense(d sim.Defense) Option {
 	return func(s *Sim) { s.def = d }
 }
 
+// WithChurn installs a round-sorted lifecycle schedule over the leechers
+// (nodes in [0, Leechers); the initial seed's exit stays SeedDepartTick's
+// job). A departing leecher takes its pieces with it; a (re)arrival on the
+// same slot is a fresh empty leecher. Events naming attacker-controlled
+// slots are ignored. The swarm stays alive while arrivals are still due,
+// even when every current leecher has finished or left.
+func WithChurn(events []population.Event) Option {
+	return func(s *Sim) { s.churnEvents = events }
+}
+
+// WithPieceWeights biases rarest-first tie-breaking by content popularity:
+// among equally-rare candidates the receiver picks piece p with probability
+// proportional to weights[p] (length Pieces, non-negative, positive sum)
+// instead of uniformly. Random selection and the random-first bootstrap
+// stay uniform — popularity models demand, not the bootstrap.
+func WithPieceWeights(weights []float64) Option {
+	return func(s *Sim) { s.pieceWeightsIn = weights }
+}
+
 // Sim is one swarm instance.
 type Sim struct {
 	cfg   Config
@@ -368,6 +388,16 @@ type Sim struct {
 	// the done check is O(1) instead of an O(n) scan per tick.
 	leeching int
 
+	// Population model state. churnEvents/pieceWeightsIn are the raw
+	// option inputs, validated in New; churn is the live cursor and
+	// pieceWeights the normalized popularity vector (nil when uniform).
+	// All stay nil/zero without the options, keeping the static path
+	// byte-identical to a build without the model.
+	churnEvents    []population.Event
+	churn          population.Cursor
+	pieceWeightsIn []float64
+	pieceWeights   []float64
+
 	permBuf   []int
 	missBuf   []int // pooled missing-piece scratch for attack/endgame fills
 	targetBuf []int // pickTargets candidate scratch
@@ -449,6 +479,21 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 	}
 	if s.adv != nil && cfg.Attack != AttackOff {
 		return nil, errors.New("swarm: Config.Attack conflicts with WithAdversary")
+	}
+	if len(s.churnEvents) > 0 {
+		if err := population.ValidateSchedule(s.churnEvents, cfg.Leechers); err != nil {
+			return nil, fmt.Errorf("swarm: %w", err)
+		}
+		s.churn = population.NewCursor(s.churnEvents)
+	}
+	if s.pieceWeightsIn != nil {
+		if len(s.pieceWeightsIn) != cfg.Pieces {
+			return nil, fmt.Errorf("swarm: piece weights have %d entries for %d pieces", len(s.pieceWeightsIn), cfg.Pieces)
+		}
+		s.pieceWeights = population.Normalize(s.pieceWeightsIn)
+		if s.pieceWeights == nil {
+			return nil, errors.New("swarm: piece weights must be non-negative with a positive finite sum")
+		}
 	}
 	deg := cfg.PeerSetSize / 2
 	if deg < 1 {
@@ -831,8 +876,11 @@ func (s *Sim) Run() (Result, error) {
 }
 
 // Finished reports whether the horizon has been reached or every leecher
-// has left the leeching state (nothing further can change).
-func (s *Sim) Finished() bool { return s.tick >= s.cfg.Ticks || s.leeching == 0 }
+// has left the leeching state with no arrivals still due (nothing further
+// can change).
+func (s *Sim) Finished() bool {
+	return s.tick >= s.cfg.Ticks || (s.leeching == 0 && s.churn.JoinsAhead() == 0)
+}
 
 // Snapshot returns the Result summarizing the run so far.
 func (s *Sim) Snapshot() (any, error) { return s.finish(), nil }
@@ -843,6 +891,19 @@ func (s *Sim) Snapshot() (any, error) { return s.finish(), nil }
 func (s *Sim) Step() error {
 	if s.tick >= s.cfg.Ticks {
 		return errors.New("swarm: horizon exhausted")
+	}
+	// Lifecycle events due this tick take effect before any transfer or
+	// attack targeting, so the adversary learns of a departure before it
+	// would serve the leaver.
+	for ev, ok := s.churn.Next(s.tick); ok; ev, ok = s.churn.Next(s.tick) {
+		if s.isAttacker != nil && s.isAttacker[ev.Node] {
+			continue // adversary infrastructure does not churn
+		}
+		if ev.Join {
+			s.rejoinNode(ev.Node)
+		} else {
+			s.churnLeave(ev.Node)
+		}
 	}
 	if s.cfg.Attack != AttackOff && s.tick >= s.cfg.AttackStartTick &&
 		(s.cfg.AttackStopTick == 0 || s.tick < s.cfg.AttackStopTick) {
@@ -865,6 +926,49 @@ func (s *Sim) Step() error {
 	}
 	s.tick++
 	return nil
+}
+
+// churnLeave removes leecher v on a churn event. departNode already owes
+// the rarity and holder subtraction; on top of that the leeching counter
+// drops when a downloader leaves, and the adversary is told so a satiated
+// slot that later re-arrives is not inherited as a standing target.
+//
+//lotus:allocfree
+func (s *Sim) churnLeave(v int) {
+	if s.nodeState[v] == stateDeparted {
+		return
+	}
+	if s.nodeState[v] == stateLeeching {
+		s.leeching--
+	}
+	s.departNode(v)
+	if s.adv != nil {
+		sim.NotifyDeparture(s.adv, s.tick, v)
+	}
+}
+
+// rejoinNode (re)admits slot v as a fresh empty leecher. The departed
+// node's holdings were already subtracted from the holder counts and every
+// neighbor's rarity view by departNode, and its own rarity row was
+// maintained throughout its absence (gain and departure deltas bump all
+// neighbor rows unconditionally), so clearing the piece words is the only
+// state that needs touching — plus the per-window reciprocation counters,
+// which a fresh node starts at zero.
+//
+//lotus:allocfree
+func (s *Sim) rejoinNode(v int) {
+	if s.nodeState[v] != stateDeparted {
+		return
+	}
+	base := v * s.wpn
+	clear(s.pieceWords[base : base+s.wpn])
+	s.pieceCnt[v] = 0
+	clear(s.recvCnt[s.adjOff[v]:s.adjOff[v+1]])
+	s.nodeState[v] = stateLeeching
+	s.finished[v] = -1
+	s.fromAtk[v] = 0
+	s.uploaded[v] = 0
+	s.leeching++
 }
 
 // attackStep satiates the attacker's current targets: it uploads missing
@@ -1246,22 +1350,54 @@ func selectPiece[T rarityCell](s *Sim, sender, receiver int, counts []T, rng *si
 	}
 	// Rarest first, breaking ties uniformly at random: deterministic
 	// tie-breaking would make every receiver chase the same piece and
-	// destroy diversity — the opposite of the policy's purpose.
+	// destroy diversity — the opposite of the policy's purpose. With
+	// popularity weights installed the tie-break is weighted instead —
+	// demand skews which of the equally-rare pieces moves.
+	weights := s.pieceWeights
 	best := ^T(0)
 	ties := 0
+	wTotal := 0.0
 	for i, w := range sb {
 		d := w &^ rb[i]
 		wordBase := i * 64
 		for d != 0 {
-			c := counts[wordBase+bits.TrailingZeros64(d)]
+			p := wordBase + bits.TrailingZeros64(d)
+			c := counts[p]
 			if c < best {
 				best = c
 				ties = 1
+				if weights != nil {
+					wTotal = weights[p]
+				}
 			} else if c == best {
 				ties++
+				if weights != nil {
+					wTotal += weights[p]
+				}
 			}
 			d &= d - 1
 		}
+	}
+	if weights != nil && wTotal > 0 {
+		x := rng.Float64() * wTotal
+		acc := 0.0
+		last := -1
+		for i, w := range sb {
+			d := w &^ rb[i]
+			wordBase := i * 64
+			for d != 0 {
+				p := wordBase + bits.TrailingZeros64(d)
+				if counts[p] == best {
+					acc += weights[p]
+					last = p
+					if x < acc {
+						return p, true
+					}
+				}
+				d &= d - 1
+			}
+		}
+		return last, true // float round-off: fall back to the last tie
 	}
 	k := rng.IntN(ties)
 	for i, w := range sb {

@@ -28,6 +28,7 @@ import (
 	"lotuseater/internal/attack"
 	"lotuseater/internal/bitset"
 	"lotuseater/internal/graph"
+	"lotuseater/internal/population"
 	"lotuseater/internal/sim"
 	"lotuseater/internal/simrng"
 )
@@ -49,6 +50,17 @@ type Config struct {
 	// Allocation maps node -> initially held token (the paper's f: V -> T).
 	// Nil means node v starts with token v mod Tokens.
 	Allocation []int
+	// Churn is the lifecycle schedule: each event's node leaves or
+	// (re)joins at the top of its round. A departed node neither initiates
+	// nor answers contacts; a rejoining index is a fresh agent (initial
+	// allocation, completion cleared). Nil means a static population.
+	Churn []population.Event
+	// NodeAltruism overrides Altruism per node when non-nil (len = nodes,
+	// values in [0,1]) — the heterogeneous-classes axis.
+	NodeAltruism []float64
+	// NodeContacts overrides Contacts per node when non-nil (len = nodes,
+	// values >= 0) — per-class capacity.
+	NodeContacts []int
 }
 
 // Validate reports the first problem with the configuration, or nil.
@@ -71,6 +83,30 @@ func (c Config) Validate() error {
 		for v, t := range c.Allocation {
 			if t < 0 || t >= c.Tokens {
 				return fmt.Errorf("tokenmodel: Allocation[%d] = %d out of range [0,%d)", v, t, c.Tokens)
+			}
+		}
+	}
+	n := c.Graph.N()
+	if err := population.ValidateSchedule(c.Churn, n); err != nil {
+		return fmt.Errorf("tokenmodel: churn: %w", err)
+	}
+	if c.NodeAltruism != nil {
+		if len(c.NodeAltruism) != n {
+			return fmt.Errorf("tokenmodel: NodeAltruism has %d entries for %d nodes", len(c.NodeAltruism), n)
+		}
+		for v, a := range c.NodeAltruism {
+			if a < 0 || a > 1 {
+				return fmt.Errorf("tokenmodel: NodeAltruism[%d] = %g outside [0,1]", v, a)
+			}
+		}
+	}
+	if c.NodeContacts != nil {
+		if len(c.NodeContacts) != n {
+			return fmt.Errorf("tokenmodel: NodeContacts has %d entries for %d nodes", len(c.NodeContacts), n)
+		}
+		for v, k := range c.NodeContacts {
+			if k < 0 {
+				return fmt.Errorf("tokenmodel: NodeContacts[%d] = %d must be non-negative", v, k)
 			}
 		}
 	}
@@ -120,6 +156,11 @@ type Sim struct {
 	held      []*bitset.Set
 	completed []int // round node became satiated, -1 if not yet
 	result    Result
+
+	// Population lifecycle: churn replays Config.Churn; departed marks
+	// absent nodes (nil-safe scalar path when the config has no churn).
+	churn    population.Cursor
+	departed []bool
 
 	// Round scratch, allocated once at New (from the workspace when one is
 	// installed) and reused every round — Step allocates nothing.
@@ -231,7 +272,67 @@ func New(cfg Config, seed uint64, opts ...Option) (*Sim, error) {
 			s.completed[v] = 0
 		}
 	}
+	if len(cfg.Churn) > 0 {
+		s.churn = population.NewCursor(cfg.Churn)
+		if s.ws != nil {
+			s.departed = s.ws.Bools(n)
+		} else {
+			s.departed = make([]bool, n)
+		}
+	}
 	return s, nil
+}
+
+// gone reports whether node v is currently departed.
+func (s *Sim) gone(v int) bool { return s.departed != nil && s.departed[v] }
+
+// contactsOf returns v's per-round contact budget: the per-class override
+// when one is installed, the scalar config otherwise.
+func (s *Sim) contactsOf(v int) int {
+	if s.cfg.NodeContacts != nil {
+		return s.cfg.NodeContacts[v]
+	}
+	return s.cfg.Contacts
+}
+
+// altruismOf returns node v's altruism (v is the responding side).
+func (s *Sim) altruismOf(v int) float64 {
+	if s.cfg.NodeAltruism != nil {
+		return s.cfg.NodeAltruism[v]
+	}
+	return s.cfg.Altruism
+}
+
+// leaveNode and joinNode apply one lifecycle event. A rejoining index is
+// a fresh agent: initial allocation, no completion record (attackers
+// refill instead — the adversary re-provisions its own nodes).
+func (s *Sim) leaveNode(v int) {
+	if s.departed[v] {
+		return
+	}
+	s.departed[v] = true
+	if s.adv != nil {
+		sim.NotifyDeparture(s.adv, s.round, v)
+	}
+}
+
+func (s *Sim) joinNode(v int) {
+	if !s.departed[v] {
+		return
+	}
+	s.departed[v] = false
+	s.held[v].Clear()
+	if s.isAttacker != nil && s.isAttacker[v] && (s.advTrades || s.advInstant) {
+		s.held[v].Fill()
+		s.completed[v] = s.round
+		return
+	}
+	tok := v % s.cfg.Tokens
+	if s.cfg.Allocation != nil {
+		tok = s.cfg.Allocation[v]
+	}
+	s.held[v].Add(tok)
+	s.completed[v] = -1
 }
 
 func (s *Sim) satiated(v int) bool { return s.held[v].Full() }
@@ -260,6 +361,17 @@ func (s *Sim) Step() error {
 	}
 	n := s.cfg.Graph.N()
 
+	// 0. Lifecycle: departures and arrivals land before the attack and
+	// every contact, and the adversary hears about departures before its
+	// Targets call (a departed target's satiation leaves with it).
+	for ev, ok := s.churn.Next(s.round); ok; ev, ok = s.churn.Next(s.round) {
+		if ev.Join {
+			s.joinNode(ev.Node)
+		} else {
+			s.leaveNode(ev.Node)
+		}
+	}
+
 	// 1. The attacker satiates its targets. A legacy targeter (no adversary
 	// installed) always delivers instantly; an adversary strategy does so
 	// only when it satiates out of protocol (the ideal attack) — trade
@@ -274,7 +386,7 @@ func (s *Sim) Step() error {
 		// Sparse iteration: the satiation pass costs O(|satiated set|), not
 		// O(n), and allocates nothing.
 		for _, v := range targets.Members() {
-			if s.satiated(v) || (s.isAttacker != nil && s.isAttacker[v]) {
+			if s.satiated(v) || s.gone(v) || (s.isAttacker != nil && s.isAttacker[v]) {
 				continue
 			}
 			s.satiate(v)
@@ -292,6 +404,9 @@ func (s *Sim) Step() error {
 	}
 	rng := s.rng.ChildN("round", s.round)
 	for v := 0; v < n; v++ {
+		if s.gone(v) {
+			continue // empty seat: no contacts in or out
+		}
 		if s.isAttacker != nil && s.isAttacker[v] {
 			// Attacker nodes never collect for themselves. Trade attackers
 			// initiate contacts to deliver satiation through the protocol;
@@ -308,12 +423,15 @@ func (s *Sim) Step() error {
 		if len(nb) == 0 {
 			continue
 		}
-		c := s.cfg.Contacts
+		c := s.contactsOf(v)
 		if c > len(nb) {
 			c = len(nb)
 		}
 		for _, idx := range rng.SampleInts(len(nb), c) {
 			p := nb[idx]
+			if s.gone(p) {
+				continue // contacting an empty seat wastes the slot
+			}
 			if s.isAttacker != nil && s.isAttacker[p] {
 				// The contacted attacker serves per the adversary's
 				// OnExchange rule and takes nothing back.
@@ -322,7 +440,7 @@ func (s *Sim) Step() error {
 				}
 				continue
 			}
-			if sat[p] && !rng.Bool(s.cfg.Altruism) {
+			if sat[p] && !rng.Bool(s.altruismOf(p)) {
 				continue // satiated partner declines to respond
 			}
 			s.transferInto(v, p)
@@ -338,7 +456,7 @@ func (s *Sim) Step() error {
 
 	count := 0
 	for v := 0; v < n; v++ {
-		if s.satiated(v) {
+		if !s.gone(v) && s.satiated(v) {
 			count++
 		}
 	}
@@ -379,13 +497,13 @@ func (s *Sim) attackerContacts(v int, sat []bool, rng *simrng.Source) {
 	if len(nb) == 0 {
 		return
 	}
-	c := s.cfg.Contacts
+	c := s.contactsOf(v)
 	if c > len(nb) {
 		c = len(nb)
 	}
 	for _, idx := range rng.SampleInts(len(nb), c) {
 		p := nb[idx]
-		if s.isAttacker[p] || sat[p] || !s.adv.OnExchange(s.round, v, p) {
+		if s.gone(p) || s.isAttacker[p] || sat[p] || !s.adv.OnExchange(s.round, v, p) {
 			continue
 		}
 		if s.transferInto(p, v) > 0 {
